@@ -1,0 +1,523 @@
+package ghostspec
+
+// The benchmark harness regenerating the paper's evaluation numbers
+// (§5-6). One benchmark (or ghost-on/ghost-off pair) per reported
+// quantity; see EXPERIMENTS.md for the mapping and DESIGN.md for the
+// ablations.
+
+import (
+	"math/rand"
+	"testing"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/core/ghost"
+	"ghostspec/internal/hyp"
+	"ghostspec/internal/mem"
+	"ghostspec/internal/pgtable"
+	"ghostspec/internal/proxy"
+	"ghostspec/internal/randtest"
+	"ghostspec/internal/suite"
+)
+
+// ---------------------------------------------------------------------
+// E7: boot overhead (paper: 1.49s -> 4.76s, 3.2x). Boot = hypervisor
+// initialisation; ghost boot adds the initial recording and the
+// boot-layout check.
+
+func BenchmarkBootNoGhost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := hyp.New(hyp.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBootGhost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hv, err := hyp.New(hyp.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec := ghost.Attach(hv)
+		if n := len(rec.Failures()); n != 0 {
+			b.Fatalf("%d boot alarms", n)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// E7/E1: handwritten suite runtime (paper: 1.07s -> 12.3s, 11.5x).
+
+func BenchmarkSuiteNoGhost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := suite.Run(suite.Options{Ghost: false})
+		if s := suite.Summarise(results); s.Failed != 0 {
+			b.Fatalf("suite failed: %+v", s)
+		}
+	}
+}
+
+func BenchmarkSuiteGhost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := suite.Run(suite.Options{Ghost: true})
+		if s := suite.Summarise(results); s.Failed != 0 {
+			b.Fatalf("suite failed: %+v", s)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Per-hypercall overhead: share/unshare round trips with and without
+// the oracle.
+
+func benchShareLoop(b *testing.B, withGhost bool) {
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rec *ghost.Recorder
+	if withGhost {
+		rec = ghost.Attach(hv)
+	}
+	d := proxy.New(hv)
+	pfn, _ := d.AllocPage()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.ShareHyp(0, pfn); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.UnshareHyp(0, pfn); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if rec != nil {
+		if n := len(rec.Failures()); n != 0 {
+			b.Fatalf("%d alarms", n)
+		}
+	}
+}
+
+func BenchmarkShareUnshareNoGhost(b *testing.B) { benchShareLoop(b, false) }
+func BenchmarkShareUnshareGhost(b *testing.B)   { benchShareLoop(b, true) }
+
+func benchDemandFault(b *testing.B, withGhost bool) {
+	newSys := func() (*proxy.Driver, arch.PFN, int) {
+		hv, err := hyp.New(hyp.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if withGhost {
+			ghost.Attach(hv)
+		}
+		// Each fault maps a 2MB block, so fresh faults need 2MB
+		// strides; the system runs out after nRegions of them.
+		base := arch.PhysToPFN(hv.HostMemStart())
+		nRegions := int(hv.HostMemPages()/512) - 3
+		return proxy.New(hv), base, nRegions
+	}
+	d, base, nRegions := newSys()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%nRegions == 0 && i > 0 {
+			b.StopTimer()
+			d, base, nRegions = newSys()
+			b.StartTimer()
+		}
+		pfn := base + arch.PFN((i%nRegions)*512)
+		if ok, err := d.Access(0, arch.IPA(pfn.Phys()), true); err != nil || !ok {
+			b.Fatalf("fault: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+func BenchmarkHostDemandFaultNoGhost(b *testing.B) { benchDemandFault(b, false) }
+func BenchmarkHostDemandFaultGhost(b *testing.B)   { benchDemandFault(b, true) }
+
+// ---------------------------------------------------------------------
+// VM lifecycle end to end.
+
+func benchVMLifecycle(b *testing.B, withGhost bool) {
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if withGhost {
+		ghost.Attach(hv)
+	}
+	d := proxy.New(hv)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, donated, err := d.InitVM(0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.InitVCPU(0, h, 0); err != nil {
+			b.Fatal(err)
+		}
+		mc, err := d.Topup(0, h, 0, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.VCPULoad(0, h, 0); err != nil {
+			b.Fatal(err)
+		}
+		gp, _ := d.AllocPage()
+		if err := d.MapGuest(0, gp, 16); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.VCPUPut(0); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.TeardownVM(0, h); err != nil {
+			b.Fatal(err)
+		}
+		for _, pfn := range donated {
+			if err := d.ReclaimPage(0, pfn); err != nil {
+				b.Fatal(err)
+			}
+			d.FreePage(pfn)
+		}
+		for _, pfn := range mc {
+			_ = d.ReclaimPage(0, pfn) // table pages may already be gone
+			d.FreePage(pfn)
+		}
+		if err := d.ReclaimPage(0, gp); err != nil {
+			b.Fatal(err)
+		}
+		d.FreePage(gp)
+	}
+}
+
+func BenchmarkVMLifecycleNoGhost(b *testing.B) { benchVMLifecycle(b, false) }
+func BenchmarkVMLifecycleGhost(b *testing.B)   { benchVMLifecycle(b, true) }
+
+// ---------------------------------------------------------------------
+// E3: random-testing throughput (paper: ~200k hypercalls/hour in QEMU)
+// and the guided-vs-unguided ablation.
+
+func benchRandom(b *testing.B, guided bool) {
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := ghost.Attach(hv)
+	tr := randtest.New(proxy.New(hv), rec, 1, guided)
+	b.ResetTimer()
+	tr.Run(b.N)
+	b.StopTimer()
+	s := tr.Stats()
+	b.ReportMetric(float64(s.Calls)/float64(b.N), "calls/step")
+	b.ReportMetric(float64(s.HostCrashes), "host-crashes")
+	b.ReportMetric(float64(s.VMsCreated), "vms-created")
+}
+
+func BenchmarkRandGuided(b *testing.B)   { benchRandom(b, true) }
+func BenchmarkRandUnguided(b *testing.B) { benchRandom(b, false) }
+
+// ---------------------------------------------------------------------
+// Abstraction-function cost: interpreting a populated host table.
+
+func BenchmarkInterpretPgtable(b *testing.B) {
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := proxy.New(hv)
+	// Populate: fault in a spread of pages and share a few.
+	base := arch.PhysToPFN(hv.HostMemStart())
+	for i := 0; i < 32; i++ {
+		pfn := base + arch.PFN(i*613)
+		if ok, _ := d.Access(0, arch.IPA(pfn.Phys()), true); !ok {
+			b.Fatal("populate fault failed")
+		}
+	}
+	for i := 0; i < 8; i++ {
+		pfn, _ := d.AllocPage()
+		if err := d.ShareHyp(0, pfn); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		abs := ghost.InterpretPgtable(hv.Mem, hv.HostPGTRoot())
+		if abs.Mapping.IsEmpty() {
+			b.Fatal("empty interpretation")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation 1 (DESIGN.md): coalesced maplet lists vs a naive per-page
+// map for the abstract mapping representation, building the
+// abstraction of a block-heavy address space and comparing two of
+// them for equality (the oracle's hot operations).
+
+// naiveMapping is the strawman: one entry per page.
+type naiveMapping map[uint64]ghost.Target
+
+func buildNaive(n int) naiveMapping {
+	m := make(naiveMapping)
+	attrs := arch.Attrs{Perms: arch.PermRWX, Mem: arch.MemNormal}
+	for i := 0; i < n; i++ {
+		va := uint64(i) << arch.PageShift
+		m[va] = ghost.Mapped(arch.PhysAddr(va), attrs)
+	}
+	return m
+}
+
+func buildCoalesced(n int) ghost.Mapping {
+	var m ghost.Mapping
+	attrs := arch.Attrs{Perms: arch.PermRWX, Mem: arch.MemNormal}
+	for i := 0; i < n; i++ {
+		va := uint64(i) << arch.PageShift
+		m.Extend(va, 1, ghost.Mapped(arch.PhysAddr(va), attrs))
+	}
+	return m
+}
+
+const ablationPages = 4096 // 16MB of contiguous identity mapping
+
+func BenchmarkMappingBuildCoalesced(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := buildCoalesced(ablationPages)
+		if m.NrMaplets() != 1 {
+			b.Fatal("not coalesced")
+		}
+	}
+}
+
+func BenchmarkMappingBuildNaive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := buildNaive(ablationPages)
+		if len(m) != ablationPages {
+			b.Fatal("bad build")
+		}
+	}
+}
+
+func BenchmarkMappingEqualCoalesced(b *testing.B) {
+	x, y := buildCoalesced(ablationPages), buildCoalesced(ablationPages)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !ghost.EqualMappings(x, y) {
+			b.Fatal("unequal")
+		}
+	}
+}
+
+func BenchmarkMappingEqualNaive(b *testing.B) {
+	x, y := buildNaive(ablationPages), buildNaive(ablationPages)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k, v := range x {
+			if y[k] != v {
+				b.Fatal("unequal")
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation 2 (DESIGN.md): ownership-following partial recording vs a
+// whole-state snapshot at every lock event — the cost the paper avoids
+// by structuring the ghost state around the locks instead of a big
+// instrumentation lock.
+
+func BenchmarkRecordPartialHost(b *testing.B) {
+	hv := populatedSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ghost.AbstractHost(hv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecordFullState(b *testing.B) {
+	hv := populatedSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ghost.AbstractHost(hv); err != nil {
+			b.Fatal(err)
+		}
+		_ = ghost.AbstractHyp(hv)
+		_ = ghost.AbstractVMs(hv)
+		for s := 0; s < hyp.MaxVMs; s++ {
+			if vm := hv.VMSnapshot(s); vm != nil {
+				_ = ghost.AbstractGuest(hv, vm.Handle)
+			}
+		}
+	}
+}
+
+// populatedSystem boots a system with host mappings, shares, and a VM.
+func populatedSystem(b *testing.B) *hyp.Hypervisor {
+	b.Helper()
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := proxy.New(hv)
+	base := arch.PhysToPFN(hv.HostMemStart())
+	for i := 0; i < 16; i++ {
+		if ok, _ := d.Access(0, arch.IPA((base + arch.PFN(i*613)).Phys()), true); !ok {
+			b.Fatal("populate failed")
+		}
+	}
+	h, _, err := d.InitVM(0, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.InitVCPU(0, h, 0); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := d.Topup(0, h, 0, 6); err != nil {
+		b.Fatal(err)
+	}
+	if err := d.VCPULoad(0, h, 0); err != nil {
+		b.Fatal(err)
+	}
+	gp, _ := d.AllocPage()
+	if err := d.MapGuest(0, gp, 16); err != nil {
+		b.Fatal(err)
+	}
+	return hv
+}
+
+// ---------------------------------------------------------------------
+// E6/E7: ghost memory impact — frames touched and live maplets after a
+// working session (paper: ~18MB dominated by page-table
+// representations).
+
+func BenchmarkGhostMemoryImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hv, err := hyp.New(hyp.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec := ghost.Attach(hv)
+		tr := randtest.New(proxy.New(hv), rec, 99, true)
+		tr.Run(500)
+		st := rec.Stats()
+		b.ReportMetric(float64(st.MapletsLive), "maplets")
+		b.ReportMetric(float64(hv.Mem.FrameCount()), "frames")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Guest program interpretation: instructions per second with and
+// without the oracle (only vcpu_run traps cross EL2; the arithmetic
+// executes "at EL1" either way).
+
+func benchGuestProgram(b *testing.B, withGhost bool) {
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if withGhost {
+		ghost.Attach(hv)
+	}
+	d := proxy.New(hv)
+	h, _, err := d.InitVM(0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.InitVCPU(0, h, 0); err != nil {
+		b.Fatal(err)
+	}
+	// A compute-heavy loop that yields when the counter hits zero.
+	prog := []hyp.Insn{
+		{Op: hyp.OpMovi, Dst: 1, Imm: 60},
+		{Op: hyp.OpMovi, Dst: 2, Imm: ^uint64(0)},
+		{Op: hyp.OpMovi, Dst: 3, Imm: 0},
+		{Op: hyp.OpAdd, Dst: 1, Src: 2},         // counter--
+		{Op: hyp.OpBne, Dst: 1, Src: 3, Imm: 3}, // loop
+		{Op: hyp.OpYield},
+		{Op: hyp.OpBne, Dst: 2, Src: 3, Imm: 0}, // restart forever
+	}
+	if !hv.LoadGuestProgram(h, 0, prog) {
+		b.Fatal("program load failed")
+	}
+	if err := d.VCPULoad(0, h, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.VCPURun(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(125, "guest-insns/op")
+}
+
+func BenchmarkGuestProgramNoGhost(b *testing.B) { benchGuestProgram(b, false) }
+func BenchmarkGuestProgramGhost(b *testing.B)   { benchGuestProgram(b, true) }
+
+// ---------------------------------------------------------------------
+// Trace record and offline replay throughput.
+
+func BenchmarkTraceReplay(b *testing.B) {
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := ghost.Attach(hv)
+	trace := rec.RecordTrace()
+	tr := randtest.New(proxy.New(hv), rec, 11, true)
+	tr.Run(500)
+	if len(trace.Events) == 0 {
+		b.Fatal("empty trace")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fails := ghost.Replay(trace); len(fails) != 0 {
+			b.Fatalf("replay failures: %v", fails)
+		}
+	}
+	b.ReportMetric(float64(len(trace.Events)), "events/op")
+}
+
+// ---------------------------------------------------------------------
+// Page-table walker microbenchmarks (substrate cost context).
+
+func BenchmarkHardwareWalk(b *testing.B) {
+	m := arch.NewMemory(arch.DefaultLayout())
+	pool := mem.NewPool("t", arch.PFN(0x90000), 64)
+	tbl, err := pgtable.New("bench", m, arch.Stage2, pgtable.PoolAllocator{Pool: pool}, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	attrs := arch.Attrs{Perms: arch.PermRWX, Mem: arch.MemNormal}
+	if err := tbl.Map(0x4000_0000, 64*arch.PageSize, 0x4000_0000, attrs, false); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ia := 0x4000_0000 + uint64(rng.Intn(64))*arch.PageSize
+		if _, f := arch.WalkRead(m, tbl.Root(), ia); f != nil {
+			b.Fatal(f)
+		}
+	}
+}
+
+func BenchmarkPgtableMapUnmap(b *testing.B) {
+	m := arch.NewMemory(arch.DefaultLayout())
+	pool := mem.NewPool("t", arch.PFN(0x90000), 4096)
+	tbl, err := pgtable.New("bench", m, arch.Stage2, pgtable.PoolAllocator{Pool: pool}, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	attrs := arch.Attrs{Perms: arch.PermRWX, Mem: arch.MemNormal}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := 0x4000_0000 + uint64(i%512)*arch.PageSize
+		if err := tbl.Map(va, arch.PageSize, arch.PhysAddr(va), attrs, false); err != nil {
+			b.Fatal(err)
+		}
+		if err := tbl.Unmap(va, arch.PageSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command ghost-test runs the handwritten test suite (paper §5): 41
+// tests, each against a freshly booted system, optionally with the
+// ghost oracle attached and optionally with an injected bug.
+//
+//	ghost-test               # suite with the oracle on
+//	ghost-test -ghost=false  # plain implementation run
+//	ghost-test -bug share-wrong-perms
+//	ghost-test -run share-basic -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ghostspec/internal/faults"
+	"ghostspec/internal/suite"
+)
+
+func main() {
+	ghostOn := flag.Bool("ghost", true, "attach the ghost specification oracle")
+	bugFlag := flag.String("bug", "", "inject a named bug (see -list-bugs)")
+	listBugs := flag.Bool("list-bugs", false, "list injectable bugs and exit")
+	filter := flag.String("run", "", "run only the named test")
+	verbose := flag.Bool("v", false, "print every test, not just failures")
+	flag.Parse()
+
+	if *listBugs {
+		for _, b := range faults.All() {
+			fmt.Println(b)
+		}
+		return
+	}
+
+	opts := suite.Options{Ghost: *ghostOn, Filter: *filter}
+	if *bugFlag != "" {
+		opts.Bugs = []faults.Bug{faults.Bug(*bugFlag)}
+	}
+
+	results := suite.Run(opts)
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "no tests matched %q\n", *filter)
+		os.Exit(2)
+	}
+
+	failed := 0
+	for _, r := range results {
+		status := "PASS"
+		if !r.Passed() {
+			status = "FAIL"
+			failed++
+		}
+		if *verbose || !r.Passed() {
+			tag := ""
+			if r.Test.Concurrent {
+				tag = " [concurrent]"
+			}
+			fmt.Printf("%s  %-36s (%v, %s%s)\n", status, r.Test.Name, r.Duration, r.Test.Kind, tag)
+			if r.Err != nil {
+				fmt.Printf("      impl: %v\n", r.Err)
+			}
+			for _, a := range r.Alarms {
+				fmt.Printf("      oracle: %v\n", a)
+			}
+		}
+	}
+
+	s := suite.Summarise(results)
+	fmt.Printf("\n%d tests (%d error-free, %d error-path, %d concurrent): %d passed, %d failed",
+		s.Total, s.OKTests, s.ErrorTests, s.Concurrent, s.Passed, s.Failed)
+	fmt.Printf("  [%v total, ghost=%v]\n", s.TotalDuration, *ghostOn)
+	if s.AlarmCount > 0 {
+		fmt.Printf("oracle alarms: %d\n", s.AlarmCount)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,127 @@
+// Command ghost-trace records a trace of oracle-checked traps to a
+// JSON file, and replays traces offline — re-running the pure
+// specification functions against the recorded ghost states, without
+// a hypervisor. Useful as a regression corpus and for debugging a
+// modified specification against a captured run.
+//
+//	ghost-trace -record trace.json -scenario suite
+//	ghost-trace -record trace.json -scenario random -steps 5000 -bug share-wrong-perms
+//	ghost-trace -replay trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ghostspec/internal/core/ghost"
+	"ghostspec/internal/faults"
+	"ghostspec/internal/hyp"
+	"ghostspec/internal/proxy"
+	"ghostspec/internal/randtest"
+	"ghostspec/internal/suite"
+)
+
+func main() {
+	record := flag.String("record", "", "record a trace to this file")
+	replay := flag.String("replay", "", "replay a trace from this file")
+	scenario := flag.String("scenario", "suite", "what to record: suite | random")
+	steps := flag.Int("steps", 5000, "random-scenario steps")
+	seed := flag.Int64("seed", 1, "random-scenario seed")
+	bugFlag := flag.String("bug", "", "inject a named bug while recording")
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		if err := doRecord(*record, *scenario, *steps, *seed, *bugFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *replay != "":
+		if err := doReplay(*replay); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doRecord(path, scenario string, steps int, seed int64, bug string) error {
+	var inj *faults.Injector
+	if bug != "" {
+		inj = faults.NewInjector(faults.Bug(bug))
+	}
+
+	var trace *ghost.Trace
+	switch scenario {
+	case "suite":
+		// One trace across all 41 tests: collect per-system traces.
+		trace = &ghost.Trace{}
+		results := suite.Run(suite.Options{
+			Ghost: true,
+			Bugs:  injBugs(bug),
+			Instrument: func(c *suite.Ctx) {
+				c.Rec.OnEvent = func(ev ghost.TraceEvent) { trace.Append(ev) }
+			},
+		})
+		s := suite.Summarise(results)
+		fmt.Printf("suite: %d/%d passed, %d alarms\n", s.Passed, s.Total, s.AlarmCount)
+	case "random":
+		hv, err := hyp.New(hyp.Config{Inj: inj})
+		if err != nil {
+			return err
+		}
+		rec := ghost.Attach(hv)
+		trace = rec.RecordTrace()
+		tr := randtest.New(proxy.New(hv), rec, seed, true)
+		tr.Run(steps)
+		fmt.Printf("random: %v, %d alarms\n", tr.Stats(), len(rec.Failures()))
+	default:
+		return fmt.Errorf("unknown scenario %q", scenario)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d events to %s\n", len(trace.Events), path)
+	return nil
+}
+
+func injBugs(bug string) []faults.Bug {
+	if bug == "" {
+		return nil
+	}
+	return []faults.Bug{faults.Bug(bug)}
+}
+
+func doReplay(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	trace, err := ghost.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	fails := ghost.Replay(trace)
+	fmt.Printf("replayed %d events offline: %d disagreements\n", len(trace.Events), len(fails))
+	for i, fl := range fails {
+		if i >= 10 {
+			fmt.Printf("… %d more\n", len(fails)-10)
+			break
+		}
+		fmt.Printf("event %d:\n%s\n", fl.Seq, fl.Detail)
+	}
+	if len(fails) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}

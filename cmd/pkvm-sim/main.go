@@ -1,0 +1,238 @@
+// Command pkvm-sim boots the simulated AVF stack — host, hypervisor,
+// and a protected VM — runs a representative workload, and reports
+// timing, coverage, and (with -ghost) the oracle's verdicts. This is
+// the "boot Android in QEMU and exercise it" loop of the paper's
+// development setup, scaled to the simulation.
+//
+//	pkvm-sim                 # boot + workload with the oracle
+//	pkvm-sim -ghost=false    # bare implementation
+//	pkvm-sim -vms 4 -rounds 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/core/ghost"
+	"ghostspec/internal/faults"
+	"ghostspec/internal/hyp"
+	"ghostspec/internal/proxy"
+)
+
+func main() {
+	ghostOn := flag.Bool("ghost", true, "attach the ghost specification oracle")
+	nVMs := flag.Int("vms", 2, "number of protected VMs to run")
+	rounds := flag.Int("rounds", 20, "guest work rounds per VM")
+	interp := flag.Bool("interp", true, "run odd-numbered VMs as interpreted guest programs")
+	bugFlag := flag.String("bug", "", "inject a named bug")
+	flag.Parse()
+
+	var inj *faults.Injector
+	if *bugFlag != "" {
+		inj = faults.NewInjector(faults.Bug(*bugFlag))
+	}
+
+	bootStart := time.Now()
+	hv, err := hyp.New(hyp.Config{Inj: inj})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "boot:", err)
+		os.Exit(1)
+	}
+	var rec *ghost.Recorder
+	if *ghostOn {
+		rec = ghost.Attach(hv)
+		rec.OnFailure = func(f ghost.Failure) { fmt.Printf("ALARM %v\n", f) }
+	}
+	d := proxy.New(hv)
+	bootTime := time.Since(bootStart)
+	fmt.Printf("booted: %d CPUs, %dMB RAM, ghost=%v (%v)\n",
+		hv.Globals().NrCPUs, hv.Globals().RAMSize>>20, *ghostOn, bootTime.Round(time.Microsecond))
+
+	workStart := time.Now()
+	for v := 0; v < *nVMs; v++ {
+		cpu := v % hv.Globals().NrCPUs
+		var err error
+		if *interp && v%2 == 1 {
+			err = runProgramVM(d, cpu, *rounds)
+		} else {
+			err = runVM(d, cpu, *rounds)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vm %d: %v\n", v, err)
+			os.Exit(1)
+		}
+	}
+	workTime := time.Since(workStart)
+
+	fmt.Printf("workload: %d VMs x %d rounds in %v\n", *nVMs, *rounds, workTime.Round(time.Microsecond))
+	if rec != nil {
+		st := rec.Stats()
+		fmt.Printf("oracle: %d traps, %d checks, %d passed, %d alarms, %d live maplets\n",
+			st.Traps, st.Checks, st.Passed, st.Failures, st.MapletsLive)
+		if st.Failures > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+// runProgramVM boots one protected VM whose guest is an interpreted
+// program: it writes a counter into its memory in a loop, faulting the
+// page in through the host on first touch, shares it, and halts. The
+// host schedules it, services its faults, and reclaims everything.
+func runProgramVM(d *proxy.Driver, cpu, rounds int) error {
+	h, donated, err := d.InitVM(cpu, 1)
+	if err != nil {
+		return fmt.Errorf("init_vm: %w", err)
+	}
+	if err := d.InitVCPU(cpu, h, 0); err != nil {
+		return err
+	}
+	mcPages, err := d.Topup(cpu, h, 0, 8)
+	if err != nil {
+		return err
+	}
+	page := uint64(16 << arch.PageShift)
+	prog := []hyp.Insn{
+		{Op: hyp.OpMovi, Dst: 1, Imm: uint64(rounds)},
+		{Op: hyp.OpMovi, Dst: 3, Imm: page},
+		{Op: hyp.OpMovi, Dst: 5, Imm: 0},
+		{Op: hyp.OpMovi, Dst: 6, Imm: ^uint64(0)},
+		{Op: hyp.OpStore, Dst: 1, Src: 3}, // 4: faults once, then stores the countdown
+		{Op: hyp.OpAdd, Dst: 1, Src: 6},   // 5: counter--
+		{Op: hyp.OpBne, Dst: 1, Src: 5, Imm: 4},
+		{Op: hyp.OpShareHost, Src: 3},
+		{Op: hyp.OpHalt},
+	}
+	if !d.HV.LoadGuestProgram(h, 0, prog) {
+		return fmt.Errorf("program load failed")
+	}
+	if err := d.VCPULoad(cpu, h, 0); err != nil {
+		return err
+	}
+
+	var guestPages []arch.PFN
+	for i := 0; ; i++ {
+		if i > rounds+16 {
+			return fmt.Errorf("program guest never finished")
+		}
+		ex, err := d.VCPURun(cpu)
+		if err != nil {
+			return err
+		}
+		if ex.Code == hyp.RunExitMemAbort {
+			pfn, err := d.AllocPage()
+			if err != nil {
+				return err
+			}
+			if err := d.MapGuest(cpu, pfn, uint64(ex.IPA)>>arch.PageShift); err != nil {
+				return err
+			}
+			guestPages = append(guestPages, pfn)
+			continue
+		}
+		if e := hyp.ErrnoFromReg(d.HV.CPUs[cpu].GuestRegs[0]); e == hyp.OK && len(guestPages) > 0 {
+			break // ring shared: the guest is done
+		}
+	}
+	if _, err := d.Read64(cpu, arch.IPA(guestPages[0].Phys())); err != nil {
+		return fmt.Errorf("host read of shared ring: %w", err)
+	}
+
+	if err := d.VCPUPut(cpu); err != nil {
+		return err
+	}
+	if err := d.TeardownVM(cpu, h); err != nil {
+		return err
+	}
+	for _, set := range [][]arch.PFN{donated, guestPages, mcPages} {
+		for _, pfn := range set {
+			if err := d.ReclaimPage(cpu, pfn); err != nil {
+				return fmt.Errorf("reclaim %#x: %w", uint64(pfn), err)
+			}
+			d.FreePage(pfn)
+		}
+	}
+	return nil
+}
+
+// runVM boots one protected VM, gives it memory, runs guest rounds of
+// write/read/share traffic, and tears everything down.
+func runVM(d *proxy.Driver, cpu, rounds int) error {
+	h, donated, err := d.InitVM(cpu, 1)
+	if err != nil {
+		return fmt.Errorf("init_vm: %w", err)
+	}
+	if err := d.InitVCPU(cpu, h, 0); err != nil {
+		return fmt.Errorf("init_vcpu: %w", err)
+	}
+	mcPages, err := d.Topup(cpu, h, 0, 8)
+	if err != nil {
+		return fmt.Errorf("topup: %w", err)
+	}
+	if err := d.VCPULoad(cpu, h, 0); err != nil {
+		return fmt.Errorf("load: %w", err)
+	}
+
+	// Give the guest a few pages.
+	var guestPages []arch.PFN
+	for gfn := uint64(16); gfn < 20; gfn++ {
+		pfn, err := d.AllocPage()
+		if err != nil {
+			return err
+		}
+		if err := d.MapGuest(cpu, pfn, gfn); err != nil {
+			return fmt.Errorf("map_guest: %w", err)
+		}
+		guestPages = append(guestPages, pfn)
+	}
+
+	// Guest work: writes, reads, a virtio-style shared ring.
+	ring := arch.IPA(16 << arch.PageShift)
+	d.QueueGuestOp(h, 0, hyp.GuestOp{Kind: hyp.GuestShareHost, IPA: ring})
+	if _, err := d.VCPURun(cpu); err != nil {
+		return err
+	}
+	for r := 0; r < rounds; r++ {
+		ipa := arch.IPA((17 + uint64(r%3)) << arch.PageShift)
+		d.QueueGuestOp(h, 0, hyp.GuestOp{Kind: hyp.GuestAccess, IPA: ipa, Write: true, Value: uint64(r)})
+		if _, err := d.VCPURun(cpu); err != nil {
+			return err
+		}
+		// Host reads the shared ring (borrowed access).
+		if _, err := d.Read64(cpu, arch.IPA(guestPages[0].Phys())); err != nil {
+			return err
+		}
+	}
+	d.QueueGuestOp(h, 0, hyp.GuestOp{Kind: hyp.GuestUnshareHost, IPA: ring})
+	if _, err := d.VCPURun(cpu); err != nil {
+		return err
+	}
+
+	// Shut down and return every page to the host.
+	if err := d.VCPUPut(cpu); err != nil {
+		return fmt.Errorf("put: %w", err)
+	}
+	if err := d.TeardownVM(cpu, h); err != nil {
+		return fmt.Errorf("teardown: %w", err)
+	}
+	for _, set := range [][]arch.PFN{donated, guestPages} {
+		for _, pfn := range set {
+			if err := d.ReclaimPage(cpu, pfn); err != nil {
+				return fmt.Errorf("reclaim %#x: %w", uint64(pfn), err)
+			}
+			d.FreePage(pfn)
+		}
+	}
+	// Memcache pages: some were consumed as guest table pages (now in
+	// the reclaim set), some still sat in the reserve at teardown.
+	for _, pfn := range mcPages {
+		if err := d.ReclaimPage(cpu, pfn); err != nil {
+			return fmt.Errorf("reclaim memcache %#x: %w", uint64(pfn), err)
+		}
+		d.FreePage(pfn)
+	}
+	return nil
+}

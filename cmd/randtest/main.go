@@ -1,0 +1,96 @@
+// Command randtest runs a model-guided random hypercall campaign
+// (paper §5): arbitrary API calls steered by an abstract model of the
+// system so the host survives while the hypervisor gets hammered, with
+// the ghost oracle checking every trap.
+//
+//	randtest -steps 100000 -seed 3
+//	randtest -guided=false          # the unguided ablation baseline
+//	randtest -bug memcache-size     # campaign against a buggy build
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"ghostspec/internal/core/ghost"
+	"ghostspec/internal/coverage"
+	"ghostspec/internal/faults"
+	"ghostspec/internal/hyp"
+	"ghostspec/internal/proxy"
+	"ghostspec/internal/randtest"
+)
+
+func main() {
+	steps := flag.Int("steps", 20000, "generator steps")
+	seed := flag.Int64("seed", 1, "generation seed")
+	guided := flag.Bool("guided", true, "model-guided generation (false: uniform)")
+	ghostOn := flag.Bool("ghost", true, "attach the ghost oracle")
+	bugFlag := flag.String("bug", "", "inject a named bug")
+	showCov := flag.Bool("coverage", true, "print the coverage report")
+	maxAlarms := flag.Int("max-alarms", 10, "stop printing alarms after this many")
+	flag.Parse()
+
+	var inj *faults.Injector
+	if *bugFlag != "" {
+		inj = faults.NewInjector(faults.Bug(*bugFlag))
+	}
+	hv, err := hyp.New(hyp.Config{Inj: inj})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "boot:", err)
+		os.Exit(1)
+	}
+
+	var rec *ghost.Recorder
+	var inner hyp.Instrumentation
+	if *ghostOn {
+		rec = ghost.Attach(hv)
+		inner = rec
+		printed := 0
+		rec.OnFailure = func(f ghost.Failure) {
+			if printed < *maxAlarms {
+				fmt.Printf("ALARM %v\n", f)
+				printed++
+			} else if printed == *maxAlarms {
+				fmt.Println("… suppressing further alarms")
+				printed++
+			}
+		}
+	}
+	cov := coverage.Wrap(hv, inner)
+	hv.SetInstrumentation(cov)
+
+	tr := randtest.New(proxy.New(hv), rec, *seed, *guided)
+	start := time.Now()
+	tr.Run(*steps)
+	elapsed := time.Since(start)
+
+	s := tr.Stats()
+	fmt.Printf("\ncampaign: %v\n", s)
+	perSec := float64(s.Calls) / elapsed.Seconds()
+	fmt.Printf("throughput: %.0f hypercalls/s (%.0f/hour) over %v\n",
+		perSec, perSec*3600, elapsed.Round(time.Millisecond))
+
+	hcs := make([]hyp.HC, 0, len(s.ByHC))
+	for hc := range s.ByHC {
+		hcs = append(hcs, hc)
+	}
+	sort.Slice(hcs, func(i, j int) bool { return hcs[i] < hcs[j] })
+	for _, hc := range hcs {
+		fmt.Printf("  %-22v %d\n", hc, s.ByHC[hc])
+	}
+
+	if *showCov {
+		fmt.Println()
+		fmt.Print(cov.Snapshot())
+	}
+	if rec != nil {
+		st := rec.Stats()
+		fmt.Printf("\noracle: %d checks, %d passed, %d alarms\n", st.Checks, st.Passed, st.Failures)
+		if st.Failures > 0 {
+			os.Exit(1)
+		}
+	}
+}

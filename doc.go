@@ -1,0 +1,14 @@
+// Package ghostspec is a reproduction of "Ghost in the Android Shell:
+// Pragmatic Test-oracle Specification of a Production Hypervisor"
+// (SOSP 2025): an executable, runtime-checkable functional-correctness
+// specification for a pKVM-style hypervisor, together with the
+// simulated Arm-A substrate it runs on, the hypervisor itself, test
+// infrastructure (hyp-proxy driver, coverage, handwritten suite,
+// model-guided random testing), and fault injection re-creating the
+// paper's bugs.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmarks in bench_test.go regenerate the paper's
+// performance numbers (run `go test -bench=. -benchmem .`).
+package ghostspec

@@ -1,0 +1,121 @@
+// guestvm: a protected VM running an actual (interpreted) guest
+// program rather than a scripted event queue — it computes Fibonacci
+// numbers, writes them into its own memory, faults that memory in
+// through the host on first touch, shares the page back as a result
+// ring, and halts. The ghost oracle checks every trap along the way;
+// everything the guest does privately at EL1 is, correctly, invisible
+// to it.
+//
+//	go run ./examples/guestvm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/core/ghost"
+	"ghostspec/internal/hyp"
+	"ghostspec/internal/proxy"
+)
+
+func main() {
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := ghost.Attach(hv)
+	rec.OnFailure = func(f ghost.Failure) { fmt.Println("ALARM:", f) }
+	d := proxy.New(hv)
+
+	// Boot the VM.
+	h, _, err := d.InitVM(0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.InitVCPU(0, h, 0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := d.Topup(0, h, 0, 6); err != nil {
+		log.Fatal(err)
+	}
+
+	// The guest program: fib(10) into the ring at gfn 16, then share
+	// the ring with the host and halt.
+	//
+	//   r1, r2 = 0, 1        (fib pair)
+	//   r4 = 10; r5 = 0; r6 = 1   (loop counter, zero, one)
+	//   loop: r3 = r1; r1 = r1+r2; r2 = r3  — via adds and moves
+	//   store r1 -> [ring]; share ring; halt
+	ring := uint64(16 << arch.PageShift)
+	prog := []hyp.Insn{
+		{Op: hyp.OpMovi, Dst: 1, Imm: 0},          // 0: fib a
+		{Op: hyp.OpMovi, Dst: 2, Imm: 1},          // 1: fib b
+		{Op: hyp.OpMovi, Dst: 4, Imm: 10},         // 2: counter
+		{Op: hyp.OpMovi, Dst: 5, Imm: 0},          // 3: constant 0
+		{Op: hyp.OpMovi, Dst: 6, Imm: ^uint64(0)}, // 4: constant -1
+		// loop body (pc 5..9): a,b = b,a+b ; counter--
+		{Op: hyp.OpMovi, Dst: 3, Imm: 0},        // 5: r3 = 0
+		{Op: hyp.OpAdd, Dst: 3, Src: 1},         // 6: r3 = a
+		{Op: hyp.OpAdd, Dst: 1, Src: 2},         // 7: a = a+b
+		{Op: hyp.OpMovi, Dst: 2, Imm: 0},        // 8: b = 0
+		{Op: hyp.OpAdd, Dst: 2, Src: 3},         // 9: b = old a
+		{Op: hyp.OpAdd, Dst: 4, Src: 6},         // 10: counter--
+		{Op: hyp.OpBne, Dst: 4, Src: 5, Imm: 5}, // 11: loop while counter != 0
+		{Op: hyp.OpMovi, Dst: 7, Imm: ring},     // 12
+		{Op: hyp.OpStore, Dst: 1, Src: 7},       // 13: ring[0] = fib (faults once)
+		{Op: hyp.OpShareHost, Src: 7},           // 14: share the ring
+		{Op: hyp.OpHalt},                        // 15
+	}
+	if !hv.LoadGuestProgram(h, 0, prog) {
+		log.Fatal("program load failed")
+	}
+	if err := d.VCPULoad(0, h, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// Host scheduler loop: run the guest, service its faults.
+	var ringPFN arch.PFN
+	for round := 0; ; round++ {
+		if round > 64 {
+			log.Fatal("guest never finished")
+		}
+		exit, err := d.VCPURun(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if exit.Code == hyp.RunExitMemAbort {
+			pfn, err := d.AllocPage()
+			if err != nil {
+				log.Fatal(err)
+			}
+			gfn := uint64(exit.IPA) >> arch.PageShift
+			fmt.Printf("guest faulted at gfn %d -> host maps frame %#x\n", gfn, uint64(pfn))
+			if err := d.MapGuest(0, pfn, gfn); err != nil {
+				log.Fatal(err)
+			}
+			if gfn == 16 {
+				ringPFN = pfn
+			}
+			continue
+		}
+		// A yield: did the guest share the ring yet?
+		if e := hyp.ErrnoFromReg(hv.CPUs[0].GuestRegs[0]); e == hyp.OK && ringPFN != 0 {
+			break
+		}
+	}
+
+	// The host reads the result through its borrowed mapping.
+	val, err := d.Read64(1, arch.IPA(ringPFN.Phys()))
+	if err != nil {
+		log.Fatal("host cannot read the shared ring: ", err)
+	}
+	fmt.Printf("guest computed fib(10) = %d (expected 55)\n", val)
+	if val != 55 {
+		log.Fatal("wrong answer")
+	}
+
+	st := rec.Stats()
+	fmt.Printf("oracle: %d traps, %d checks, %d passed, %d alarms\n",
+		st.Traps, st.Checks, st.Passed, st.Failures)
+}

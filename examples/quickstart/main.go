@@ -1,0 +1,61 @@
+// Quickstart: boot the simulated pKVM stack, attach the ghost
+// specification oracle, perform one host_share_hyp, and print the
+// paper-style abstract-state diff the oracle computed for it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ghostspec/internal/core/ghost"
+	"ghostspec/internal/hyp"
+	"ghostspec/internal/proxy"
+)
+
+func main() {
+	// Boot the hypervisor: Arm-A-style memory, host stage 2 with
+	// mapping-on-demand, the hypervisor's own stage 1.
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Attach the executable specification. From here on, every trap
+	// is recorded, specified, and checked.
+	rec := ghost.Attach(hv)
+	d := proxy.New(hv)
+
+	// Snapshot the abstract state before the call (examples may read
+	// it freely; inside the oracle this happens at the lock points).
+	pre := ghost.NewState()
+	pre.Host, _ = ghost.AbstractHost(hv)
+	pre.Pkvm = ghost.AbstractHyp(hv)
+	l := ghost.AbstractLocal(hv, 0)
+	pre.Locals[0] = &l
+
+	// The host shares one of its pages with the hypervisor.
+	pfn, err := d.AllocPage()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.ShareHyp(0, pfn); err != nil {
+		log.Fatalf("host_share_hyp: %v", err)
+	}
+
+	post := ghost.NewState()
+	post.Host, _ = ghost.AbstractHost(hv)
+	post.Pkvm = ghost.AbstractHyp(hv)
+	l2 := ghost.AbstractLocal(hv, 0)
+	post.Locals[0] = &l2
+
+	fmt.Println("recorded post ghost state diff from recorded pre:")
+	fmt.Print(ghost.FormatStateDiff(pre, post))
+
+	st := rec.Stats()
+	fmt.Printf("\noracle: %d checks, %d passed, %d alarms\n", st.Checks, st.Passed, st.Failures)
+	for _, f := range rec.Failures() {
+		fmt.Println("  ", f)
+	}
+}

@@ -1,0 +1,98 @@
+// transactional: the extension beyond the paper. The paper notes that
+// a few pKVM hypercalls execute in phases — releasing and retaking
+// locks mid-call — and that its monolithic pre/post checking does not
+// handle them: "Handling that would need a more explicitly
+// transactional style of instrumentation, which, although not done,
+// seems perfectly feasible." This example demonstrates that style,
+// implemented here: the host_share_hyp_range hypercall takes one lock
+// phase per page, the recorder captures every lock session, and the
+// oracle checks each phase transition independently — so another CPU's
+// legitimate traffic *between* phases raises no false alarm, while a
+// genuine phase bug is still caught.
+//
+//	go run ./examples/transactional
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/bugdemo"
+	"ghostspec/internal/core/ghost"
+	"ghostspec/internal/faults"
+	"ghostspec/internal/hyp"
+	"ghostspec/internal/proxy"
+)
+
+func main() {
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := ghost.Attach(hv)
+	d := proxy.New(hv)
+
+	fmt.Println("1. phased share of 8 pages: 8 host + 8 hyp lock sessions, each checked")
+	base := arch.PhysToPFN(hv.HostMemStart()) + 100
+	if err := d.ShareHypRange(0, base, 8); err != nil {
+		log.Fatal(err)
+	}
+	st := rec.Stats()
+	fmt.Printf("   oracle: %d checks, %d passed, %d alarms\n", st.Checks, st.Passed, st.Failures)
+
+	fmt.Println("\n2. interference between phases: CPU 1 churns shares while CPU 0 runs long ranges")
+	churn := arch.PhysToPFN(hv.HostMemStart()) + 500
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		rangeBase := arch.PhysToPFN(hv.HostMemStart()) + 200
+		for i := 0; i < 5; i++ {
+			if err := d.ShareHypRange(0, rangeBase, hyp.MaxShareRange); err != nil {
+				log.Fatal("range: ", err)
+			}
+			for p := uint64(0); p < hyp.MaxShareRange; p++ {
+				if err := d.UnshareHyp(0, rangeBase+arch.PFN(p)); err != nil {
+					log.Fatal("unshare: ", err)
+				}
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			if err := d.ShareHyp(1, churn); err != nil {
+				log.Fatal("churn: ", err)
+			}
+			if err := d.UnshareHyp(1, churn); err != nil {
+				log.Fatal("churn: ", err)
+			}
+		}
+	}()
+	wg.Wait()
+	st = rec.Stats()
+	fmt.Printf("   oracle after interference: %d checks, %d passed, %d alarms\n",
+		st.Checks, st.Passed, st.Failures)
+	if st.Failures > 0 {
+		log.Fatal("false alarm under cross-phase interference")
+	}
+	fmt.Println("   -> a monolithic whole-call comparison would have flagged CPU 1's changes;")
+	fmt.Println("      the per-session check is interference-tolerant by construction")
+
+	fmt.Println("\n3. and a genuine phase bug is still caught")
+	if !detectBadStop() {
+		log.Fatal("bug not detected")
+	}
+	fmt.Println("   share-range-bad-stop (reports success despite a failed phase): DETECTED")
+}
+
+func detectBadStop() bool {
+	for _, r := range bugdemo.DetectAll() {
+		if r.Demo.Bug == faults.BugShareRangeBadStop {
+			return r.Detected
+		}
+	}
+	return false
+}

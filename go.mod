@@ -1,0 +1,3 @@
+module ghostspec
+
+go 1.22

@@ -1,0 +1,105 @@
+// Package arch models the slice of the Arm-A architecture that pKVM
+// manages: 4-level VMSAv8-64 address translation with 4KB granule,
+// stage 1 and stage 2 translation regimes, per-CPU register files, and
+// the exception plumbing that delivers hypercalls and memory aborts to
+// the hypervisor.
+//
+// The model is functional, not cycle-accurate: page tables live in a
+// simulated physical memory with the real descriptor bit layout, and
+// Walk implements the architecture's translation-table walk over them.
+// This is the substrate the ghost specification's abstraction functions
+// interpret, exactly as the paper's abstraction functions interpret the
+// in-memory tables the Arm MMU walks.
+package arch
+
+import "fmt"
+
+// Translation geometry: 4KB granule, 48-bit input addresses, 4 levels
+// (0..3), 512 descriptors of 8 bytes per table page.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift // 4096
+	PageMask  = PageSize - 1
+
+	// PTEsPerTable is the number of descriptors in one table page.
+	PTEsPerTable = 512
+
+	// IABits is the input-address width of all translation regimes in
+	// the Android configuration modelled here.
+	IABits = 48
+
+	// StartLevel is the first level of the 4-level walk.
+	StartLevel = 0
+	// LastLevel is the leaf level of the walk.
+	LastLevel = 3
+
+	// LevelShift0..3: the bit position of each level's index field.
+	levelShift3 = PageShift
+	levelShift2 = PageShift + 9
+	levelShift1 = PageShift + 18
+	levelShift0 = PageShift + 27
+)
+
+// PhysAddr is a physical address: the output of the final translation
+// stage, used to index Memory.
+type PhysAddr uint64
+
+// VirtAddr is a virtual address: the input of a stage 1 regime.
+type VirtAddr uint64
+
+// IPA is an intermediate physical address: the output of stage 1 and
+// the input of stage 2.
+type IPA uint64
+
+// PFN is a page frame number: a physical address shifted right by
+// PageShift. Hypercall arguments pass page frame numbers.
+type PFN uint64
+
+// Phys returns the physical address of the first byte of the frame.
+func (p PFN) Phys() PhysAddr { return PhysAddr(p) << PageShift }
+
+// PhysToPFN returns the page frame number containing pa.
+func PhysToPFN(pa PhysAddr) PFN { return PFN(pa >> PageShift) }
+
+// PageAligned reports whether a is 4KB-aligned.
+func PageAligned(a uint64) bool { return a&PageMask == 0 }
+
+// AlignDown rounds a down to a 4KB boundary.
+func AlignDown(a uint64) uint64 { return a &^ uint64(PageMask) }
+
+// AlignUp rounds a up to a 4KB boundary.
+func AlignUp(a uint64) uint64 { return (a + PageMask) &^ uint64(PageMask) }
+
+// LevelShift returns the bit position of the index field for a walk
+// level, i.e. a leaf at that level maps 1<<LevelShift(level) bytes.
+func LevelShift(level int) uint {
+	switch level {
+	case 0:
+		return levelShift0
+	case 1:
+		return levelShift1
+	case 2:
+		return levelShift2
+	case 3:
+		return levelShift3
+	}
+	panic(fmt.Sprintf("arch: invalid level %d", level))
+}
+
+// LevelSize returns the number of bytes mapped by one leaf descriptor
+// at the given level (4KB at level 3, 2MB at level 2, 1GB at level 1).
+func LevelSize(level int) uint64 { return 1 << LevelShift(level) }
+
+// LevelPages returns the number of 4KB pages mapped by one leaf
+// descriptor at the given level.
+func LevelPages(level int) uint64 { return LevelSize(level) >> PageShift }
+
+// IndexAt extracts the table index used at the given level for input
+// address ia.
+func IndexAt(ia uint64, level int) int {
+	return int((ia >> LevelShift(level)) & (PTEsPerTable - 1))
+}
+
+// CanonicalIA reports whether ia fits in the 48-bit input-address
+// space.
+func CanonicalIA(ia uint64) bool { return ia < 1<<IABits }

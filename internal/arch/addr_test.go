@@ -1,0 +1,111 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAlignHelpers(t *testing.T) {
+	cases := []struct{ in, down, up uint64 }{
+		{0, 0, 0},
+		{1, 0, PageSize},
+		{PageSize - 1, 0, PageSize},
+		{PageSize, PageSize, PageSize},
+		{PageSize + 1, PageSize, 2 * PageSize},
+	}
+	for _, c := range cases {
+		if got := AlignDown(c.in); got != c.down {
+			t.Errorf("AlignDown(%#x) = %#x, want %#x", c.in, got, c.down)
+		}
+		if got := AlignUp(c.in); got != c.up {
+			t.Errorf("AlignUp(%#x) = %#x, want %#x", c.in, got, c.up)
+		}
+	}
+	if !PageAligned(0) || !PageAligned(PageSize) || PageAligned(1) {
+		t.Error("PageAligned broken")
+	}
+}
+
+// Property: AlignDown(a) <= a < AlignDown(a)+PageSize, and both
+// results are aligned.
+func TestAlignProperties(t *testing.T) {
+	f := func(aRaw uint64) bool {
+		a := aRaw % (1 << 52) // avoid AlignUp overflow territory
+		d, u := AlignDown(a), AlignUp(a)
+		return d <= a && a-d < PageSize && PageAligned(d) && PageAligned(u) &&
+			u >= a && u-a < PageSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPFNConversions(t *testing.T) {
+	f := func(raw uint32) bool {
+		pfn := PFN(raw)
+		return PhysToPFN(pfn.Phys()) == pfn && PageAligned(uint64(pfn.Phys()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Mid-page addresses map to the containing frame.
+	if PhysToPFN(PhysAddr(PageSize+123)) != 1 {
+		t.Error("PhysToPFN mid-page wrong")
+	}
+}
+
+func TestCanonicalIA(t *testing.T) {
+	if !CanonicalIA(0) || !CanonicalIA(1<<IABits-1) {
+		t.Error("canonical addresses rejected")
+	}
+	if CanonicalIA(1 << IABits) {
+		t.Error("non-canonical accepted")
+	}
+}
+
+func TestLevelShiftPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("LevelShift(4) did not panic")
+		}
+	}()
+	LevelShift(4)
+}
+
+func TestELAndExitStrings(t *testing.T) {
+	if EL2.String() != "EL2" {
+		t.Error("EL string")
+	}
+	for _, r := range []ExitReason{ExitHVC, ExitMemAbort, ExitIRQ} {
+		if r.String() == "?" {
+			t.Errorf("exit reason %d unnamed", r)
+		}
+	}
+	for _, k := range []FaultKind{FaultTranslation, FaultPermission, FaultAddressSize} {
+		if k.String() == "?" {
+			t.Errorf("fault kind %d unnamed", k)
+		}
+	}
+	f := Fault{Kind: FaultTranslation, Level: 3, Addr: 0x1000}
+	if f.Error() == "" {
+		t.Error("fault error string empty")
+	}
+}
+
+func TestNewCPUs(t *testing.T) {
+	cpus := NewCPUs(3)
+	if len(cpus) != 3 {
+		t.Fatal("wrong count")
+	}
+	for i, c := range cpus {
+		if c.ID != i {
+			t.Errorf("cpu %d has ID %d", i, c.ID)
+		}
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if Stage1.String() != "stage1" || Stage2.String() != "stage2" {
+		t.Error("stage strings")
+	}
+}

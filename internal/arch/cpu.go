@@ -1,0 +1,96 @@
+package arch
+
+import "fmt"
+
+// EL is an Arm exception level.
+type EL uint8
+
+// Exception levels. Secure-world levels are out of scope, as in the
+// paper.
+const (
+	EL0 EL = iota // applications
+	EL1           // OS kernels (Android host, guests)
+	EL2           // the hypervisor
+)
+
+func (e EL) String() string { return fmt.Sprintf("EL%d", uint8(e)) }
+
+// NumGPRs is the number of general-purpose registers modelled per
+// context. The pKVM hypercall ABI uses x0..x7; we carry a few more for
+// realism in context-switch tests.
+const NumGPRs = 16
+
+// Regs is a saved general-purpose register context.
+type Regs [NumGPRs]uint64
+
+// ExitReason says why execution returned from a lower exception level
+// to EL2.
+type ExitReason uint8
+
+const (
+	// ExitHVC is an explicit hypervisor call (hvc instruction).
+	ExitHVC ExitReason = iota
+	// ExitMemAbort is a stage 2 translation fault routed to EL2.
+	ExitMemAbort
+	// ExitIRQ is an interrupt (used to yield back to the host).
+	ExitIRQ
+)
+
+func (r ExitReason) String() string {
+	switch r {
+	case ExitHVC:
+		return "hvc"
+	case ExitMemAbort:
+		return "mem-abort"
+	case ExitIRQ:
+		return "irq"
+	}
+	return "?"
+}
+
+// FaultInfo carries the syndrome information of a stage 2 abort: the
+// faulting intermediate-physical address and whether the access was a
+// write or instruction fetch.
+type FaultInfo struct {
+	Addr  IPA
+	Write bool
+	Exec  bool
+}
+
+// CPU is one hardware thread. Each CPU carries the saved EL1 context
+// of whatever was running below EL2 (host or guest registers at trap
+// time), the EL2 system registers the hypervisor manages, and a small
+// amount of hypervisor-private per-CPU state referenced by index.
+type CPU struct {
+	// ID is the physical CPU number (0-based, dense).
+	ID int
+
+	// HostRegs is the saved host EL1 register context: hypercall
+	// arguments arrive here and return values are written back here,
+	// as in the paper's handle_trap.
+	HostRegs Regs
+
+	// GuestRegs is the saved register context of the currently loaded
+	// vCPU, when one is loaded.
+	GuestRegs Regs
+
+	// VTTBR is the stage 2 translation root currently installed for
+	// EL1/EL0 execution (the host's or a guest's).
+	VTTBR PhysAddr
+
+	// TTBREL2 is the stage 1 root for the hypervisor's own execution.
+	TTBREL2 PhysAddr
+
+	// Fault is the syndrome of the most recent stage 2 abort taken on
+	// this CPU.
+	Fault FaultInfo
+}
+
+// NewCPUs allocates n hardware threads.
+func NewCPUs(n int) []*CPU {
+	cpus := make([]*CPU, n)
+	for i := range cpus {
+		cpus[i] = &CPU{ID: i}
+	}
+	return cpus
+}

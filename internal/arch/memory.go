@@ -1,0 +1,133 @@
+package arch
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Memory is the simulated physical address space. It is sparse: frames
+// are allocated on first touch, so a system can declare a large
+// physical map without committing host RAM for it.
+//
+// Accesses are 64-bit-word granular, which is all the hypervisor and
+// page-table machinery need. Word accesses are single-copy atomic,
+// matching the architecture: hardware translation-table walks at EL0/1
+// legitimately race with the hypervisor's descriptor updates, and each
+// observes either the old or the new descriptor, never a torn one.
+type Memory struct {
+	mu     sync.Mutex // guards frames map structure only
+	frames map[PFN]*Frame
+
+	// Layout of the physical map.
+	ramStart PhysAddr
+	ramSize  uint64
+	mmioEnd  PhysAddr // MMIO occupies [0, mmioEnd) below RAM
+}
+
+// Frame is one 4KB physical frame, stored as 512 64-bit words.
+type Frame [PTEsPerTable]uint64
+
+// MemLayout describes the simulated physical map: a contiguous RAM
+// region, optionally preceded by an MMIO hole at the bottom of the
+// address space.
+type MemLayout struct {
+	RAMStart PhysAddr // base of DRAM, page-aligned
+	RAMSize  uint64   // bytes of DRAM, page multiple
+	MMIOSize uint64   // bytes of MMIO space at physical 0
+}
+
+// DefaultLayout is a small Android-ish physical map: 256MB of DRAM at
+// 1GB with 16MB of MMIO at the bottom of the address space.
+func DefaultLayout() MemLayout {
+	return MemLayout{RAMStart: 1 << 30, RAMSize: 256 << 20, MMIOSize: 16 << 20}
+}
+
+// NewMemory creates a sparse physical memory with the given layout.
+func NewMemory(l MemLayout) *Memory {
+	if !PageAligned(uint64(l.RAMStart)) || !PageAligned(l.RAMSize) || !PageAligned(l.MMIOSize) {
+		panic("arch: memory layout must be page aligned")
+	}
+	return &Memory{
+		frames:   make(map[PFN]*Frame),
+		ramStart: l.RAMStart,
+		ramSize:  l.RAMSize,
+		mmioEnd:  PhysAddr(l.MMIOSize),
+	}
+}
+
+// RAMStart returns the base physical address of DRAM.
+func (m *Memory) RAMStart() PhysAddr { return m.ramStart }
+
+// RAMSize returns the DRAM size in bytes.
+func (m *Memory) RAMSize() uint64 { return m.ramSize }
+
+// RAMPages returns the number of 4KB DRAM frames.
+func (m *Memory) RAMPages() uint64 { return m.ramSize >> PageShift }
+
+// InRAM reports whether pa lies within the DRAM region. This is the
+// "allowed memory" predicate the specification uses to pick Normal vs
+// Device attributes.
+func (m *Memory) InRAM(pa PhysAddr) bool {
+	return pa >= m.ramStart && uint64(pa-m.ramStart) < m.ramSize
+}
+
+// InMMIO reports whether pa lies in the MMIO hole.
+func (m *Memory) InMMIO(pa PhysAddr) bool { return pa < m.mmioEnd }
+
+// frame returns the backing frame for pa, allocating it on first use.
+func (m *Memory) frame(pa PhysAddr) *Frame {
+	pfn := PhysToPFN(pa)
+	m.mu.Lock()
+	f := m.frames[pfn]
+	if f == nil {
+		f = new(Frame)
+		m.frames[pfn] = f
+	}
+	m.mu.Unlock()
+	return f
+}
+
+// Read64 loads the 64-bit word at pa, which must be 8-byte aligned.
+func (m *Memory) Read64(pa PhysAddr) uint64 {
+	if pa&7 != 0 {
+		panic(fmt.Sprintf("arch: unaligned Read64 at %#x", uint64(pa)))
+	}
+	return atomic.LoadUint64(&m.frame(pa)[(pa&PageMask)>>3])
+}
+
+// Write64 stores the 64-bit word v at pa, which must be 8-byte aligned.
+func (m *Memory) Write64(pa PhysAddr, v uint64) {
+	if pa&7 != 0 {
+		panic(fmt.Sprintf("arch: unaligned Write64 at %#x", uint64(pa)))
+	}
+	atomic.StoreUint64(&m.frame(pa)[(pa&PageMask)>>3], v)
+}
+
+// ReadPTE loads the descriptor at index idx of the table page at
+// table.
+func (m *Memory) ReadPTE(table PhysAddr, idx int) PTE {
+	return PTE(m.Read64(table + PhysAddr(idx*8)))
+}
+
+// WritePTE stores a descriptor at index idx of the table page at
+// table.
+func (m *Memory) WritePTE(table PhysAddr, idx int, p PTE) {
+	m.Write64(table+PhysAddr(idx*8), uint64(p))
+}
+
+// ZeroPage clears the frame containing pa.
+func (m *Memory) ZeroPage(pa PhysAddr) {
+	f := m.frame(pa)
+	for i := range f {
+		atomic.StoreUint64(&f[i], 0)
+	}
+}
+
+// FrameCount returns the number of frames touched so far; used by the
+// memory-impact accounting in the benchmarks.
+func (m *Memory) FrameCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.frames)
+}

@@ -1,0 +1,302 @@
+package arch
+
+import "fmt"
+
+// PTE is a VMSAv8-64 translation-table descriptor. The layout follows
+// the architecture's 4KB-granule format, restricted to the fields the
+// Android configuration uses:
+//
+//	bit  0       valid
+//	bit  1       type: 1 = table (levels 0-2) or page (level 3),
+//	             0 = block (levels 1-2)
+//	bits 2..4    memory-attribute index (stage 1 AttrIndx / stage 2
+//	             MemAttr, collapsed to Normal vs Device here)
+//	bit  6       access permission: read-only when set (stage 1
+//	             AP[2] / stage 2 !S2AP[1] folded to one polarity)
+//	bit  7       stage 2 read permission removed when set
+//	bit 10       access flag (always set on valid leaves here)
+//	bits 12..47  output address (leaf) or next-level table address
+//	bit 54       execute-never (UXN/PXN/S2XN collapsed)
+//	bits 55..56  software: pKVM page-state annotation
+//	bits 2..9    (invalid descriptors only) software: owner ID, the
+//	             KVM_INVALID_PTE_OWNER_MASK convention
+//
+// Invalid descriptors with a non-zero owner field are the annotations
+// pKVM stores in otherwise-unused entries to record logical ownership
+// of unmapped ranges.
+type PTE uint64
+
+// Descriptor field masks and shifts.
+const (
+	pteValid PTE = 1 << 0
+	pteType  PTE = 1 << 1 // table or page, by level
+
+	pteAttrIdxShift = 2
+	pteAttrIdxMask  = 0x7 << pteAttrIdxShift
+
+	pteRO PTE = 1 << 6 // leaf: read-only
+	pteNR PTE = 1 << 7 // leaf: not readable (stage 2 only)
+
+	pteAF PTE = 1 << 10 // access flag
+
+	pteXN PTE = 1 << 54 // execute never
+
+	// Output/next-table address field, bits 47:12.
+	pteAddrMask PTE = 0x0000_FFFF_FFFF_F000
+
+	// Software page-state bits, 56:55 (pKVM's convention).
+	pteSWShift     = 55
+	pteSWMask  PTE = 0x3 << pteSWShift
+
+	// Owner ID of an invalid annotated descriptor, bits 9:2
+	// (KVM_INVALID_PTE_OWNER_MASK).
+	pteOwnerShift     = 2
+	pteOwnerMask  PTE = 0xFF << pteOwnerShift
+)
+
+// Memory-attribute indices, a two-point MAIR: Normal write-back
+// cacheable memory and Device-nGnRE.
+const (
+	attrIdxNormal = 0
+	attrIdxDevice = 1
+)
+
+// MemType classifies the memory attributes of a mapping.
+type MemType uint8
+
+const (
+	// MemNormal is Normal write-back cacheable memory.
+	MemNormal MemType = iota
+	// MemDevice is Device-nGnRE memory (MMIO).
+	MemDevice
+)
+
+func (m MemType) String() string {
+	if m == MemDevice {
+		return "Device"
+	}
+	return "Normal"
+}
+
+// Perms is a read/write/execute permission triple.
+type Perms uint8
+
+const (
+	// PermR grants read access.
+	PermR Perms = 1 << iota
+	// PermW grants write access.
+	PermW
+	// PermX grants instruction fetch.
+	PermX
+
+	// PermRW is read-write, no execute.
+	PermRW = PermR | PermW
+	// PermRWX grants everything.
+	PermRWX = PermR | PermW | PermX
+	// PermRX is read-execute.
+	PermRX = PermR | PermX
+)
+
+func (p Perms) String() string {
+	b := []byte("---")
+	if p&PermR != 0 {
+		b[0] = 'R'
+	}
+	if p&PermW != 0 {
+		b[1] = 'W'
+	}
+	if p&PermX != 0 {
+		b[2] = 'X'
+	}
+	return string(b)
+}
+
+// PageState is pKVM's software page-state annotation stored in the
+// descriptor software bits: the share/borrow state of the mapping.
+type PageState uint8
+
+const (
+	// StateOwned marks memory exclusively owned by this component.
+	StateOwned PageState = 0
+	// StateSharedOwned marks memory owned here but shared with another
+	// component.
+	StateSharedOwned PageState = 1
+	// StateSharedBorrowed marks memory owned elsewhere and borrowed.
+	StateSharedBorrowed PageState = 2
+)
+
+func (s PageState) String() string {
+	switch s {
+	case StateOwned:
+		return "SO" // state: owned
+	case StateSharedOwned:
+		return "S0" // shared, owner side (paper's diff notation)
+	case StateSharedBorrowed:
+		return "SB"
+	}
+	return fmt.Sprintf("S?%d", uint8(s))
+}
+
+// Attrs bundles the leaf attributes the ghost specification cares
+// about: permissions, memory type, and the software page state.
+type Attrs struct {
+	Perms Perms
+	Mem   MemType
+	State PageState
+}
+
+func (a Attrs) String() string {
+	return fmt.Sprintf("%s %s %s", a.State, a.Perms, a.Mem)
+}
+
+// EntryKind classifies a descriptor at a given level, mirroring the
+// paper's entry_kind function (Fig. 2).
+type EntryKind uint8
+
+const (
+	// EKInvalid is an invalid descriptor with a zero owner field.
+	EKInvalid EntryKind = iota
+	// EKAnnotated is an invalid descriptor carrying a pKVM ownership
+	// annotation in its software owner field.
+	EKAnnotated
+	// EKTable points to a next-level table (levels 0-2 only).
+	EKTable
+	// EKBlock maps a 1GB or 2MB region (levels 1-2 only).
+	EKBlock
+	// EKPage maps a 4KB page (level 3 only).
+	EKPage
+	// EKReserved is an architecturally reserved encoding (block bit
+	// pattern at level 0 or 3).
+	EKReserved
+)
+
+func (k EntryKind) String() string {
+	switch k {
+	case EKInvalid:
+		return "invalid"
+	case EKAnnotated:
+		return "annotated"
+	case EKTable:
+		return "table"
+	case EKBlock:
+		return "block"
+	case EKPage:
+		return "page"
+	case EKReserved:
+		return "reserved"
+	}
+	return "?"
+}
+
+// Kind classifies the descriptor as seen at the given walk level.
+func (p PTE) Kind(level int) EntryKind {
+	if p&pteValid == 0 {
+		if p&pteOwnerMask != 0 {
+			return EKAnnotated
+		}
+		return EKInvalid
+	}
+	if p&pteType != 0 {
+		if level == LastLevel {
+			return EKPage
+		}
+		return EKTable
+	}
+	// Valid, type bit clear: block at levels 1-2, reserved elsewhere.
+	if level == 1 || level == 2 {
+		return EKBlock
+	}
+	return EKReserved
+}
+
+// Valid reports whether the descriptor's valid bit is set.
+func (p PTE) Valid() bool { return p&pteValid != 0 }
+
+// OutputAddr returns the output address of a leaf descriptor at the
+// given level, masking the level-appropriate address bits.
+func (p PTE) OutputAddr(level int) PhysAddr {
+	mask := uint64(pteAddrMask) &^ (LevelSize(level) - 1)
+	return PhysAddr(uint64(p) & mask)
+}
+
+// TableAddr returns the physical address of the next-level table of a
+// table descriptor.
+func (p PTE) TableAddr() PhysAddr { return PhysAddr(p & pteAddrMask) }
+
+// OwnerID returns the software owner annotation of an invalid
+// descriptor (zero when unannotated).
+func (p PTE) OwnerID() uint8 {
+	return uint8((p & pteOwnerMask) >> pteOwnerShift)
+}
+
+// Attrs decodes the leaf attribute fields.
+func (p PTE) Attrs() Attrs {
+	var perms Perms
+	if p&pteNR == 0 {
+		perms |= PermR
+	}
+	if p&pteRO == 0 {
+		perms |= PermW
+	}
+	if p&pteXN == 0 {
+		perms |= PermX
+	}
+	mem := MemNormal
+	if (uint64(p)&pteAttrIdxMask)>>pteAttrIdxShift == attrIdxDevice {
+		mem = MemDevice
+	}
+	return Attrs{
+		Perms: perms,
+		Mem:   mem,
+		State: PageState((p & pteSWMask) >> pteSWShift),
+	}
+}
+
+// MakeTable builds a table descriptor pointing at the table page at
+// pa, which must be page-aligned.
+func MakeTable(pa PhysAddr) PTE {
+	if !PageAligned(uint64(pa)) {
+		panic(fmt.Sprintf("arch: unaligned table address %#x", uint64(pa)))
+	}
+	return pteValid | pteType | (PTE(pa) & pteAddrMask)
+}
+
+// MakeLeaf builds a leaf descriptor at the given level mapping to pa
+// with the given attributes. pa must be aligned to the level's block
+// size. Level 3 produces a page descriptor, levels 1-2 a block
+// descriptor.
+func MakeLeaf(level int, pa PhysAddr, a Attrs) PTE {
+	if uint64(pa)&(LevelSize(level)-1) != 0 {
+		panic(fmt.Sprintf("arch: leaf address %#x unaligned for level %d", uint64(pa), level))
+	}
+	p := pteValid | pteAF | (PTE(pa) & pteAddrMask)
+	if level == LastLevel {
+		p |= pteType
+	} else if level == 0 {
+		panic("arch: no block descriptors at level 0")
+	}
+	if a.Perms&PermR == 0 {
+		p |= pteNR
+	}
+	if a.Perms&PermW == 0 {
+		p |= pteRO
+	}
+	if a.Perms&PermX == 0 {
+		p |= pteXN
+	}
+	if a.Mem == MemDevice {
+		p |= PTE(attrIdxDevice) << pteAttrIdxShift
+	}
+	p |= (PTE(a.State) << pteSWShift) & pteSWMask
+	return p
+}
+
+// MakeAnnotation builds an invalid descriptor carrying an ownership
+// annotation for the given owner ID. Owner 0 is reserved (it denotes a
+// plain invalid entry) and panics.
+func MakeAnnotation(owner uint8) PTE {
+	if owner == 0 {
+		panic("arch: annotation owner 0 is the unannotated encoding")
+	}
+	return PTE(owner) << pteOwnerShift
+}

@@ -1,0 +1,186 @@
+package arch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelGeometry(t *testing.T) {
+	if LevelSize(3) != 4096 {
+		t.Errorf("level 3 size = %d, want 4096", LevelSize(3))
+	}
+	if LevelSize(2) != 2<<20 {
+		t.Errorf("level 2 size = %d, want 2MB", LevelSize(2))
+	}
+	if LevelSize(1) != 1<<30 {
+		t.Errorf("level 1 size = %d, want 1GB", LevelSize(1))
+	}
+	if LevelPages(2) != 512 {
+		t.Errorf("level 2 pages = %d, want 512", LevelPages(2))
+	}
+	// Index fields must tile the 48-bit input address exactly.
+	if LevelShift(0)+9 != IABits {
+		t.Errorf("level 0 shift %d does not top out at %d bits", LevelShift(0), IABits)
+	}
+	for l := 1; l <= 3; l++ {
+		if LevelShift(l-1) != LevelShift(l)+9 {
+			t.Errorf("levels %d/%d shifts not 9 bits apart", l-1, l)
+		}
+	}
+}
+
+func TestIndexAt(t *testing.T) {
+	// An address built from known indices must decompose back.
+	ia := uint64(3)<<LevelShift(0) | 511<<LevelShift(1) | 1<<LevelShift(2) | 42<<LevelShift(3)
+	want := [4]int{3, 511, 1, 42}
+	for l := 0; l <= 3; l++ {
+		if got := IndexAt(ia, l); got != want[l] {
+			t.Errorf("IndexAt(%#x, %d) = %d, want %d", ia, l, got, want[l])
+		}
+	}
+}
+
+func TestLeafRoundTrip(t *testing.T) {
+	cases := []struct {
+		level int
+		pa    PhysAddr
+		attrs Attrs
+	}{
+		{3, 0x4000_0000, Attrs{Perms: PermRWX, Mem: MemNormal, State: StateOwned}},
+		{3, 0x4000_1000, Attrs{Perms: PermRW, Mem: MemNormal, State: StateSharedOwned}},
+		{3, 0x8000_0000, Attrs{Perms: PermR, Mem: MemDevice, State: StateSharedBorrowed}},
+		{2, 0x4020_0000, Attrs{Perms: PermRWX, Mem: MemNormal, State: StateOwned}},
+		{1, 0x4000_0000, Attrs{Perms: PermRX, Mem: MemNormal, State: StateOwned}},
+	}
+	for _, c := range cases {
+		pte := MakeLeaf(c.level, c.pa, c.attrs)
+		if k := pte.Kind(c.level); (c.level == 3 && k != EKPage) || (c.level < 3 && k != EKBlock) {
+			t.Errorf("level %d leaf kind = %v", c.level, k)
+		}
+		if got := pte.OutputAddr(c.level); got != c.pa {
+			t.Errorf("level %d OutputAddr = %#x, want %#x", c.level, uint64(got), uint64(c.pa))
+		}
+		if got := pte.Attrs(); got != c.attrs {
+			t.Errorf("level %d attrs = %+v, want %+v", c.level, got, c.attrs)
+		}
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	pte := MakeTable(0x4abc_d000)
+	if pte.Kind(0) != EKTable || pte.Kind(1) != EKTable || pte.Kind(2) != EKTable {
+		t.Error("table descriptor not classified as table at levels 0-2")
+	}
+	if pte.Kind(3) != EKPage {
+		t.Error("table bit pattern at level 3 must read as page")
+	}
+	if got := pte.TableAddr(); got != 0x4abc_d000 {
+		t.Errorf("TableAddr = %#x", uint64(got))
+	}
+}
+
+func TestAnnotationRoundTrip(t *testing.T) {
+	for owner := uint8(1); owner < 255; owner++ {
+		pte := MakeAnnotation(owner)
+		if pte.Valid() {
+			t.Fatalf("annotation for owner %d is valid", owner)
+		}
+		if pte.Kind(3) != EKAnnotated {
+			t.Fatalf("annotation kind = %v", pte.Kind(3))
+		}
+		if got := pte.OwnerID(); got != owner {
+			t.Fatalf("owner round trip: got %d want %d", got, owner)
+		}
+	}
+}
+
+func TestAnnotationOwnerZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MakeAnnotation(0) did not panic")
+		}
+	}()
+	MakeAnnotation(0)
+}
+
+func TestMakeLeafAlignmentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned level 2 leaf did not panic")
+		}
+	}()
+	MakeLeaf(2, 0x4000_1000, Attrs{Perms: PermRW})
+}
+
+func TestReservedEncodings(t *testing.T) {
+	// A block bit pattern (valid, type clear) is reserved at levels 0
+	// and 3.
+	raw := pteValid | pteAF
+	if raw.Kind(0) != EKReserved {
+		t.Error("valid non-table at level 0 must be reserved")
+	}
+	if raw.Kind(3) != EKInvalid+EKReserved-EKReserved && raw.Kind(3) != EKReserved {
+		t.Errorf("valid non-page at level 3 = %v, want reserved", raw.Kind(3))
+	}
+	var zero PTE
+	if zero.Kind(2) != EKInvalid {
+		t.Error("zero descriptor must be invalid")
+	}
+}
+
+// Property: Attrs survive a MakeLeaf/Attrs round trip for every
+// permission/type/state combination at every leaf level.
+func TestAttrsRoundTripExhaustive(t *testing.T) {
+	for perms := Perms(0); perms < 8; perms++ {
+		for _, mem := range []MemType{MemNormal, MemDevice} {
+			for _, st := range []PageState{StateOwned, StateSharedOwned, StateSharedBorrowed} {
+				a := Attrs{Perms: perms, Mem: mem, State: st}
+				for _, level := range []int{1, 2, 3} {
+					pa := PhysAddr(uint64(0x40000000)) // 1GB aligned, fits all levels
+					got := MakeLeaf(level, pa, a).Attrs()
+					if got != a {
+						t.Fatalf("level %d attrs %+v -> %+v", level, a, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: a leaf's software and attribute bits never leak into its
+// output-address field, for random page-aligned addresses.
+func TestLeafAddressIsolation(t *testing.T) {
+	f := func(pfnRaw uint32, permBits uint8) bool {
+		pa := PhysAddr(pfnRaw) << PageShift
+		a := Attrs{Perms: Perms(permBits % 8), Mem: MemNormal, State: StateSharedOwned}
+		return MakeLeaf(3, pa, a).OutputAddr(3) == pa
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Kind is total — every raw 64-bit value classifies without
+// panicking at every level, and invalid bits imply non-valid kinds.
+func TestKindTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		raw := PTE(rng.Uint64())
+		for level := 0; level <= 3; level++ {
+			k := raw.Kind(level)
+			if raw&pteValid == 0 && (k == EKTable || k == EKBlock || k == EKPage || k == EKReserved) {
+				t.Fatalf("invalid descriptor %#x classified as %v", uint64(raw), k)
+			}
+			if raw&pteValid != 0 && (k == EKInvalid || k == EKAnnotated) {
+				t.Fatalf("valid descriptor %#x classified as %v", uint64(raw), k)
+			}
+		}
+	}
+}
+
+func TestPermsString(t *testing.T) {
+	if PermRWX.String() != "RWX" || PermRW.String() != "RW-" || Perms(0).String() != "---" {
+		t.Error("Perms.String formatting broken")
+	}
+}

@@ -1,0 +1,123 @@
+package arch
+
+import "fmt"
+
+// Stage distinguishes the two translation regimes.
+type Stage uint8
+
+const (
+	// Stage1 translates virtual addresses to (intermediate-)physical
+	// addresses; used for the hypervisor's own EL2 regime.
+	Stage1 Stage = 1
+	// Stage2 translates intermediate-physical to physical addresses;
+	// used for the host and for guests.
+	Stage2 Stage = 2
+)
+
+func (s Stage) String() string {
+	if s == Stage1 {
+		return "stage1"
+	}
+	return "stage2"
+}
+
+// FaultKind classifies a failed hardware walk.
+type FaultKind uint8
+
+const (
+	// FaultTranslation: the walk reached an invalid descriptor.
+	FaultTranslation FaultKind = iota
+	// FaultPermission: the walk reached a leaf but the access kind is
+	// not permitted by its attributes.
+	FaultPermission
+	// FaultAddressSize: the input address is outside the 48-bit input
+	// range, or the walk hit a reserved descriptor encoding.
+	FaultAddressSize
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultTranslation:
+		return "translation"
+	case FaultPermission:
+		return "permission"
+	case FaultAddressSize:
+		return "address-size"
+	}
+	return "?"
+}
+
+// Fault is the failure result of a hardware walk: which fault was
+// raised and at which walk level.
+type Fault struct {
+	Kind  FaultKind
+	Level int
+	Addr  uint64 // the faulting input address
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("%s fault at level %d, input %#x", f.Kind, f.Level, f.Addr)
+}
+
+// Access describes the access kind being translated, for permission
+// checking.
+type Access struct {
+	Write bool
+	Exec  bool
+}
+
+// WalkResult is the successful outcome of a hardware walk: the output
+// address and the leaf's decoded attributes, plus the level the leaf
+// was found at (3 for a page, 2 or 1 for a block).
+type WalkResult struct {
+	OutputAddr PhysAddr
+	Attrs      Attrs
+	Level      int
+}
+
+// Walk performs the architecture's translation-table walk for input
+// address ia through the table rooted at root, checking acc against
+// the leaf permissions. It is the hardware's view of a page table: the
+// ghost specification's abstraction functions must agree with it on
+// the extensional meaning of every table.
+func Walk(m *Memory, root PhysAddr, ia uint64, acc Access) (WalkResult, *Fault) {
+	if !CanonicalIA(ia) {
+		return WalkResult{}, &Fault{Kind: FaultAddressSize, Level: StartLevel, Addr: ia}
+	}
+	table := root
+	for level := StartLevel; level <= LastLevel; level++ {
+		pte := m.ReadPTE(table, IndexAt(ia, level))
+		switch pte.Kind(level) {
+		case EKTable:
+			table = pte.TableAddr()
+		case EKBlock, EKPage:
+			a := pte.Attrs()
+			if (acc.Write && a.Perms&PermW == 0) ||
+				(acc.Exec && a.Perms&PermX == 0) ||
+				(!acc.Write && !acc.Exec && a.Perms&PermR == 0) {
+				return WalkResult{}, &Fault{Kind: FaultPermission, Level: level, Addr: ia}
+			}
+			offset := ia & (LevelSize(level) - 1)
+			return WalkResult{
+				OutputAddr: pte.OutputAddr(level) + PhysAddr(offset),
+				Attrs:      a,
+				Level:      level,
+			}, nil
+		case EKInvalid, EKAnnotated:
+			return WalkResult{}, &Fault{Kind: FaultTranslation, Level: level, Addr: ia}
+		case EKReserved:
+			return WalkResult{}, &Fault{Kind: FaultAddressSize, Level: level, Addr: ia}
+		}
+	}
+	panic("arch: walk ran past the last level")
+}
+
+// WalkRead translates ia for a read access.
+func WalkRead(m *Memory, root PhysAddr, ia uint64) (WalkResult, *Fault) {
+	return Walk(m, root, ia, Access{})
+}
+
+// WalkWrite translates ia for a write access.
+func WalkWrite(m *Memory, root PhysAddr, ia uint64) (WalkResult, *Fault) {
+	return Walk(m, root, ia, Access{Write: true})
+}

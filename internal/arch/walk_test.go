@@ -1,0 +1,192 @@
+package arch
+
+import (
+	"sync"
+	"testing"
+)
+
+// buildTestTable hand-constructs a 4-level table in mem mapping:
+//   - page    ia 0x0000_0000_0000 -> pa 0x4000_0000 RWX
+//   - page    ia 0x0000_0000_1000 -> pa 0x4000_1000 RW- (no exec)
+//   - block   ia 0x0000_0020_0000 -> pa 0x4020_0000 (2MB, level 2) RWX
+//   - nothing else.
+//
+// Returns the root table address. Table pages are placed at fixed
+// physical addresses outside the mapped ranges.
+func buildTestTable(m *Memory) PhysAddr {
+	const (
+		root = PhysAddr(0x9000_0000)
+		l1   = PhysAddr(0x9000_1000)
+		l2   = PhysAddr(0x9000_2000)
+		l3   = PhysAddr(0x9000_3000)
+	)
+	normRWX := Attrs{Perms: PermRWX, Mem: MemNormal}
+	normRW := Attrs{Perms: PermRW, Mem: MemNormal}
+
+	m.WritePTE(root, 0, MakeTable(l1))
+	m.WritePTE(l1, 0, MakeTable(l2))
+	m.WritePTE(l2, 0, MakeTable(l3))
+	m.WritePTE(l3, 0, MakeLeaf(3, 0x4000_0000, normRWX))
+	m.WritePTE(l3, 1, MakeLeaf(3, 0x4000_1000, normRW))
+	m.WritePTE(l2, 1, MakeLeaf(2, 0x4020_0000, normRWX)) // 2MB block
+	return root
+}
+
+func TestWalkPage(t *testing.T) {
+	m := NewMemory(DefaultLayout())
+	root := buildTestTable(m)
+
+	res, f := WalkRead(m, root, 0x0)
+	if f != nil {
+		t.Fatalf("walk faulted: %v", f)
+	}
+	if res.OutputAddr != 0x4000_0000 || res.Level != 3 {
+		t.Errorf("walk(0) = %#x level %d", uint64(res.OutputAddr), res.Level)
+	}
+
+	// Offsets within the page carry through.
+	res, f = WalkRead(m, root, 0x0abc)
+	if f != nil || res.OutputAddr != 0x4000_0abc {
+		t.Errorf("walk(0xabc) = %#x, fault %v", uint64(res.OutputAddr), f)
+	}
+}
+
+func TestWalkBlock(t *testing.T) {
+	m := NewMemory(DefaultLayout())
+	root := buildTestTable(m)
+
+	res, f := WalkRead(m, root, 0x20_0000+0x1_2345)
+	if f != nil {
+		t.Fatalf("block walk faulted: %v", f)
+	}
+	if res.OutputAddr != 0x4020_0000+0x1_2345 {
+		t.Errorf("block output = %#x", uint64(res.OutputAddr))
+	}
+	if res.Level != 2 {
+		t.Errorf("block level = %d, want 2", res.Level)
+	}
+}
+
+func TestWalkTranslationFault(t *testing.T) {
+	m := NewMemory(DefaultLayout())
+	root := buildTestTable(m)
+
+	_, f := WalkRead(m, root, 0x2000) // l3 index 2: invalid
+	if f == nil || f.Kind != FaultTranslation || f.Level != 3 {
+		t.Errorf("fault = %+v, want translation at level 3", f)
+	}
+	_, f = WalkRead(m, root, 1<<LevelShift(0)) // l0 index 1: invalid
+	if f == nil || f.Kind != FaultTranslation || f.Level != 0 {
+		t.Errorf("fault = %+v, want translation at level 0", f)
+	}
+}
+
+func TestWalkPermissionFault(t *testing.T) {
+	m := NewMemory(DefaultLayout())
+	root := buildTestTable(m)
+
+	// Page 1 is RW-: exec must fault, write must succeed.
+	if _, f := Walk(m, root, 0x1000, Access{Exec: true}); f == nil || f.Kind != FaultPermission {
+		t.Errorf("exec on RW- page: fault = %+v", f)
+	}
+	if _, f := WalkWrite(m, root, 0x1000); f != nil {
+		t.Errorf("write on RW- page faulted: %v", f)
+	}
+}
+
+func TestWalkAnnotatedFaults(t *testing.T) {
+	m := NewMemory(DefaultLayout())
+	root := buildTestTable(m)
+	// Replace page 0 with an ownership annotation: hardware must see a
+	// translation fault, not a mapping.
+	l3 := PhysAddr(0x9000_3000)
+	m.WritePTE(l3, 0, MakeAnnotation(2))
+	if _, f := WalkRead(m, root, 0x0); f == nil || f.Kind != FaultTranslation {
+		t.Errorf("annotated entry: fault = %+v, want translation", f)
+	}
+}
+
+func TestWalkNonCanonical(t *testing.T) {
+	m := NewMemory(DefaultLayout())
+	root := buildTestTable(m)
+	if _, f := WalkRead(m, root, 1<<IABits); f == nil || f.Kind != FaultAddressSize {
+		t.Errorf("non-canonical input: fault = %+v", f)
+	}
+}
+
+func TestWalkRacesAreAtomic(t *testing.T) {
+	// Hardware walks racing with descriptor updates must observe whole
+	// descriptors. Run under -race: this is the legitimate concurrency
+	// the paper notes cannot be excluded by the hypervisor's locks.
+	m := NewMemory(DefaultLayout())
+	root := buildTestTable(m)
+	l3 := PhysAddr(0x9000_3000)
+	a := MakeLeaf(3, 0x4000_0000, Attrs{Perms: PermRWX, Mem: MemNormal})
+	b := MakeAnnotation(3)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			if i%2 == 0 {
+				m.WritePTE(l3, 0, b)
+			} else {
+				m.WritePTE(l3, 0, a)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			res, f := WalkRead(m, root, 0)
+			if f == nil && res.OutputAddr != 0x4000_0000 {
+				t.Errorf("torn walk result: %#x", uint64(res.OutputAddr))
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestMemoryLayoutPredicates(t *testing.T) {
+	m := NewMemory(MemLayout{RAMStart: 1 << 30, RAMSize: 64 << 20, MMIOSize: 1 << 20})
+	if !m.InRAM(1 << 30) {
+		t.Error("RAM base not in RAM")
+	}
+	if m.InRAM(1<<30 + 64<<20) {
+		t.Error("one past RAM end reported in RAM")
+	}
+	if !m.InMMIO(0xfff) || m.InMMIO(1<<20) {
+		t.Error("MMIO bounds wrong")
+	}
+	if m.RAMPages() != (64<<20)>>PageShift {
+		t.Error("RAMPages wrong")
+	}
+}
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := NewMemory(DefaultLayout())
+	m.Write64(0x4000_0000, 0xdead_beef_cafe_f00d)
+	if got := m.Read64(0x4000_0000); got != 0xdead_beef_cafe_f00d {
+		t.Errorf("read back %#x", got)
+	}
+	// Untouched locations read as zero.
+	if got := m.Read64(0x5000_0000); got != 0 {
+		t.Errorf("fresh location reads %#x", got)
+	}
+	m.ZeroPage(0x4000_0000)
+	if got := m.Read64(0x4000_0000); got != 0 {
+		t.Errorf("after ZeroPage reads %#x", got)
+	}
+}
+
+func TestMemoryUnalignedPanics(t *testing.T) {
+	m := NewMemory(DefaultLayout())
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned Read64 did not panic")
+		}
+	}()
+	m.Read64(0x4000_0001)
+}

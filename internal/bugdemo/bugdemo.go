@@ -1,0 +1,286 @@
+// Package bugdemo packages each injectable bug with a minimal driving
+// scenario and the oracle verdict, for the synthetic-bug-testing
+// experiment (paper §5) and the real-bug reproductions (paper §6).
+package bugdemo
+
+import (
+	"fmt"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/core/ghost"
+	"ghostspec/internal/faults"
+	"ghostspec/internal/hyp"
+	"ghostspec/internal/proxy"
+)
+
+// Demo is one injectable bug plus the scenario that exposes it.
+type Demo struct {
+	Bug faults.Bug
+	// Paper says whether this is one of the five real pKVM bugs of §6
+	// or a synthetic discrimination bug of §5.
+	Real bool
+	// Description is the paper's account of the defect.
+	Description string
+	// BigMemory marks boot-time bugs needing a large physical map.
+	BigMemory bool
+	// drive exercises the bug's code path.
+	drive func(d *proxy.Driver) error
+}
+
+// Result is one demo's outcome.
+type Result struct {
+	Demo     Demo
+	Detected bool
+	// Alarms are the oracle's verdicts.
+	Alarms []ghost.Failure
+	// DriveErr is a scenario-setup failure (not a detection).
+	DriveErr error
+}
+
+// Demos lists every injectable bug with its scenario.
+func Demos() []Demo {
+	return []Demo{
+		{
+			Bug: faults.BugMemcacheAlignment, Real: true,
+			Description: "missing alignment check in the memcache topup path, permitting a malicious host to zero memory (§6 bug 1)",
+			drive: func(d *proxy.Driver) error {
+				h, err := vmWithVCPU(d)
+				if err != nil {
+					return err
+				}
+				pfn, err := d.AllocPage()
+				if err != nil {
+					return err
+				}
+				bad := uint64(pfn.Phys()) + 0x800
+				if err := d.Write64(0, arch.IPA(pfn.Phys()), 0); err != nil {
+					return err
+				}
+				d.HV.Mem.Write64(arch.PhysAddr(bad), 0)
+				_, err = d.HVC(0, hyp.HCTopupVCPUMemcache, uint64(h), 0, bad, 1)
+				return err
+			},
+		},
+		{
+			Bug: faults.BugMemcacheSize, Real: true,
+			Description: "missing size check in the memcache topup, hitting signed integer overflow for huge counts (§6 bug 2)",
+			drive: func(d *proxy.Driver) error {
+				h, err := vmWithVCPU(d)
+				if err != nil {
+					return err
+				}
+				pfn, err := d.AllocPage()
+				if err != nil {
+					return err
+				}
+				_, err = d.HVC(0, hyp.HCTopupVCPUMemcache, uint64(h), 0, uint64(pfn.Phys()), 0x10000)
+				return err
+			},
+		},
+		{
+			Bug: faults.BugVCPULoadRace, Real: true,
+			Description: "missing synchronisation between vcpu_load and vcpu_init, permitting a load to observe an uninitialised vCPU (§6 bug 3)",
+			drive: func(d *proxy.Driver) error {
+				h, _, err := d.InitVM(0, 2)
+				if err != nil {
+					return err
+				}
+				// vCPU 1 deliberately left uninitialised; the buggy
+				// load succeeds anyway.
+				return ignoreErrno(d.VCPULoad(0, h, 1))
+			},
+		},
+		{
+			Bug: faults.BugHostFaultRetry, Real: true,
+			Description: "host pagefault handling not robust to concurrent mapping changes, panicking on a spurious fault (§6 bug 4)",
+			drive: func(d *proxy.Driver) error {
+				pfn, err := d.AllocPage()
+				if err != nil {
+					return err
+				}
+				if ok, err := d.Access(0, arch.IPA(pfn.Phys()), true); err != nil || !ok {
+					return fmt.Errorf("initial fault: ok=%v err=%v", ok, err)
+				}
+				// Spurious re-delivery of the same fault.
+				d.HV.CPUs[0].Fault = arch.FaultInfo{Addr: arch.IPA(pfn.Phys()), Write: true}
+				_ = d.HV.HandleTrap(0, arch.ExitMemAbort) // panic recovered, recorded by oracle
+				return nil
+			},
+		},
+		{
+			Bug: faults.BugLinearMapOverlap, Real: true, BigMemory: true,
+			Description: "hypervisor linear map overlapping the IO mappings on devices with very large physical memory (§6 bug 5)",
+			drive: func(d *proxy.Driver) error {
+				return nil // boot-time defect: detected at Attach
+			},
+		},
+		{
+			Bug:         faults.BugShareSkipStateCheck,
+			Description: "host_share_hyp skips the page-state check, sharing pages the host does not exclusively own (synthetic)",
+			drive: func(d *proxy.Driver) error {
+				pfn, err := d.AllocPage()
+				if err != nil {
+					return err
+				}
+				if err := d.ShareHyp(0, pfn); err != nil {
+					return err
+				}
+				return ignoreErrno(d.ShareHyp(0, pfn))
+			},
+		},
+		{
+			Bug:         faults.BugShareWrongPerms,
+			Description: "host_share_hyp installs the hypervisor's borrowed mapping with execute permission (synthetic)",
+			drive: func(d *proxy.Driver) error {
+				pfn, err := d.AllocPage()
+				if err != nil {
+					return err
+				}
+				return ignoreErrno(d.ShareHyp(0, pfn))
+			},
+		},
+		{
+			Bug:         faults.BugUnshareLeaveMapping,
+			Description: "host_unshare_hyp leaves the hypervisor's borrowed mapping in place (synthetic)",
+			drive: func(d *proxy.Driver) error {
+				pfn, err := d.AllocPage()
+				if err != nil {
+					return err
+				}
+				if err := d.ShareHyp(0, pfn); err != nil {
+					return err
+				}
+				return ignoreErrno(d.UnshareHyp(0, pfn))
+			},
+		},
+		{
+			Bug:         faults.BugDonateKeepHostMapping,
+			Description: "host_donate_hyp transfers ownership without removing the host's own access (synthetic)",
+			drive: func(d *proxy.Driver) error {
+				pfn, err := d.AllocPage()
+				if err != nil {
+					return err
+				}
+				return ignoreErrno(d.DonateHyp(0, pfn, 1))
+			},
+		},
+		{
+			Bug:         faults.BugReclaimSkipOwnerClear,
+			Description: "host_reclaim_page forgets to clear the dead guest's ownership annotation (synthetic)",
+			drive: func(d *proxy.Driver) error {
+				h, donated, err := d.InitVM(0, 1)
+				if err != nil {
+					return err
+				}
+				if err := d.TeardownVM(0, h); err != nil {
+					return err
+				}
+				return ignoreErrno(d.ReclaimPage(0, donated[0]))
+			},
+		},
+		{
+			Bug:         faults.BugWrongReturnValue,
+			Description: "host_share_hyp reports success on the permission-failure path (synthetic)",
+			drive: func(d *proxy.Driver) error {
+				pfn, err := d.AllocPage()
+				if err != nil {
+					return err
+				}
+				if err := d.ShareHyp(0, pfn); err != nil {
+					return err
+				}
+				return ignoreErrno(d.ShareHyp(0, pfn))
+			},
+		},
+		{
+			Bug:         faults.BugShareRangeBadStop,
+			Description: "the phased share-range hypercall reports success despite a failed mid-range phase (synthetic, transactional extension)",
+			drive: func(d *proxy.Driver) error {
+				pfns, err := contiguous(d, 4)
+				if err != nil {
+					return err
+				}
+				// Pre-share the third page so the range fails at
+				// phase 2; the buggy build still reports success.
+				if err := d.ShareHyp(0, pfns[2]); err != nil {
+					return err
+				}
+				return ignoreErrno(d.ShareHypRange(0, pfns[0], 4))
+			},
+		},
+		{
+			Bug:         faults.BugMapDemandWrongState,
+			Description: "mapping-on-demand installs host pages with a shared page state instead of owned (synthetic)",
+			drive: func(d *proxy.Driver) error {
+				pfn, err := d.AllocPage()
+				if err != nil {
+					return err
+				}
+				_, err = d.Access(0, arch.IPA(pfn.Phys()), true)
+				return err
+			},
+		},
+	}
+}
+
+// Detect boots a system with the demo's bug injected, attaches the
+// oracle, runs the scenario, and reports whether the oracle alarmed.
+func Detect(demo Demo) Result {
+	layout := arch.DefaultLayout()
+	if demo.BigMemory {
+		layout = arch.MemLayout{RAMStart: 1 << 30, RAMSize: 4 << 30, MMIOSize: 16 << 20}
+	}
+	hv, err := hyp.New(hyp.Config{Layout: layout, Inj: faults.NewInjector(demo.Bug)})
+	if err != nil {
+		return Result{Demo: demo, DriveErr: err}
+	}
+	rec := ghost.Attach(hv)
+	d := proxy.New(hv)
+	driveErr := demo.drive(d)
+	alarms := rec.Failures()
+	return Result{Demo: demo, Detected: len(alarms) > 0, Alarms: alarms, DriveErr: driveErr}
+}
+
+// DetectAll runs every demo.
+func DetectAll() []Result {
+	demos := Demos()
+	out := make([]Result, 0, len(demos))
+	for _, demo := range demos {
+		out = append(out, Detect(demo))
+	}
+	return out
+}
+
+// contiguous allocates nr physically contiguous host frames.
+func contiguous(d *proxy.Driver, nr int) ([]arch.PFN, error) {
+	var run []arch.PFN
+	for len(run) < nr {
+		pfn, err := d.AllocPage()
+		if err != nil {
+			return nil, err
+		}
+		if len(run) > 0 && pfn != run[len(run)-1]+1 {
+			run = run[:0]
+		}
+		run = append(run, pfn)
+	}
+	return run, nil
+}
+
+// vmWithVCPU boots a minimal VM with one initialised vCPU.
+func vmWithVCPU(d *proxy.Driver) (hyp.Handle, error) {
+	h, _, err := d.InitVM(0, 1)
+	if err != nil {
+		return 0, err
+	}
+	return h, d.InitVCPU(0, h, 0)
+}
+
+// ignoreErrno drops hypercall errnos (the buggy path may legitimately
+// succeed or fail; the oracle is the judge) but keeps real errors.
+func ignoreErrno(err error) error {
+	if _, ok := err.(hyp.Errno); ok {
+		return nil
+	}
+	return err
+}

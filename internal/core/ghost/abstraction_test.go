@@ -1,0 +1,248 @@
+package ghost
+
+import (
+	"math/rand"
+	"testing"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/faults"
+	"ghostspec/internal/hyp"
+	"ghostspec/internal/mem"
+	"ghostspec/internal/pgtable"
+)
+
+// buildRandomTable builds a table with a random mix of pages, 2MB
+// blocks, and annotations, returning it for interpretation.
+func buildRandomTable(t *testing.T, seed int64) *pgtable.Table {
+	t.Helper()
+	m := arch.NewMemory(arch.DefaultLayout())
+	pool := mem.NewPool("tables", arch.PFN(0x90000), 4096)
+	tbl, err := pgtable.New("rand", m, arch.Stage2, pgtable.PoolAllocator{Pool: pool}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	attrs := []arch.Attrs{
+		{Perms: arch.PermRWX, Mem: arch.MemNormal, State: arch.StateOwned},
+		{Perms: arch.PermRW, Mem: arch.MemNormal, State: arch.StateSharedOwned},
+		{Perms: arch.PermRW, Mem: arch.MemDevice, State: arch.StateSharedBorrowed},
+	}
+	base := uint64(0x4000_0000)
+	for i := 0; i < 200; i++ {
+		switch rng.Intn(4) {
+		case 0: // single page
+			va := base + uint64(rng.Intn(2048))*arch.PageSize
+			pa := arch.PhysAddr(base + uint64(rng.Intn(2048))*arch.PageSize)
+			if err := tbl.Map(va, arch.PageSize, pa, attrs[rng.Intn(len(attrs))], true); err != nil {
+				t.Fatal(err)
+			}
+		case 1: // 2MB block, aligned
+			va := base + uint64(rng.Intn(4))*(2<<20)
+			if err := tbl.Map(va, 2<<20, arch.PhysAddr(va), attrs[rng.Intn(len(attrs))], true); err != nil {
+				t.Fatal(err)
+			}
+		case 2: // annotation
+			va := base + uint64(rng.Intn(2048))*arch.PageSize
+			if err := tbl.Annotate(va, arch.PageSize, uint8(rng.Intn(3)+1)); err != nil {
+				t.Fatal(err)
+			}
+		case 3: // unmap
+			va := base + uint64(rng.Intn(2048))*arch.PageSize
+			if err := tbl.Unmap(va, arch.PageSize*uint64(rng.Intn(3)+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return tbl
+}
+
+// TestInterpretAgreesWithHardwareWalk is the central soundness
+// property of the abstraction function: for every page, the
+// interpreted finite map and the architecture's translation walk agree
+// exactly — same presence, same output address, same attributes.
+func TestInterpretAgreesWithHardwareWalk(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		tbl := buildRandomTable(t, seed)
+		abs := InterpretPgtable(tbl.Mem, tbl.Root())
+
+		base := uint64(0x4000_0000)
+		for p := uint64(0); p < 2048; p++ {
+			va := base + p*arch.PageSize
+			res, fault := arch.Walk(tbl.Mem, tbl.Root(), va, arch.Access{})
+			tgt, ok := abs.Mapping.Lookup(va)
+
+			hwMapped := fault == nil || fault.Kind == arch.FaultPermission
+			absMapped := ok && tgt.Kind == TargetMapped
+			if hwMapped != absMapped {
+				t.Fatalf("seed %d va %#x: hw mapped=%v abs mapped=%v", seed, va, hwMapped, absMapped)
+			}
+			if !absMapped {
+				continue
+			}
+			// Re-walk ignoring permissions by reading the leaf.
+			if fault == nil {
+				if res.OutputAddr != tgt.Phys {
+					t.Fatalf("seed %d va %#x: hw %#x abs %#x", seed, va,
+						uint64(res.OutputAddr), uint64(tgt.Phys))
+				}
+				if res.Attrs != tgt.Attrs {
+					t.Fatalf("seed %d va %#x: hw attrs %v abs %v", seed, va, res.Attrs, tgt.Attrs)
+				}
+			}
+		}
+	}
+}
+
+// TestInterpretFootprint: the interpreted footprint is exactly the
+// table's own pages.
+func TestInterpretFootprint(t *testing.T) {
+	tbl := buildRandomTable(t, 42)
+	abs := InterpretPgtable(tbl.Mem, tbl.Root())
+	want := PageSet{}
+	for _, pfn := range tbl.TablePages() {
+		want[pfn] = true
+	}
+	if !abs.Footprint.Equal(want) {
+		t.Errorf("footprint: abs %d pages, impl %d pages", len(abs.Footprint), len(want))
+	}
+}
+
+// TestInterpretAnnotations: annotations at page and block granularity
+// both appear, with the right owner and page counts.
+func TestInterpretAnnotations(t *testing.T) {
+	m := arch.NewMemory(arch.DefaultLayout())
+	pool := mem.NewPool("tables", arch.PFN(0x90000), 64)
+	tbl, err := pgtable.New("a", m, arch.Stage2, pgtable.PoolAllocator{Pool: pool}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Annotate(0x4000_0000, arch.PageSize, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Annotate(0x4020_0000, 2<<20, 17); err != nil { // coarse
+		t.Fatal(err)
+	}
+	abs := InterpretPgtable(m, tbl.Root())
+	tgt, ok := abs.Mapping.Lookup(0x4000_0000)
+	if !ok || tgt.Kind != TargetAnnotated || tgt.Owner != 1 {
+		t.Errorf("page annotation: %+v ok=%v", tgt, ok)
+	}
+	tgt, ok = abs.Mapping.Lookup(0x4020_0000 + 511*arch.PageSize)
+	if !ok || tgt.Kind != TargetAnnotated || tgt.Owner != 17 {
+		t.Errorf("block annotation: %+v ok=%v", tgt, ok)
+	}
+	if abs.Mapping.NrPages() != 1+512 {
+		t.Errorf("NrPages = %d, want 513", abs.Mapping.NrPages())
+	}
+}
+
+// TestAbstractHostSplit: the host abstraction routes entries into
+// annot/shared and drops legal owned mappings.
+func TestAbstractHostSplit(t *testing.T) {
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, herr := AbstractHost(hv)
+	if herr != nil {
+		t.Fatalf("boot host abstraction: %v", herr)
+	}
+	// The carve-out is annotated hyp-owned.
+	g := hv.Globals()
+	tgt, ok := host.Annot.Lookup(uint64(g.CarveStart))
+	if !ok || tgt.Owner != hyp.IDHyp {
+		t.Errorf("carve-out annotation: %+v ok=%v", tgt, ok)
+	}
+	if !host.Shared.IsEmpty() {
+		t.Error("boot shared mapping not empty")
+	}
+	if host.Annot.NrPages() != g.CarveSize>>arch.PageShift {
+		t.Errorf("annot pages = %d, want %d", host.Annot.NrPages(), g.CarveSize>>arch.PageShift)
+	}
+}
+
+// hostForceMap plants a mapping directly in the host stage 2, the way
+// a buggy handler would — bypassing the hypervisor's API.
+func hostForceMap(t *testing.T, hv *hyp.Hypervisor, ipa uint64, pa arch.PhysAddr, attrs arch.Attrs) {
+	t.Helper()
+	scratch := mem.NewPool("scratch", arch.PFN(0xA0000), 64)
+	tbl := pgtable.Attach("host-backdoor", hv.Mem, arch.Stage2,
+		pgtable.PoolAllocator{Pool: scratch}, 2, hv.HostPGTRoot())
+	if err := tbl.Map(ipa, arch.PageSize, pa, attrs, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbstractHostLegality: a non-identity owned mapping violates the
+// loose host bound and is reported.
+func TestAbstractHostLegality(t *testing.T) {
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := hv.HostMemStart()
+	other := victim + arch.PageSize
+	hostForceMap(t, hv, uint64(victim), other,
+		arch.Attrs{Perms: arch.PermRWX, Mem: arch.MemNormal, State: arch.StateOwned})
+	_, herr := AbstractHost(hv)
+	if herr == nil {
+		t.Fatal("non-identity owned mapping not flagged")
+	}
+	if _, ok := herr.(*HostInvariantError); !ok {
+		t.Fatalf("unexpected error type %T", herr)
+	}
+}
+
+// TestAbstractHostLegalityAttrs: wrong attributes on an owned mapping
+// are flagged even when the address is an identity.
+func TestAbstractHostLegalityAttrs(t *testing.T) {
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := hv.HostMemStart()
+	// Device attributes on DRAM: outside the legal bound.
+	hostForceMap(t, hv, uint64(victim), victim,
+		arch.Attrs{Perms: arch.PermRW, Mem: arch.MemDevice, State: arch.StateOwned})
+	if _, herr := AbstractHost(hv); herr == nil {
+		t.Fatal("wrong-attribute owned mapping not flagged")
+	}
+}
+
+// TestCheckInitLayout: the fixed boot passes, the overlap-bug boot on
+// big memory fails.
+func TestCheckInitLayout(t *testing.T) {
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState()
+	st.Globals = AbstractGlobals(hv)
+	st.Pkvm = AbstractHyp(hv)
+	if d := CheckInitLayout(st); d != "" {
+		t.Errorf("fixed boot flagged:\n%s", d)
+	}
+
+	big := arch.MemLayout{RAMStart: 1 << 30, RAMSize: 4 << 30, MMIOSize: 16 << 20}
+	buggy, err := hyp.New(hyp.Config{Layout: big, Inj: faults.NewInjector(faults.BugLinearMapOverlap)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := NewState()
+	st2.Globals = AbstractGlobals(buggy)
+	st2.Pkvm = AbstractHyp(buggy)
+	if d := CheckInitLayout(st2); d == "" {
+		t.Error("linear-map overlap not flagged on large memory")
+	}
+	// And the fixed boot on big memory passes.
+	okBig, err := hyp.New(hyp.Config{Layout: big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st3 := NewState()
+	st3.Globals = AbstractGlobals(okBig)
+	st3.Pkvm = AbstractHyp(okBig)
+	if d := CheckInitLayout(st3); d != "" {
+		t.Errorf("fixed big-memory boot flagged:\n%s", d)
+	}
+}

@@ -1,0 +1,114 @@
+package ghost
+
+import (
+	"fmt"
+	"strings"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/hyp"
+)
+
+// ReadOnceRec is one recorded READ_ONCE of host-owned memory: the
+// value is under concurrent host control, so the specification takes
+// it as a parameter rather than predicting it (paper §4.3).
+type ReadOnceRec struct {
+	PA  arch.PhysAddr
+	Val uint64
+}
+
+// GuestExitRec records which guest event a vcpu_run processed —
+// another environment parameter.
+type GuestExitRec struct {
+	Handle hyp.Handle
+	VCPU   int
+	Op     hyp.GuestOp
+}
+
+// MCOp records one memcache pop (alloc) or push (free) during guest
+// table growth. How many table pages a mapping operation needs is
+// memory-management detail outside the abstract state, so the
+// specification replays the recorded sequence instead of predicting
+// it.
+type MCOp struct {
+	Free bool
+	PFN  arch.PFN
+}
+
+// CallData is the ghost call data (the paper's ghost_call_data): the
+// per-exception information collected during implementation execution
+// that the specification functions are parameterised on — the
+// exception kind and arguments, the implementation's return value
+// (for the loose -ENOMEM cases), and the recorded nondeterministic
+// reads.
+type CallData struct {
+	CPU    int
+	Reason arch.ExitReason
+	Fault  arch.FaultInfo
+
+	// Ret is the implementation's x1 return value, read at trap exit.
+	Ret int64
+
+	// GuestRegsExit is the guest register context at trap exit. What
+	// the guest does to its own registers while executing at EL1 —
+	// values it loads from racing memory, arithmetic, its program
+	// counter — is environment, not hypervisor specification, so on
+	// vcpu_run exits the spec takes the whole file as a parameter and
+	// re-specifies only the hypervisor-visible pieces (the hypercall
+	// errno in guest r0).
+	GuestRegsExit arch.Regs
+
+	Reads      []ReadOnceRec
+	GuestExits []GuestExitRec
+	MCOps      []MCOp
+
+	// Panicked is set when the handler hit an internal hypervisor
+	// panic; no post-state exists then.
+	Panicked bool
+	PanicMsg string
+
+	// exitLocals is the thread-local snapshot at trap exit, used by
+	// the transactional (per-session) checks.
+	exitLocals *CPULocal
+}
+
+// HC returns the hypercall ID of an HVC trap, taken from the recorded
+// pre-state's registers.
+func (c *CallData) HC(pre *State) hyp.HC {
+	return hyp.HC(pre.ReadGPR(c.CPU, 0))
+}
+
+// Arg returns hypercall argument n (x1-based) from the pre-state.
+func (c *CallData) Arg(pre *State, n int) uint64 {
+	return pre.ReadGPR(c.CPU, n)
+}
+
+// NextRead pops the next recorded READ_ONCE value; the specification
+// functions replay the implementation's reads in order. ok is false
+// when the implementation performed fewer reads than the spec expects.
+func (c *CallData) NextRead(idx *int) (uint64, bool) {
+	if *idx >= len(c.Reads) {
+		return 0, false
+	}
+	v := c.Reads[*idx].Val
+	*idx++
+	return v, true
+}
+
+func (c *CallData) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cpu%d %v", c.CPU, c.Reason)
+	if c.Reason == arch.ExitMemAbort {
+		fmt.Fprintf(&b, " ipa=%#x write=%v", uint64(c.Fault.Addr), c.Fault.Write)
+	}
+	fmt.Fprintf(&b, " ret=%v", hyp.Errno(c.Ret))
+	if len(c.Reads) > 0 {
+		fmt.Fprintf(&b, " reads=%d", len(c.Reads))
+	}
+	for _, g := range c.GuestExits {
+		fmt.Fprintf(&b, " guest=%v/%d %v", g.Handle, g.VCPU, g.Op)
+	}
+	if c.Panicked {
+		fmt.Fprintf(&b, " PANIC(%s)", c.PanicMsg)
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package ghost
+
+import (
+	"fmt"
+	"strings"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/hyp"
+)
+
+// CompareTernary is the §4.2.2 check between the recorded pre-state,
+// the recorded post-state, and the specification-computed post-state:
+// wherever the computed post is present it must equal the recorded
+// post; wherever it is absent, the recorded post must equal the
+// pre-state (the handler must not have touched what the specification
+// says it does not touch). Footprints are excluded — which frames back
+// a table is an implementation detail.
+//
+// It returns "" on success, or a human-readable diff of the first
+// disagreements.
+func CompareTernary(pre, recorded, computed *State, cpu int) string {
+	var b strings.Builder
+
+	cmpMapping := func(name string, comp, rec, pr Mapping, compPresent, recPresent, prePresent bool) {
+		switch {
+		case compPresent:
+			if !recPresent {
+				fmt.Fprintf(&b, "%s: specified but never recorded (lock never taken?)\n", name)
+				return
+			}
+			if !EqualMappings(comp, rec) {
+				fmt.Fprintf(&b, "%s: recorded post differs from computed post:\n%s", name,
+					diffPages(DiffMappings(comp, rec)))
+			}
+		case recPresent:
+			if !prePresent {
+				// Recorded on release but never on acquire cannot
+				// happen under the hook discipline; flag it.
+				fmt.Fprintf(&b, "%s: recorded post without a recorded pre\n", name)
+				return
+			}
+			if !EqualMappings(pr, rec) {
+				fmt.Fprintf(&b, "%s: changed but the specification says untouched:\n%s", name,
+					diffPages(DiffMappings(pr, rec)))
+			}
+		}
+	}
+
+	cmpMapping("pkvm.pgt", computed.Pkvm.PGT.Mapping, recorded.Pkvm.PGT.Mapping, pre.Pkvm.PGT.Mapping,
+		computed.Pkvm.Present, recorded.Pkvm.Present, pre.Pkvm.Present)
+	cmpMapping("host.annot", computed.Host.Annot, recorded.Host.Annot, pre.Host.Annot,
+		computed.Host.Present, recorded.Host.Present, pre.Host.Present)
+	cmpMapping("host.shared", computed.Host.Shared, recorded.Host.Shared, pre.Host.Shared,
+		computed.Host.Present, recorded.Host.Present, pre.Host.Present)
+
+	// VM table.
+	switch {
+	case computed.VMs.Present:
+		if !recorded.VMs.Present {
+			b.WriteString("vms: specified but never recorded\n")
+		} else if !computed.VMs.Equal(recorded.VMs) {
+			fmt.Fprintf(&b, "vms: recorded post differs from computed post:\n%s",
+				diffVMs(computed.VMs, recorded.VMs))
+		}
+	case recorded.VMs.Present:
+		if !pre.VMs.Present {
+			b.WriteString("vms: recorded post without a recorded pre\n")
+		} else if !pre.VMs.Equal(recorded.VMs) {
+			fmt.Fprintf(&b, "vms: changed but the specification says untouched:\n%s",
+				diffVMs(pre.VMs, recorded.VMs))
+		}
+	}
+
+	// Guest stage 2 tables: union of handles seen anywhere.
+	handles := map[hyp.Handle]bool{}
+	for h := range computed.Guests {
+		handles[h] = true
+	}
+	for h := range recorded.Guests {
+		handles[h] = true
+	}
+	for h := range handles {
+		comp, rec, pr := computed.Guests[h], recorded.Guests[h], pre.Guests[h]
+		name := fmt.Sprintf("guest:%v.pgt", h)
+		var compM, recM, prM Mapping
+		var compP, recP, prP bool
+		if comp != nil {
+			compM, compP = comp.PGT.Mapping, comp.Present
+		}
+		if rec != nil {
+			recM, recP = rec.PGT.Mapping, rec.Present
+		}
+		if pr != nil {
+			prM, prP = pr.PGT.Mapping, pr.Present
+		}
+		cmpMapping(name, compM, recM, prM, compP, recP, prP)
+	}
+
+	// Thread-locals of the executing CPU: the specification always
+	// computes them (registers carry the return value).
+	compL, recL := computed.Locals[cpu], recorded.Locals[cpu]
+	switch {
+	case compL != nil && compL.Present:
+		if recL == nil || !recL.Present {
+			b.WriteString("locals: specified but not recorded\n")
+		} else if !compL.Equal(*recL) {
+			fmt.Fprintf(&b, "locals: recorded post differs from computed post:\n%s",
+				diffLocals(*compL, *recL))
+		}
+	case recL != nil && recL.Present:
+		preL := pre.Locals[cpu]
+		if preL == nil || !preL.Equal(*recL) {
+			b.WriteString("locals: changed but the specification says untouched\n")
+		}
+	}
+
+	return b.String()
+}
+
+// CheckInitLayout verifies the boot-time hypervisor stage 1 against
+// the expected initial layout, computed independently from the ghost
+// globals: the carve-out linear map plus the console device page above
+// the linear region. This is the redundant computation that catches
+// the paper's bug 5 (linear map / IO overlap).
+func CheckInitLayout(init *State) string {
+	if !init.Globals.Present || !init.Pkvm.Present {
+		return "init recording incomplete"
+	}
+	g := init.Globals.Globals
+
+	var want Mapping
+	carvePages := g.CarveSize >> arch.PageShift
+	want.Extend(g.HypVAOffset+uint64(g.CarveStart), carvePages,
+		Mapped(g.CarveStart, arch.Attrs{Perms: arch.PermRW, Mem: arch.MemNormal, State: arch.StateOwned}))
+
+	// The specification's own placement rule for the console mapping.
+	ramEnd := uint64(g.RAMStart) + g.RAMSize
+	uartVA := g.HypVAOffset + ((ramEnd + (1 << 30) - 1) &^ ((1 << 30) - 1))
+	uartTarget := Mapped(g.UARTPhys, arch.Attrs{Perms: arch.PermRW, Mem: arch.MemDevice, State: arch.StateOwned})
+	if uartVA >= want.Maplets()[0].VA+carvePages<<arch.PageShift {
+		want.Extend(uartVA, 1, uartTarget)
+	}
+
+	if !EqualMappings(init.Pkvm.PGT.Mapping, want) {
+		return "boot hypervisor mapping differs from expected initial layout:\n" +
+			diffPages(DiffMappings(want, init.Pkvm.PGT.Mapping))
+	}
+	return ""
+}

@@ -1,0 +1,169 @@
+package ghost
+
+// Unit tests of the ternary comparison and the diff/print machinery.
+
+import (
+	"strings"
+	"testing"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/hyp"
+)
+
+func mappingOf(pages ...uint64) Mapping {
+	var m Mapping
+	attrs := arch.Attrs{Perms: arch.PermRWX, Mem: arch.MemNormal}
+	for _, p := range pages {
+		m.Set(p<<arch.PageShift, 1, Mapped(arch.PhysAddr(p<<arch.PageShift), attrs))
+	}
+	return m
+}
+
+func stateWithHostShared(pages ...uint64) *State {
+	s := NewState()
+	s.Host = Host{Present: true, Shared: mappingOf(pages...)}
+	l := &CPULocal{Present: true}
+	s.Locals[0] = l
+	return s
+}
+
+func TestTernaryAllAgree(t *testing.T) {
+	pre := stateWithHostShared(1)
+	rec := stateWithHostShared(1, 2)
+	comp := stateWithHostShared(1, 2)
+	if d := CompareTernary(pre, rec, comp, 0); d != "" {
+		t.Errorf("agreeing states flagged:\n%s", d)
+	}
+}
+
+func TestTernaryComputedDisagrees(t *testing.T) {
+	pre := stateWithHostShared(1)
+	rec := stateWithHostShared(1)     // implementation did nothing
+	comp := stateWithHostShared(1, 2) // spec expected a new page
+	d := CompareTernary(pre, rec, comp, 0)
+	if !strings.Contains(d, "host.shared") {
+		t.Errorf("missing-component diff:\n%s", d)
+	}
+}
+
+func TestTernaryUntouchedMustMatchPre(t *testing.T) {
+	// The spec says nothing about the host (absent in computed), but
+	// the recording shows a change: flagged via the pre comparison.
+	pre := stateWithHostShared(1)
+	rec := stateWithHostShared(1, 2)
+	comp := NewState()
+	comp.Locals[0] = &CPULocal{Present: true}
+	d := CompareTernary(pre, rec, comp, 0)
+	if !strings.Contains(d, "untouched") {
+		t.Errorf("unspecified change not flagged:\n%s", d)
+	}
+	// And with no recorded change, silence.
+	rec2 := stateWithHostShared(1)
+	if d := CompareTernary(pre, rec2, comp, 0); d != "" {
+		t.Errorf("false alarm:\n%s", d)
+	}
+}
+
+func TestTernarySpecifiedButNeverRecorded(t *testing.T) {
+	pre := NewState()
+	pre.Locals[0] = &CPULocal{Present: true}
+	rec := NewState()
+	rec.Locals[0] = &CPULocal{Present: true}
+	comp := stateWithHostShared(3) // spec speaks about an unrecorded component
+	d := CompareTernary(pre, rec, comp, 0)
+	if !strings.Contains(d, "never recorded") {
+		t.Errorf("unrecorded component not flagged:\n%s", d)
+	}
+}
+
+func TestTernaryLocalsMismatch(t *testing.T) {
+	pre := stateWithHostShared()
+	rec := stateWithHostShared()
+	comp := stateWithHostShared()
+	comp.Locals[0].HostRegs[1] = 42 // spec expects a return value
+	d := CompareTernary(pre, rec, comp, 0)
+	if !strings.Contains(d, "locals") || !strings.Contains(d, "r1") {
+		t.Errorf("register mismatch not reported:\n%s", d)
+	}
+}
+
+func TestTernaryVMsAndGuests(t *testing.T) {
+	h := hyp.HandleOffset
+	pre := stateWithHostShared()
+	pre.VMs = VMs{Present: true, Table: map[hyp.Handle]*VMInfo{}, Reclaim: PageSet{}}
+	pre.Guests[h] = &GuestPgt{Present: true}
+
+	rec := stateWithHostShared()
+	rec.VMs = VMs{Present: true, Table: map[hyp.Handle]*VMInfo{
+		h: {Handle: h, NrVCPUs: 1, VCPUs: []VCPUInfo{{LoadedOn: -1}}},
+	}, Reclaim: PageSet{}}
+	rec.Guests[h] = &GuestPgt{Present: true, PGT: AbstractPgtable{Mapping: mappingOf(7)}}
+
+	// Computed post matches the recording: fine.
+	comp := stateWithHostShared()
+	comp.VMs = rec.VMs.Clone()
+	comp.Guests[h] = &GuestPgt{Present: true, PGT: AbstractPgtable{Mapping: mappingOf(7)}}
+	if d := CompareTernary(pre, rec, comp, 0); d != "" {
+		t.Errorf("matching vm/guest flagged:\n%s", d)
+	}
+	// Computed disagrees on the guest table: flagged with its handle.
+	comp.Guests[h] = &GuestPgt{Present: true, PGT: AbstractPgtable{Mapping: mappingOf(8)}}
+	d := CompareTernary(pre, rec, comp, 0)
+	if !strings.Contains(d, "guest:") {
+		t.Errorf("guest mismatch not reported:\n%s", d)
+	}
+}
+
+func TestPageDiffFormat(t *testing.T) {
+	d := PageDiff{Added: true, VA: 0x1000, Target: Annotated(3)}
+	if !strings.HasPrefix(d.String(), "+virt:1000") {
+		t.Errorf("diff format: %s", d)
+	}
+	d.Added = false
+	if !strings.HasPrefix(d.String(), "-virt:1000") {
+		t.Errorf("diff format: %s", d)
+	}
+}
+
+func TestDiffCap(t *testing.T) {
+	// A wildly different mapping must not flood the report.
+	var big Mapping
+	attrs := arch.Attrs{Perms: arch.PermRWX, Mem: arch.MemNormal}
+	for p := uint64(0); p < 100; p++ {
+		big.Set(p<<arch.PageShift, 1, Mapped(arch.PhysAddr(p<<(arch.PageShift+1)), attrs))
+	}
+	out := diffPages(DiffMappings(Mapping{}, big))
+	if !strings.Contains(out, "more") {
+		t.Errorf("diff not capped:\n%s", out)
+	}
+	if strings.Count(out, "\n") > 20 {
+		t.Errorf("capped diff still long: %d lines", strings.Count(out, "\n"))
+	}
+}
+
+func TestStatsAndFailureString(t *testing.T) {
+	f := Failure{Kind: FailSpecMismatch, Call: CallData{CPU: 1, Reason: arch.ExitHVC}, Detail: "boom"}
+	s := f.String()
+	if !strings.Contains(s, "spec-mismatch") || !strings.Contains(s, "boom") {
+		t.Errorf("failure string: %s", s)
+	}
+	for k := FailSpecMismatch; k <= FailSpecIncomplete; k++ {
+		if k.String() == "?" {
+			t.Errorf("failure kind %d has no name", k)
+		}
+	}
+}
+
+func TestMapletAndTargetStrings(t *testing.T) {
+	ml := Maplet{VA: 0x2000, NrPages: 3, Target: Mapped(0x5000, arch.Attrs{Perms: arch.PermRW})}
+	if !strings.Contains(ml.String(), "virt:2000+3") {
+		t.Errorf("maplet string: %s", ml)
+	}
+	if !strings.Contains(Annotated(7).String(), "owner:7") {
+		t.Error("annotation string")
+	}
+	var m Mapping
+	if m.String() != "{}" {
+		t.Error("empty mapping string")
+	}
+}

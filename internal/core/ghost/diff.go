@@ -1,0 +1,147 @@
+package ghost
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ghostspec/internal/hyp"
+)
+
+// diffPages renders page diffs in the paper's +/- notation, capped so
+// a wildly wrong state does not flood the report.
+func diffPages(diffs []PageDiff) string {
+	const cap = 16
+	var b strings.Builder
+	for i, d := range diffs {
+		if i == cap {
+			fmt.Fprintf(&b, "  … %d more\n", len(diffs)-cap)
+			break
+		}
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}
+
+// diffHost renders the host component differences.
+func diffHost(old, new Host) string {
+	var b strings.Builder
+	if d := DiffMappings(old.Annot, new.Annot); len(d) > 0 {
+		b.WriteString(" annot:\n" + diffPages(d))
+	}
+	if d := DiffMappings(old.Shared, new.Shared); len(d) > 0 {
+		b.WriteString(" shared:\n" + diffPages(d))
+	}
+	return b.String()
+}
+
+// diffVMs renders VM-table differences: VMs added/removed/changed and
+// reclaim-set deltas.
+func diffVMs(want, got VMs) string {
+	var b strings.Builder
+	handles := map[hyp.Handle]bool{}
+	for h := range want.Table {
+		handles[h] = true
+	}
+	for h := range got.Table {
+		handles[h] = true
+	}
+	sorted := make([]hyp.Handle, 0, len(handles))
+	for h := range handles {
+		sorted = append(sorted, h)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, h := range sorted {
+		w, g := want.Table[h], got.Table[h]
+		switch {
+		case w == nil:
+			fmt.Fprintf(&b, "  +vm %v (unexpected)\n", h)
+		case g == nil:
+			fmt.Fprintf(&b, "  -vm %v (missing)\n", h)
+		case !w.Equal(g):
+			fmt.Fprintf(&b, "  vm %v metadata differs:\n", h)
+			for i := range w.VCPUs {
+				if i < len(g.VCPUs) && !w.VCPUs[i].Equal(g.VCPUs[i]) {
+					fmt.Fprintf(&b, "    vcpu%d: want init=%v loaded=%d mc=%d regs[0..3]=%x,"+
+						" got init=%v loaded=%d mc=%d regs[0..3]=%x\n",
+						i, w.VCPUs[i].Initialized, w.VCPUs[i].LoadedOn, len(w.VCPUs[i].MC), w.VCPUs[i].Regs[:4],
+						g.VCPUs[i].Initialized, g.VCPUs[i].LoadedOn, len(g.VCPUs[i].MC), g.VCPUs[i].Regs[:4])
+				}
+			}
+			if len(w.Donated) != len(g.Donated) {
+				fmt.Fprintf(&b, "    donated: want %d frames, got %d\n", len(w.Donated), len(g.Donated))
+			}
+		}
+	}
+	if !want.Reclaim.Equal(got.Reclaim) {
+		fmt.Fprintf(&b, "  reclaim: want %v, got %v\n", want.Reclaim, got.Reclaim)
+	}
+	return b.String()
+}
+
+// diffLocals renders register-file and per-CPU differences in the
+// paper's regs -/+ style.
+func diffLocals(want, got CPULocal) string {
+	var b strings.Builder
+	if want.HostRegs != got.HostRegs {
+		b.WriteString(regsDiff("host regs", want.HostRegs[:], got.HostRegs[:]))
+	}
+	if want.GuestRegs != got.GuestRegs {
+		b.WriteString(regsDiff("guest regs", want.GuestRegs[:], got.GuestRegs[:]))
+	}
+	if want.PerCPU != got.PerCPU {
+		fmt.Fprintf(&b, "  percpu: want %+v, got %+v\n", want.PerCPU, got.PerCPU)
+	}
+	return b.String()
+}
+
+func regsDiff(name string, want, got []uint64) string {
+	var w, g strings.Builder
+	fmt.Fprintf(&w, "  %s -", name)
+	fmt.Fprintf(&g, "  %s +", name)
+	for i := range want {
+		if want[i] != got[i] {
+			fmt.Fprintf(&w, " r%d=%x", i, want[i])
+			fmt.Fprintf(&g, " r%d=%x", i, got[i])
+		}
+	}
+	return w.String() + "\n" + g.String() + "\n"
+}
+
+// FormatStateDiff renders the abstract-state change between two
+// recorded states — the paper's "recorded post ghost state diff from
+// recorded pre" report used throughout debugging.
+func FormatStateDiff(pre, post *State) string {
+	var b strings.Builder
+	if pre.Host.Present && post.Host.Present {
+		if d := DiffMappings(pre.Host.Shared, post.Host.Shared); len(d) > 0 {
+			b.WriteString("host.shared\n" + diffPages(d))
+		}
+		if d := DiffMappings(pre.Host.Annot, post.Host.Annot); len(d) > 0 {
+			b.WriteString("host.annot\n" + diffPages(d))
+		}
+	}
+	if pre.Pkvm.Present && post.Pkvm.Present {
+		if d := DiffMappings(pre.Pkvm.PGT.Mapping, post.Pkvm.PGT.Mapping); len(d) > 0 {
+			b.WriteString("pkvm.pgt\n" + diffPages(d))
+		}
+	}
+	for h, postG := range post.Guests {
+		preG := pre.Guests[h]
+		if preG != nil && preG.Present && postG.Present {
+			if d := DiffMappings(preG.PGT.Mapping, postG.PGT.Mapping); len(d) > 0 {
+				fmt.Fprintf(&b, "guest:%v.pgt\n%s", h, diffPages(d))
+			}
+		}
+	}
+	for cpu, postL := range post.Locals {
+		preL := pre.Locals[cpu]
+		if preL != nil && postL.Present && !preL.Equal(*postL) {
+			b.WriteString(diffLocals(*preL, *postL))
+		}
+	}
+	if b.Len() == 0 {
+		return "(no abstract-state change)"
+	}
+	return b.String()
+}

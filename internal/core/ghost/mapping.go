@@ -1,0 +1,313 @@
+// Package ghost is the paper's contribution: the reified ghost state —
+// a mathematical abstraction of the hypervisor's concrete state
+// expressed as ordinary data structures — together with the executable
+// abstraction functions that compute it, the per-exception
+// specification functions that compute expected post-states, and the
+// runtime machinery that records, checks, diffs, and prints it all
+// (paper §3–4).
+//
+// The package deliberately never reads concrete state through the
+// hypervisor's own page-table helpers: abstraction functions interpret
+// raw descriptors via package arch, preserving the hygiene split
+// between implementation and specification that the paper insists on.
+package ghost
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ghostspec/internal/arch"
+)
+
+// TargetKind distinguishes the two things a range of input addresses
+// can abstractly map to.
+type TargetKind uint8
+
+const (
+	// TargetMapped is a translation to physical memory with
+	// attributes.
+	TargetMapped TargetKind = iota
+	// TargetAnnotated is pKVM's ownership annotation: unmapped, owned
+	// by the named component.
+	TargetAnnotated
+)
+
+// Target is the right-hand side of a maplet. For TargetMapped, page i
+// of the maplet maps to Phys + i*PageSize with Attrs; for
+// TargetAnnotated the range is unmapped and owned by Owner.
+type Target struct {
+	Kind  TargetKind
+	Phys  arch.PhysAddr
+	Attrs arch.Attrs
+	Owner uint8
+}
+
+// Mapped builds a mapped target.
+func Mapped(phys arch.PhysAddr, attrs arch.Attrs) Target {
+	return Target{Kind: TargetMapped, Phys: phys, Attrs: attrs}
+}
+
+// Annotated builds an ownership-annotation target.
+func Annotated(owner uint8) Target {
+	return Target{Kind: TargetAnnotated, Owner: owner}
+}
+
+// at returns the target as seen at page offset i within a maplet.
+func (t Target) at(i uint64) Target {
+	if t.Kind == TargetMapped {
+		t.Phys += arch.PhysAddr(i << arch.PageShift)
+	}
+	return t
+}
+
+// continues reports whether next is what this target looks like
+// nrPages further on — the coalescing criterion.
+func (t Target) continues(nrPages uint64, next Target) bool {
+	if t.Kind != next.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TargetMapped:
+		return t.Attrs == next.Attrs && t.Phys+arch.PhysAddr(nrPages<<arch.PageShift) == next.Phys
+	default:
+		return t.Owner == next.Owner
+	}
+}
+
+func (t Target) String() string {
+	if t.Kind == TargetAnnotated {
+		return fmt.Sprintf("owner:%d", t.Owner)
+	}
+	return fmt.Sprintf("phys:%x %s", uint64(t.Phys), t.Attrs)
+}
+
+// Maplet is one maximally coalesced contiguous range of a mapping: VA
+// (an input address, virtual or intermediate-physical) for NrPages
+// pages, mapping to Target.
+type Maplet struct {
+	VA      uint64
+	NrPages uint64
+	Target  Target
+}
+
+func (m Maplet) end() uint64 { return m.VA + m.NrPages<<arch.PageShift }
+
+func (m Maplet) String() string {
+	return fmt.Sprintf("virt:%x+%d %s", m.VA, m.NrPages, m.Target)
+}
+
+// Mapping is a finite range map from page-aligned input addresses to
+// targets: the extensional meaning of a page table (paper §3.1,
+// "abstract mappings"). The representation is an ordered list of
+// maximally coalesced maplets; all operations maintain that canonical
+// form, so semantic equality is representation equality.
+type Mapping struct {
+	maplets []Maplet
+}
+
+// Clone returns an independent copy.
+func (m Mapping) Clone() Mapping {
+	out := make([]Maplet, len(m.maplets))
+	copy(out, m.maplets)
+	return Mapping{maplets: out}
+}
+
+// IsEmpty reports whether the mapping has no pages.
+func (m Mapping) IsEmpty() bool { return len(m.maplets) == 0 }
+
+// NrPages returns the total number of mapped/annotated pages.
+func (m Mapping) NrPages() uint64 {
+	var n uint64
+	for _, ml := range m.maplets {
+		n += ml.NrPages
+	}
+	return n
+}
+
+// NrMaplets returns the number of coalesced ranges — the
+// representation size the memory accounting reports.
+func (m Mapping) NrMaplets() int { return len(m.maplets) }
+
+// Maplets returns the underlying ranges, ascending and coalesced.
+// Callers must not mutate the result.
+func (m Mapping) Maplets() []Maplet { return m.maplets }
+
+// Lookup returns the target of the page containing va.
+func (m Mapping) Lookup(va uint64) (Target, bool) {
+	va = arch.AlignDown(va)
+	i := sort.Search(len(m.maplets), func(i int) bool { return m.maplets[i].end() > va })
+	if i == len(m.maplets) || m.maplets[i].VA > va {
+		return Target{}, false
+	}
+	ml := m.maplets[i]
+	return ml.Target.at((va - ml.VA) >> arch.PageShift), true
+}
+
+// Extend appends a range during in-order construction (the abstraction
+// function's extend_mapping_coalesce, Fig 2). va must be at or past
+// the end of the mapping; adjacent compatible ranges coalesce.
+func (m *Mapping) Extend(va uint64, nrPages uint64, t Target) {
+	if nrPages == 0 {
+		return
+	}
+	if n := len(m.maplets); n > 0 {
+		last := &m.maplets[n-1]
+		if va < last.end() {
+			panic(fmt.Sprintf("ghost: out-of-order Extend at %#x (end %#x)", va, last.end()))
+		}
+		if va == last.end() && last.Target.continues(last.NrPages, t) {
+			last.NrPages += nrPages
+			return
+		}
+	}
+	m.maplets = append(m.maplets, Maplet{VA: va, NrPages: nrPages, Target: t})
+}
+
+// Set overwrites [va, va+nrPages*4K) with the target, replacing
+// whatever was there — the specification functions' mapping_update.
+func (m *Mapping) Set(va uint64, nrPages uint64, t Target) {
+	m.Remove(va, nrPages)
+	m.insert(Maplet{VA: va, NrPages: nrPages, Target: t})
+}
+
+// Remove erases [va, va+nrPages*4K) from the mapping, splitting
+// maplets as needed.
+func (m *Mapping) Remove(va uint64, nrPages uint64) {
+	if nrPages == 0 {
+		return
+	}
+	start, end := va, va+nrPages<<arch.PageShift
+	var out []Maplet
+	for _, ml := range m.maplets {
+		if ml.end() <= start || ml.VA >= end {
+			out = append(out, ml)
+			continue
+		}
+		// Left remainder.
+		if ml.VA < start {
+			out = append(out, Maplet{
+				VA:      ml.VA,
+				NrPages: (start - ml.VA) >> arch.PageShift,
+				Target:  ml.Target,
+			})
+		}
+		// Right remainder.
+		if ml.end() > end {
+			skip := (end - ml.VA) >> arch.PageShift
+			out = append(out, Maplet{
+				VA:      end,
+				NrPages: ml.NrPages - skip,
+				Target:  ml.Target.at(skip),
+			})
+		}
+	}
+	m.maplets = out
+}
+
+// insert adds a maplet that must not overlap anything present, then
+// re-establishes coalescing around it.
+func (m *Mapping) insert(nm Maplet) {
+	i := sort.Search(len(m.maplets), func(i int) bool { return m.maplets[i].VA >= nm.VA })
+	m.maplets = append(m.maplets, Maplet{})
+	copy(m.maplets[i+1:], m.maplets[i:])
+	m.maplets[i] = nm
+	m.coalesceAround(i)
+}
+
+func (m *Mapping) coalesceAround(i int) {
+	// Merge with the previous maplet.
+	if i > 0 {
+		prev, cur := m.maplets[i-1], m.maplets[i]
+		if prev.end() == cur.VA && prev.Target.continues(prev.NrPages, cur.Target) {
+			m.maplets[i-1].NrPages += cur.NrPages
+			m.maplets = append(m.maplets[:i], m.maplets[i+1:]...)
+			i--
+		}
+	}
+	// Merge with the next.
+	if i+1 < len(m.maplets) {
+		cur, next := m.maplets[i], m.maplets[i+1]
+		if cur.end() == next.VA && cur.Target.continues(cur.NrPages, next.Target) {
+			m.maplets[i].NrPages += next.NrPages
+			m.maplets = append(m.maplets[:i+1], m.maplets[i+2:]...)
+		}
+	}
+}
+
+// EqualMappings reports extensional equality. Because both sides are
+// canonical, this is plain structural comparison.
+func EqualMappings(a, b Mapping) bool {
+	if len(a.maplets) != len(b.maplets) {
+		return false
+	}
+	for i := range a.maplets {
+		if a.maplets[i] != b.maplets[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PageDiff is one page-level difference between two mappings, in the
+// paper's +/- diff notation.
+type PageDiff struct {
+	// Added is true for a page present in the new mapping and not the
+	// old (a "+" line), false for the reverse.
+	Added  bool
+	VA     uint64
+	Target Target
+}
+
+func (d PageDiff) String() string {
+	sign := "-"
+	if d.Added {
+		sign = "+"
+	}
+	return fmt.Sprintf("%svirt:%x %s", sign, d.VA, d.Target)
+}
+
+// DiffMappings returns the page-granular differences from old to new:
+// pages removed, pages added, and pages whose target changed (reported
+// as a remove plus an add).
+func DiffMappings(old, new Mapping) []PageDiff {
+	var diffs []PageDiff
+	forEachPage(old, func(va uint64, t Target) {
+		nt, ok := new.Lookup(va)
+		if !ok {
+			diffs = append(diffs, PageDiff{Added: false, VA: va, Target: t})
+		} else if nt != t {
+			diffs = append(diffs, PageDiff{Added: false, VA: va, Target: t})
+			diffs = append(diffs, PageDiff{Added: true, VA: va, Target: nt})
+		}
+	})
+	forEachPage(new, func(va uint64, t Target) {
+		if _, ok := old.Lookup(va); !ok {
+			diffs = append(diffs, PageDiff{Added: true, VA: va, Target: t})
+		}
+	})
+	sort.SliceStable(diffs, func(i, j int) bool { return diffs[i].VA < diffs[j].VA })
+	return diffs
+}
+
+func forEachPage(m Mapping, f func(va uint64, t Target)) {
+	for _, ml := range m.maplets {
+		for i := uint64(0); i < ml.NrPages; i++ {
+			f(ml.VA+i<<arch.PageShift, ml.Target.at(i))
+		}
+	}
+}
+
+func (m Mapping) String() string {
+	if len(m.maplets) == 0 {
+		return "{}"
+	}
+	var b strings.Builder
+	for i, ml := range m.maplets {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(ml.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package ghost
+
+import (
+	"sync"
+	"testing"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/hyp"
+)
+
+// TestMultiVCPUConcurrent runs two vCPUs of the SAME VM on two
+// physical CPUs simultaneously: both grow the shared guest stage 2
+// through their own memcaches, contend on the guest and host locks,
+// and run guest traffic — with the oracle checking every trap on both
+// threads. This exercises the trickiest ownership interplay: VM
+// metadata owned partly by the vms lock, partly by each loading CPU,
+// plus a guest table both threads mutate under its lock.
+func TestMultiVCPUConcurrent(t *testing.T) {
+	s := newSys(t)
+
+	don := hyp.InitVMDonation(2)
+	h := hyp.Handle(s.hvc(t, 0, hyp.HCInitVM, 2, uint64(s.hostPFN(100)), don))
+	if h < hyp.HandleOffset {
+		t.Fatalf("init_vm: %v", hyp.Errno(int64(h)))
+	}
+	for idx := 0; idx < 2; idx++ {
+		if r := s.hvc(t, 0, hyp.HCInitVCPU, uint64(h), uint64(idx)); r != 0 {
+			t.Fatalf("init_vcpu %d: %v", idx, hyp.Errno(r))
+		}
+	}
+	// Top up both vCPUs (before loading; topup of a loaded vCPU is
+	// EBUSY).
+	topup := func(idx int, base uint64) {
+		pfns := make([]arch.PFN, 8)
+		for i := range pfns {
+			pfns[i] = s.hostPFN(base + uint64(i))
+		}
+		for i, pfn := range pfns {
+			next := uint64(0)
+			if i+1 < len(pfns) {
+				next = uint64(pfns[i+1].Phys())
+			}
+			s.hv.Mem.Write64(pfn.Phys(), next)
+		}
+		if r := s.hvc(t, 0, hyp.HCTopupVCPUMemcache, uint64(h), uint64(idx), uint64(pfns[0].Phys()), 8); r != 0 {
+			t.Fatalf("topup vcpu %d: %v", idx, hyp.Errno(r))
+		}
+	}
+	topup(0, 200)
+	topup(1, 220)
+
+	// Load vCPU 0 on CPU 0 and vCPU 1 on CPU 1.
+	for idx := 0; idx < 2; idx++ {
+		if r := s.hvc(t, idx, hyp.HCVCPULoad, uint64(h), uint64(idx)); r != 0 {
+			t.Fatalf("load vcpu %d: %v", idx, hyp.Errno(r))
+		}
+	}
+
+	// Both CPUs concurrently donate pages into the shared guest
+	// address space (disjoint gfn ranges) and run guest accesses.
+	var wg sync.WaitGroup
+	for idx := 0; idx < 2; idx++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				gfn := uint64(cpu*64 + 16 + i)
+				page := s.hostPFN(uint64(300 + cpu*50 + i))
+				if r := s.hvc(t, cpu, hyp.HCHostMapGuest, uint64(page), gfn); r != 0 {
+					t.Errorf("cpu %d map_guest %d: %v", cpu, i, hyp.Errno(r))
+					return
+				}
+				s.hv.QueueGuestOp(h, cpu, hyp.GuestOp{
+					Kind: hyp.GuestAccess, IPA: arch.IPA(gfn << arch.PageShift),
+					Write: true, Value: uint64(cpu<<16 | i),
+				})
+				if r := s.hvc(t, cpu, hyp.HCVCPURun); r != hyp.RunExitYield {
+					t.Errorf("cpu %d run: %v", cpu, r)
+					return
+				}
+			}
+		}(idx)
+	}
+	wg.Wait()
+
+	// Put both, tear down, verify cleanliness.
+	for idx := 0; idx < 2; idx++ {
+		if r := s.hvc(t, idx, hyp.HCVCPUPut); r != 0 {
+			t.Fatalf("put %d: %v", idx, hyp.Errno(r))
+		}
+	}
+	if r := s.hvc(t, 0, hyp.HCTeardownVM, uint64(h)); r != 0 {
+		t.Fatalf("teardown: %v", hyp.Errno(r))
+	}
+	s.mustClean(t)
+
+	st := s.rec.Stats()
+	if st.Passed != st.Checks || st.Checks < 20 {
+		t.Errorf("stats: %+v", st)
+	}
+}

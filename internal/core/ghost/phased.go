@@ -1,0 +1,164 @@
+package ghost
+
+// Transactional (per-lock-session) checking — the extension the paper
+// leaves as feasible-but-not-done: "a few hypercalls execute in
+// phases, releasing and retaking locks ... Handling that would need a
+// more explicitly transactional style of instrumentation."
+//
+// The recorder keeps, per trap, the list of lock sessions of each
+// component: one (pre, post) snapshot pair per acquisition. For a
+// phased hypercall the oracle then checks each session transition
+// against the specification of that phase, instead of comparing one
+// monolithic pre/post pair — which would falsely alarm whenever
+// another CPU legitimately changed the component between phases.
+
+import (
+	"fmt"
+	"strings"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/hyp"
+)
+
+// Session is one lock session of one component within a single trap:
+// the abstraction recorded at acquisition and at release.
+type Session struct {
+	Pre  *State // only the session's component is present
+	Post *State // nil if the trap panicked while holding the lock
+}
+
+// Sessions maps each component to its lock sessions within one trap,
+// in acquisition order.
+type Sessions map[hyp.Component][]*Session
+
+// isPhased reports whether a hypercall releases and retakes locks
+// mid-call, requiring per-session checking.
+func isPhased(id hyp.HC) bool { return id == hyp.HCHostShareHypRange }
+
+// checkShareRangePhased is the transactional specification of
+// host_share_hyp_range: it replays the per-page loop, checking each
+// recorded lock session's transition independently. Interference from
+// other CPUs *between* sessions is invisible to it by construction —
+// each phase is judged only against its own recorded pre-state.
+//
+// Returns "" on success or a failure description.
+func checkShareRangePhased(pre *State, call *CallData, sessions Sessions) string {
+	cpu := call.CPU
+	g := pre.Globals.Globals
+	pfn := arch.PFN(call.Arg(pre, 1))
+	nr := call.Arg(pre, 2)
+
+	hostSes := sessions[hyp.Component{Kind: hyp.CompHost}]
+	hypSes := sessions[hyp.Component{Kind: hyp.CompHyp}]
+
+	expectedRet := int64(hyp.OK)
+	phases := 0
+
+	switch {
+	case nr == 0 || nr > hyp.MaxShareRange:
+		expectedRet = int64(hyp.EINVAL)
+	default:
+	replay:
+		for i := uint64(0); i < nr; i++ {
+			phys := (pfn + arch.PFN(i)).Phys()
+			if !g.InRAM(phys) {
+				expectedRet = int64(hyp.EINVAL)
+				break
+			}
+			if phases >= len(hostSes) || phases >= len(hypSes) {
+				return fmt.Sprintf("phase %d: expected a lock session, implementation stopped after %d",
+					phases, len(hostSes))
+			}
+			hs, ps := hostSes[phases], hypSes[phases]
+			if hs.Post == nil || ps.Post == nil {
+				return fmt.Sprintf("phase %d: session has no release snapshot", phases)
+			}
+			phases++
+
+			hypVA := uint64(phys) + g.HypVAOffset
+			switch {
+			case !ownedExclusivelyByHost(hs.Pre, phys):
+				// This phase must fail EPERM and change nothing.
+				expectedRet = int64(hyp.EPERM)
+				if d := sessionUnchanged(hs, ps); d != "" {
+					return fmt.Sprintf("phase %d (EPERM) modified state:\n%s", phases-1, d)
+				}
+				break replay
+			case call.Ret == int64(hyp.ENOMEM) && phases == len(hostSes):
+				// Loose allocation failure on the final phase: the
+				// phase must be a no-op (the implementation rolls
+				// back), §4.3 applied per phase.
+				expectedRet = int64(hyp.ENOMEM)
+				if d := sessionUnchanged(hs, ps); d != "" {
+					return fmt.Sprintf("phase %d (loose ENOMEM) modified state:\n%s", phases-1, d)
+				}
+				break replay
+			default:
+				// Successful phase: this page, and only this page,
+				// moves to shared on both sides of this session.
+				wantHost := hs.Pre.Host.Shared.Clone()
+				wantHost.Set(uint64(phys), 1,
+					Mapped(phys, hostMemoryAttributes(true, arch.StateSharedOwned)))
+				if !EqualMappings(wantHost, hs.Post.Host.Shared) {
+					return fmt.Sprintf("phase %d host.shared transition wrong:\n%s", phases-1,
+						diffPages(DiffMappings(wantHost, hs.Post.Host.Shared)))
+				}
+				if !EqualMappings(hs.Pre.Host.Annot, hs.Post.Host.Annot) {
+					return fmt.Sprintf("phase %d changed host.annot", phases-1)
+				}
+				wantHyp := ps.Pre.Pkvm.PGT.Mapping.Clone()
+				wantHyp.Set(hypVA, 1,
+					Mapped(phys, hypMemoryAttributes(true, arch.StateSharedBorrowed)))
+				if !EqualMappings(wantHyp, ps.Post.Pkvm.PGT.Mapping) {
+					return fmt.Sprintf("phase %d pkvm.pgt transition wrong:\n%s", phases-1,
+						diffPages(DiffMappings(wantHyp, ps.Post.Pkvm.PGT.Mapping)))
+				}
+			}
+		}
+	}
+
+	if phases != len(hostSes) || phases != len(hypSes) {
+		return fmt.Sprintf("implementation ran %d/%d phases, specification expects %d",
+			len(hostSes), len(hypSes), phases)
+	}
+
+	// Register epilogue: x0 cleared, x1 carries the expected return.
+	recL := callLocals(call)
+	if recL == nil {
+		return "no recorded locals"
+	}
+	var b strings.Builder
+	if recL.HostRegs[0] != 0 {
+		fmt.Fprintf(&b, "x0 = %#x, want 0\n", recL.HostRegs[0])
+	}
+	if got := int64(recL.HostRegs[1]); got != expectedRet {
+		fmt.Fprintf(&b, "ret = %v, want %v\n", hyp.Errno(got), hyp.Errno(expectedRet))
+	}
+	// The remaining registers are preserved.
+	preL := pre.Locals[cpu]
+	for r := 2; r < arch.NumGPRs; r++ {
+		if preL.HostRegs[r] != recL.HostRegs[r] {
+			fmt.Fprintf(&b, "x%d clobbered\n", r)
+		}
+	}
+	return b.String()
+}
+
+// sessionUnchanged checks a (host or pkvm) session left its component
+// untouched, returning a diff otherwise.
+func sessionUnchanged(hs, ps *Session) string {
+	var b strings.Builder
+	if !EqualMappings(hs.Pre.Host.Shared, hs.Post.Host.Shared) {
+		b.WriteString(diffPages(DiffMappings(hs.Pre.Host.Shared, hs.Post.Host.Shared)))
+	}
+	if !EqualMappings(hs.Pre.Host.Annot, hs.Post.Host.Annot) {
+		b.WriteString(diffPages(DiffMappings(hs.Pre.Host.Annot, hs.Post.Host.Annot)))
+	}
+	if !EqualMappings(ps.Pre.Pkvm.PGT.Mapping, ps.Post.Pkvm.PGT.Mapping) {
+		b.WriteString(diffPages(DiffMappings(ps.Pre.Pkvm.PGT.Mapping, ps.Post.Pkvm.PGT.Mapping)))
+	}
+	return b.String()
+}
+
+// callLocals returns the recorded exit locals stashed on the call.
+func callLocals(call *CallData) *CPULocal { return call.exitLocals }

@@ -1,0 +1,534 @@
+package ghost
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/hyp"
+)
+
+// FailureKind classifies an oracle alarm.
+type FailureKind uint8
+
+const (
+	// FailSpecMismatch: the recorded post-state disagrees with the
+	// specification-computed post-state (the headline check, §4.2.2).
+	FailSpecMismatch FailureKind = iota
+	// FailHostInvariant: the host stage 2 abstraction found an illegal
+	// incidental mapping (the loose bound of §3.1).
+	FailHostInvariant
+	// FailNonInterference: a component changed between hypercalls
+	// while its lock was free (§4.4 check 1).
+	FailNonInterference
+	// FailSeparation: page-table footprints overlap (§4.4 check 2).
+	FailSeparation
+	// FailInitLayout: the boot-time hypervisor mapping does not match
+	// the expected initial layout (catches the linear-map overlap).
+	FailInitLayout
+	// FailPanic: the hypervisor panicked mid-handler.
+	FailPanic
+	// FailSpecIncomplete: the specification declined to produce a
+	// post-state (gradual specification, §4.2).
+	FailSpecIncomplete
+)
+
+func (k FailureKind) String() string {
+	switch k {
+	case FailSpecMismatch:
+		return "spec-mismatch"
+	case FailHostInvariant:
+		return "host-invariant"
+	case FailNonInterference:
+		return "non-interference"
+	case FailSeparation:
+		return "separation"
+	case FailInitLayout:
+		return "init-layout"
+	case FailPanic:
+		return "hyp-panic"
+	case FailSpecIncomplete:
+		return "spec-incomplete"
+	}
+	return "?"
+}
+
+// Failure is one oracle alarm.
+type Failure struct {
+	Kind   FailureKind
+	CPU    int
+	Call   CallData
+	Detail string
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("[%v] %s — %s", f.Kind, f.Call.String(), f.Detail)
+}
+
+// Stats are the recorder's counters.
+type Stats struct {
+	Traps    int // exceptions observed
+	Checks   int // oracle comparisons executed
+	Passed   int
+	Failures int
+	// MapletsLive is the number of maplets in the shared ghost copy —
+	// the dominant term of the ghost memory impact (§6 performance).
+	MapletsLive int
+	// HookTime is the cumulative wall time spent inside the ghost
+	// hooks across all CPUs — the instrumentation's share of the §6
+	// overhead.
+	HookTime time.Duration
+}
+
+// cpuRec is the per-hardware-thread recording slot (the thread-local
+// storage of the instrumented build).
+type cpuRec struct {
+	active bool
+	pre    *State
+	post   *State
+	call   CallData
+	// sessions records every lock session of every component within
+	// the current trap, for the transactional checks of phased
+	// hypercalls.
+	sessions Sessions
+}
+
+// Recorder implements hyp.Instrumentation: it computes and records
+// abstractions at the ownership-respecting points (Fig 6), maintains
+// the single shared ghost copy for the non-interference check, and
+// runs the specification oracle at each trap exit.
+type Recorder struct {
+	hv *hyp.Hypervisor
+
+	// mu guards shared, failures, and counters. The ghost machinery
+	// adds this lock for its own data; the hypervisor's own locking is
+	// untouched (paper §3.2).
+	mu       sync.Mutex
+	shared   *State
+	failures []Failure
+	stats    Stats
+	// hostFootprint is the host table's own frames as of the last
+	// host-lock release; the separation check reads it instead of
+	// re-interpreting the table.
+	hostFootprint PageSet
+
+	cpus []*cpuRec
+
+	// hookNanos accumulates time spent in hooks (atomic: hooks run on
+	// all CPUs concurrently).
+	hookNanos atomic.Int64
+
+	// OnFailure, when set, is called (under mu) for each alarm;
+	// used by the harness for live diff printing.
+	OnFailure func(Failure)
+
+	// OnEvent, when set, receives every checked trap as a TraceEvent
+	// (for trace recording / offline replay). Called synchronously on
+	// the trapping CPU's thread.
+	OnEvent func(TraceEvent)
+}
+
+// Attach builds a recorder, wires it into the hypervisor, records the
+// initial abstraction of every component, and checks the boot-time
+// layout. It must be called before any hypercall traffic.
+func Attach(hv *hyp.Hypervisor) *Recorder {
+	r := &Recorder{
+		hv:     hv,
+		shared: NewState(),
+		cpus:   make([]*cpuRec, hv.Globals().NrCPUs),
+	}
+	for i := range r.cpus {
+		r.cpus[i] = &cpuRec{}
+	}
+
+	// Initial recording: no traffic yet, so reading without locks is
+	// sound. This snapshot seeds the non-interference baseline.
+	r.shared.Globals = AbstractGlobals(hv)
+	r.shared.Pkvm = AbstractHyp(hv)
+	host, hostFP, herr := AbstractHostWithFootprint(hv)
+	r.shared.Host = host
+	r.hostFootprint = hostFP
+	r.shared.VMs = AbstractVMs(hv)
+
+	if herr != nil {
+		r.fail(Failure{Kind: FailHostInvariant, Detail: herr.Error()})
+	}
+	if detail := CheckInitLayout(r.shared); detail != "" {
+		r.fail(Failure{Kind: FailInitLayout, Detail: detail})
+	}
+
+	hv.SetInstrumentation(r)
+	return r
+}
+
+// timeHook accumulates the time since start into the hook-time
+// counter; used as `defer r.timeHook(time.Now())`.
+func (r *Recorder) timeHook(start time.Time) {
+	r.hookNanos.Add(int64(time.Since(start)))
+}
+
+// fail records an alarm; callers may hold mu or not (it re-locks).
+func (r *Recorder) fail(f Failure) {
+	r.mu.Lock()
+	r.failures = append(r.failures, f)
+	r.stats.Failures++
+	cb := r.OnFailure
+	r.mu.Unlock()
+	if cb != nil {
+		cb(f)
+	}
+}
+
+// Failures returns a copy of all alarms so far.
+func (r *Recorder) Failures() []Failure {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Failure(nil), r.failures...)
+}
+
+// ResetFailures clears the alarm list (between test cases).
+func (r *Recorder) ResetFailures() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failures = nil
+}
+
+// Stats returns the counters.
+func (r *Recorder) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.stats
+	s.HookTime = time.Duration(r.hookNanos.Load())
+	s.MapletsLive = r.shared.Pkvm.PGT.Mapping.NrMaplets() +
+		r.shared.Host.Annot.NrMaplets() + r.shared.Host.Shared.NrMaplets()
+	for _, g := range r.shared.Guests {
+		s.MapletsLive += g.PGT.Mapping.NrMaplets()
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// hyp.Instrumentation implementation — the Fig 6 timeline.
+
+// TrapEntry is point (1): begin recording the pre-state with the
+// thread-local data.
+func (r *Recorder) TrapEntry(cpu int, reason arch.ExitReason) {
+	defer r.timeHook(time.Now())
+	rec := r.cpus[cpu]
+	rec.active = true
+	rec.pre = NewState()
+	rec.post = NewState()
+	rec.call = CallData{CPU: cpu, Reason: reason, Fault: r.hv.CPUs[cpu].Fault}
+	rec.sessions = make(Sessions)
+
+	r.mu.Lock()
+	rec.pre.Globals = r.shared.Globals
+	r.mu.Unlock()
+	l := AbstractLocal(r.hv, cpu)
+	rec.pre.Locals[cpu] = &l
+}
+
+// LockAcquired is points (2)-(3): record the component's abstraction
+// into the pre-state (first acquisition only) and open a new lock
+// session, after checking the component has not changed since it was
+// last recorded (§4.4 non-interference).
+func (r *Recorder) LockAcquired(cpu int, c hyp.Component) {
+	defer r.timeHook(time.Now())
+	rec := r.cpus[cpu]
+	if !rec.active {
+		return
+	}
+	snap := r.recordComponent(rec.pre, c, true)
+	rec.sessions[c] = append(rec.sessions[c], &Session{Pre: snap})
+}
+
+// LockReleasing is points (4)-(5): record the component's abstraction
+// into the post-state, close the lock session, and refresh the shared
+// copy.
+func (r *Recorder) LockReleasing(cpu int, c hyp.Component) {
+	defer r.timeHook(time.Now())
+	rec := r.cpus[cpu]
+	if !rec.active {
+		return
+	}
+	snap := r.recordComponent(rec.post, c, false)
+	if ses := rec.sessions[c]; len(ses) > 0 && ses[len(ses)-1].Post == nil {
+		ses[len(ses)-1].Post = snap
+	}
+}
+
+// recordComponent computes one component's abstraction, stores it into
+// the pre- or post-state, and returns a snapshot holding just that
+// component (the lock-session record). checkBaseline selects the
+// acquire side (non-interference comparison, keep-first into the
+// pre-state) vs the release side (refresh the shared copy,
+// overwrite-last into the post-state).
+func (r *Recorder) recordComponent(into *State, c hyp.Component, checkBaseline bool) *State {
+	snap := NewState()
+	switch c.Kind {
+	case hyp.CompHost:
+		host, hostFP, herr := AbstractHostWithFootprint(r.hv)
+		if herr != nil {
+			r.fail(Failure{Kind: FailHostInvariant, Detail: herr.Error()})
+		}
+		snap.Host = host
+		r.mu.Lock()
+		if checkBaseline {
+			if r.shared.Host.Present && !(EqualMappings(r.shared.Host.Annot, host.Annot) &&
+				EqualMappings(r.shared.Host.Shared, host.Shared)) {
+				r.mu.Unlock()
+				r.fail(Failure{Kind: FailNonInterference,
+					Detail: "host stage 2 changed while unlocked:\n" + diffHost(r.shared.Host, host)})
+				r.mu.Lock()
+			}
+			if into.Host.Present {
+				r.mu.Unlock()
+				return snap // re-acquisition: keep the first pre
+			}
+		} else {
+			r.shared.Host = Host{Present: true, Annot: host.Annot.Clone(), Shared: host.Shared.Clone()}
+			r.hostFootprint = hostFP
+		}
+		r.mu.Unlock()
+		into.Host = host
+
+	case hyp.CompHyp:
+		pk := AbstractHyp(r.hv)
+		snap.Pkvm = pk
+		r.mu.Lock()
+		if checkBaseline {
+			if r.shared.Pkvm.Present && !EqualMappings(r.shared.Pkvm.PGT.Mapping, pk.PGT.Mapping) {
+				r.mu.Unlock()
+				r.fail(Failure{Kind: FailNonInterference,
+					Detail: "pkvm stage 1 changed while unlocked:\n" +
+						diffPages(DiffMappings(r.shared.Pkvm.PGT.Mapping, pk.PGT.Mapping))})
+				r.mu.Lock()
+			}
+			if into.Pkvm.Present {
+				r.mu.Unlock()
+				return snap
+			}
+		} else {
+			r.shared.Pkvm = Pkvm{Present: true, PGT: pk.PGT.Clone()}
+		}
+		r.mu.Unlock()
+		into.Pkvm = pk
+
+	case hyp.CompVMTable:
+		vms := AbstractVMs(r.hv)
+		snap.VMs = vms.Clone()
+		r.mu.Lock()
+		if checkBaseline {
+			if r.shared.VMs.Present && !r.shared.VMs.Equal(vms) {
+				r.mu.Unlock()
+				r.fail(Failure{Kind: FailNonInterference, Detail: "vm table changed while unlocked"})
+				r.mu.Lock()
+			}
+			if into.VMs.Present {
+				r.mu.Unlock()
+				return snap
+			}
+		} else {
+			r.shared.VMs = vms.Clone()
+		}
+		r.mu.Unlock()
+		into.VMs = vms
+
+	case hyp.CompGuest:
+		g := AbstractGuest(r.hv, c.Handle)
+		snap.Guests[c.Handle] = &GuestPgt{Present: true, PGT: g.PGT.Clone()}
+		r.mu.Lock()
+		if checkBaseline {
+			if base, ok := r.shared.Guests[c.Handle]; ok && base.Present &&
+				!EqualMappings(base.PGT.Mapping, g.PGT.Mapping) {
+				r.mu.Unlock()
+				r.fail(Failure{Kind: FailNonInterference,
+					Detail: fmt.Sprintf("guest %v stage 2 changed while unlocked", c.Handle)})
+				r.mu.Lock()
+			}
+			if cur, ok := into.Guests[c.Handle]; ok && cur.Present {
+				r.mu.Unlock()
+				return snap
+			}
+		} else {
+			r.shared.Guests[c.Handle] = &GuestPgt{Present: true, PGT: g.PGT.Clone()}
+		}
+		r.mu.Unlock()
+		into.Guests[c.Handle] = &g
+	}
+
+	if !checkBaseline {
+		r.checkSeparation()
+	}
+	return snap
+}
+
+// checkSeparation verifies pairwise disjointness of all recorded
+// page-table footprints, and that the host/hyp tables stay within the
+// boot carve-out (§4.4 check 2).
+func (r *Recorder) checkSeparation() {
+	r.mu.Lock()
+	type fp struct {
+		name string
+		set  PageSet
+	}
+	var fps []fp
+	if r.shared.Pkvm.Present {
+		fps = append(fps, fp{"pkvm", r.shared.Pkvm.PGT.Footprint})
+	}
+	if r.shared.Host.Present {
+		fps = append(fps, fp{"host", r.hostFootprint})
+	}
+	for h, g := range r.shared.Guests {
+		if g.Present {
+			fps = append(fps, fp{h.String(), g.PGT.Footprint})
+		}
+	}
+	g := r.shared.Globals
+	r.mu.Unlock()
+
+	carveStart := arch.PhysToPFN(g.CarveStart)
+	carveEnd := carveStart + arch.PFN(g.CarveSize>>arch.PageShift)
+	var detail string
+	for i := range fps {
+		for j := i + 1; j < len(fps); j++ {
+			for pfn := range fps[i].set {
+				if fps[j].set[pfn] {
+					detail = fmt.Sprintf("footprints of %s and %s overlap at frame %#x",
+						fps[i].name, fps[j].name, uint64(pfn))
+				}
+			}
+		}
+		if fps[i].name == "pkvm" || fps[i].name == "host" {
+			for pfn := range fps[i].set {
+				if pfn < carveStart || pfn >= carveEnd {
+					detail = fmt.Sprintf("%s table frame %#x outside the carve-out",
+						fps[i].name, uint64(pfn))
+				}
+			}
+		}
+	}
+	if detail != "" {
+		r.fail(Failure{Kind: FailSeparation, Detail: detail})
+	}
+}
+
+// ReadOnce records a nondeterministic host-memory read (§4.3).
+func (r *Recorder) ReadOnce(cpu int, pa arch.PhysAddr, val uint64) {
+	rec := r.cpus[cpu]
+	if !rec.active {
+		return
+	}
+	rec.call.Reads = append(rec.call.Reads, ReadOnceRec{PA: pa, Val: val})
+}
+
+// GuestExit records which scripted guest event vcpu_run processed.
+func (r *Recorder) GuestExit(cpu int, handle hyp.Handle, vcpu int, op hyp.GuestOp) {
+	rec := r.cpus[cpu]
+	if !rec.active {
+		return
+	}
+	rec.call.GuestExits = append(rec.call.GuestExits, GuestExitRec{Handle: handle, VCPU: vcpu, Op: op})
+}
+
+// MemcacheAlloc records a pop from the loaded vCPU's memcache.
+func (r *Recorder) MemcacheAlloc(cpu int, pfn arch.PFN) {
+	rec := r.cpus[cpu]
+	if !rec.active {
+		return
+	}
+	rec.call.MCOps = append(rec.call.MCOps, MCOp{PFN: pfn})
+}
+
+// MemcacheFree records a push back onto the loaded vCPU's memcache.
+func (r *Recorder) MemcacheFree(cpu int, pfn arch.PFN) {
+	rec := r.cpus[cpu]
+	if !rec.active {
+		return
+	}
+	rec.call.MCOps = append(rec.call.MCOps, MCOp{Free: true, PFN: pfn})
+}
+
+// HypPanic records an internal panic; the trap never reaches TrapExit.
+func (r *Recorder) HypPanic(cpu int, msg string) {
+	rec := r.cpus[cpu]
+	rec.call.Panicked = true
+	rec.call.PanicMsg = msg
+	rec.active = false
+	r.fail(Failure{Kind: FailPanic, CPU: cpu, Call: rec.call, Detail: msg})
+}
+
+// TrapExit is point (6)-(8): record the final thread-local state and
+// the return value, compute the expected post-state from the
+// specification, and compare.
+func (r *Recorder) TrapExit(cpu int) {
+	defer r.timeHook(time.Now())
+	rec := r.cpus[cpu]
+	if !rec.active {
+		return
+	}
+	rec.active = false
+
+	l := AbstractLocal(r.hv, cpu)
+	rec.post.Locals[cpu] = &l
+	rec.post.Globals = rec.pre.Globals
+	rec.call.Ret = int64(l.HostRegs[1])
+	rec.call.GuestRegsExit = l.GuestRegs
+	rec.call.exitLocals = &l
+
+	r.mu.Lock()
+	r.stats.Traps++
+	r.mu.Unlock()
+
+	if r.OnEvent != nil {
+		r.OnEvent(TraceEvent{
+			Pre:      rec.pre,
+			Post:     rec.post,
+			Call:     rec.call,
+			Sessions: sessionRecords(rec.sessions),
+		})
+	}
+
+	// Phased hypercalls get the transactional per-session check
+	// instead of the monolithic comparison: with locks released and
+	// retaken mid-call, other CPUs may legitimately change the
+	// components between phases.
+	if rec.call.Reason == arch.ExitHVC && isPhased(rec.call.HC(rec.pre)) {
+		r.mu.Lock()
+		r.stats.Checks++
+		r.mu.Unlock()
+		if detail := checkShareRangePhased(rec.pre, &rec.call, rec.sessions); detail != "" {
+			r.fail(Failure{Kind: FailSpecMismatch, CPU: cpu, Call: rec.call, Detail: detail})
+			return
+		}
+		r.mu.Lock()
+		r.stats.Passed++
+		r.mu.Unlock()
+		return
+	}
+
+	// (7) compute the expected post-state from pre + call data.
+	expected := NewState()
+	ok := ComputePost(expected, rec.pre, &rec.call)
+
+	r.mu.Lock()
+	r.stats.Checks++
+	r.mu.Unlock()
+
+	if !ok {
+		r.fail(Failure{Kind: FailSpecIncomplete, CPU: cpu, Call: rec.call,
+			Detail: "no specification for this exception"})
+		return
+	}
+
+	// (8) the ternary pre / recorded-post / computed-post comparison.
+	if detail := CompareTernary(rec.pre, rec.post, expected, cpu); detail != "" {
+		r.fail(Failure{Kind: FailSpecMismatch, CPU: cpu, Call: rec.call, Detail: detail})
+		return
+	}
+	r.mu.Lock()
+	r.stats.Passed++
+	r.mu.Unlock()
+}

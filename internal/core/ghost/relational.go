@@ -1,0 +1,108 @@
+package ghost
+
+// A relational specification variant. The paper (§3) weighs two
+// styles: functional specs that compute the expected post-state — the
+// style used throughout this package — and relational specs that take
+// the recorded pre- and post-states and decide whether the transition
+// was allowed. The paper argues the functional form is more intuitive
+// for conventional developers but notes the relational form
+// accommodates more looseness. This file implements the relational
+// style for host_share_hyp so the two can be compared — including a
+// differential test that replays traces through both and checks the
+// verdicts coincide (spec_relational_test.go).
+
+import (
+	"ghostspec/internal/arch"
+	"ghostspec/internal/hyp"
+)
+
+// RelVerdict is a relational spec's judgement of a transition.
+type RelVerdict struct {
+	Allowed bool
+	Reason  string
+}
+
+func allowed() RelVerdict             { return RelVerdict{Allowed: true} }
+func forbidden(why string) RelVerdict { return RelVerdict{Reason: why} }
+
+// RelHostShareHyp is the relational specification of host_share_hyp:
+// given the recorded pre- and post-states and the call data, was this
+// transition permitted? Note the characteristic difference from the
+// functional form: instead of building the one expected post-state, it
+// enumerates conditions any acceptable post-state must satisfy.
+func RelHostShareHyp(pre, post *State, call *CallData) RelVerdict {
+	g := pre.Globals.Globals
+	pfn := arch.PFN(call.Arg(pre, 1))
+	phys := pfn.Phys()
+	hypAddr := uint64(phys) + g.HypVAOffset
+	ret := hyp.Errno(call.Ret)
+
+	unchanged := func() RelVerdict {
+		if !EqualMappings(pre.Host.Shared, post.Host.Shared) ||
+			!EqualMappings(pre.Host.Annot, post.Host.Annot) {
+			return forbidden("error/loose path changed the host component")
+		}
+		if !EqualMappings(pre.Pkvm.PGT.Mapping, post.Pkvm.PGT.Mapping) {
+			return forbidden("error/loose path changed the pkvm component")
+		}
+		return allowed()
+	}
+
+	switch {
+	case !g.InRAM(phys):
+		if ret != hyp.EINVAL {
+			return forbidden("non-memory share must return -EINVAL")
+		}
+		return unchanged()
+
+	case !ownedExclusivelyByHost(pre, phys):
+		if ret != hyp.EPERM {
+			return forbidden("share of non-exclusive page must return -EPERM")
+		}
+		return unchanged()
+
+	case ret == hyp.ENOMEM:
+		// The loose branch: allowed, with no visible change.
+		return unchanged()
+
+	case ret == hyp.OK:
+		// The share must appear on both sides, exactly, and nothing
+		// else may change.
+		wantShared := pre.Host.Shared.Clone()
+		wantShared.Set(uint64(phys), 1, Mapped(phys, hostMemoryAttributes(true, arch.StateSharedOwned)))
+		if !EqualMappings(wantShared, post.Host.Shared) {
+			return forbidden("host.shared is not pre + the shared page")
+		}
+		if !EqualMappings(pre.Host.Annot, post.Host.Annot) {
+			return forbidden("host.annot changed")
+		}
+		wantPkvm := pre.Pkvm.PGT.Mapping.Clone()
+		wantPkvm.Set(hypAddr, 1, Mapped(phys, hypMemoryAttributes(true, arch.StateSharedBorrowed)))
+		if !EqualMappings(wantPkvm, post.Pkvm.PGT.Mapping) {
+			return forbidden("pkvm.pgt is not pre + the borrowed page")
+		}
+		return allowed()
+
+	default:
+		return forbidden("return value " + ret.String() + " is not in the allowed set")
+	}
+}
+
+// RelCheckRegisters is the register half of the relational check,
+// shared by any relational spec: x0 cleared, x1 is the return value
+// already judged above, everything else preserved.
+func RelCheckRegisters(pre, post *State, cpu int) RelVerdict {
+	preL, postL := pre.Locals[cpu], post.Locals[cpu]
+	if preL == nil || postL == nil {
+		return forbidden("locals not recorded")
+	}
+	if postL.HostRegs[0] != 0 {
+		return forbidden("x0 not cleared")
+	}
+	for r := 2; r < arch.NumGPRs; r++ {
+		if preL.HostRegs[r] != postL.HostRegs[r] {
+			return forbidden("argument registers clobbered")
+		}
+	}
+	return allowed()
+}

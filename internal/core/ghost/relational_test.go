@@ -1,0 +1,87 @@
+package ghost
+
+import (
+	"testing"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/faults"
+	"ghostspec/internal/hyp"
+)
+
+// TestRelationalAgreesWithFunctional replays every host_share_hyp
+// event of a recorded trace through BOTH specification styles and
+// checks the verdicts coincide — the §3 style comparison as a
+// differential test.
+func TestRelationalAgreesWithFunctional(t *testing.T) {
+	check := func(t *testing.T, bugs ...faults.Bug) {
+		t.Helper()
+		s := newSys(t, bugs...)
+		tr := s.rec.RecordTrace()
+		// A mix of success, EPERM, and EINVAL shares.
+		pfn := s.hostPFN(1)
+		s.hvc(t, 0, hyp.HCHostShareHyp, uint64(pfn))
+		s.hvc(t, 0, hyp.HCHostShareHyp, uint64(pfn))
+		s.hvc(t, 0, hyp.HCHostShareHyp, uint64(arch.PhysToPFN(hyp.UARTPhys)))
+		s.hvc(t, 1, hyp.HCHostShareHyp, uint64(s.hostPFN(2)))
+
+		for _, ev := range tr.Events {
+			if ev.Call.HC(ev.Pre) != hyp.HCHostShareHyp {
+				continue
+			}
+			// Functional verdict: replayEvent's ternary machinery.
+			funcDetail := replayEvent(ev)
+			funcOK := funcDetail == ""
+			// Relational verdict.
+			rel := RelHostShareHyp(ev.Pre, ev.Post, &ev.Call)
+			regs := RelCheckRegisters(ev.Pre, ev.Post, ev.Call.CPU)
+			relOK := rel.Allowed && regs.Allowed
+			if funcOK != relOK {
+				t.Errorf("styles disagree on event %d (ret=%v): functional ok=%v (%s), relational ok=%v (%s/%s)",
+					ev.Seq, hyp.Errno(ev.Call.Ret), funcOK, funcDetail, relOK, rel.Reason, regs.Reason)
+			}
+		}
+	}
+	t.Run("fixed", func(t *testing.T) { check(t) })
+	t.Run("wrong-perms", func(t *testing.T) { check(t, faults.BugShareWrongPerms) })
+	t.Run("skip-state-check", func(t *testing.T) { check(t, faults.BugShareSkipStateCheck) })
+	t.Run("wrong-return", func(t *testing.T) { check(t, faults.BugWrongReturnValue) })
+}
+
+// TestRelationalDirect exercises the relational spec on constructed
+// transitions.
+func TestRelationalDirect(t *testing.T) {
+	pfn := ramPFN(0)
+	pre := prestate(hyp.HCHostShareHyp, uint64(pfn))
+	call := &CallData{CPU: 0, Reason: arch.ExitHVC, Ret: 0}
+
+	// The correct transition.
+	good := pre.Clone()
+	good.Host.Shared.Set(uint64(pfn.Phys()), 1,
+		Mapped(pfn.Phys(), hostMemoryAttributes(true, arch.StateSharedOwned)))
+	good.Pkvm.PGT.Mapping.Set(uint64(pfn.Phys())+hyp.HypVAOffset, 1,
+		Mapped(pfn.Phys(), hypMemoryAttributes(true, arch.StateSharedBorrowed)))
+	if v := RelHostShareHyp(pre, good, call); !v.Allowed {
+		t.Errorf("correct transition forbidden: %s", v.Reason)
+	}
+
+	// Doing nothing while claiming success.
+	if v := RelHostShareHyp(pre, pre.Clone(), call); v.Allowed {
+		t.Error("no-op transition with ret=0 allowed")
+	}
+
+	// The loose ENOMEM: no-op IS allowed.
+	call2 := &CallData{CPU: 0, Reason: arch.ExitHVC, Ret: int64(hyp.ENOMEM)}
+	if v := RelHostShareHyp(pre, pre.Clone(), call2); !v.Allowed {
+		t.Errorf("loose ENOMEM no-op forbidden: %s", v.Reason)
+	}
+	// But ENOMEM with a visible change is not.
+	if v := RelHostShareHyp(pre, good, call2); v.Allowed {
+		t.Error("ENOMEM with state change allowed")
+	}
+
+	// Unexpected errno.
+	call3 := &CallData{CPU: 0, Reason: arch.ExitHVC, Ret: int64(hyp.EBUSY)}
+	if v := RelHostShareHyp(pre, pre.Clone(), call3); v.Allowed {
+		t.Error("EBUSY accepted for share")
+	}
+}

@@ -1,0 +1,162 @@
+package ghost
+
+import (
+	"ghostspec/internal/arch"
+	"ghostspec/internal/hyp"
+)
+
+// ComputePost is the top-level specification function (§4.2.1): given
+// the recorded pre-state and the ghost call data, it computes the
+// expected post-state for whatever exception was taken, dispatching to
+// the per-hypercall specification functions. It is pure in the
+// paper's sense: it reads only the ghost pre-state and call data,
+// never the concrete implementation state.
+//
+// The boolean result says whether a valid specification was written —
+// false makes the check gradual (§4.2): unspecified exceptions are
+// reported as specification gaps, not implementation bugs.
+func ComputePost(post, pre *State, call *CallData) bool {
+	cpu := call.CPU
+	switch call.Reason {
+	case arch.ExitIRQ:
+		// Interrupts pass through: nothing may change.
+		post.CopyLocal(pre, cpu)
+		return true
+	case arch.ExitMemAbort:
+		return specHostMemAbort(post, pre, call)
+	case arch.ExitHVC:
+		return specHVC(post, pre, call)
+	}
+	return false
+}
+
+// specHVC dispatches a hypercall to its specification function and
+// applies the common register epilogue: x0 is cleared (SMCCC
+// accepted), x1 carries the return value, everything else is
+// preserved.
+func specHVC(post, pre *State, call *CallData) bool {
+	cpu := call.CPU
+	post.CopyLocal(pre, cpu)
+
+	var ret int64
+	ok := true
+	switch call.HC(pre) {
+	case hyp.HCHostShareHyp:
+		ret = specHostShareHyp(post, pre, call)
+	case hyp.HCHostUnshareHyp:
+		ret = specHostUnshareHyp(post, pre, call)
+	case hyp.HCHostDonateHyp:
+		ret = specHostDonateHyp(post, pre, call)
+	case hyp.HCHostReclaimPage:
+		ret = specHostReclaimPage(post, pre, call)
+	case hyp.HCInitVM:
+		ret = specInitVM(post, pre, call)
+	case hyp.HCInitVCPU:
+		ret = specInitVCPU(post, pre, call)
+	case hyp.HCTeardownVM:
+		ret = specTeardownVM(post, pre, call)
+	case hyp.HCVCPULoad:
+		ret = specVCPULoad(post, pre, call)
+	case hyp.HCVCPUPut:
+		ret = specVCPUPut(post, pre, call)
+	case hyp.HCVCPURun:
+		ret, ok = specVCPURun(post, pre, call)
+	case hyp.HCHostMapGuest:
+		ret = specHostMapGuest(post, pre, call)
+	case hyp.HCTopupVCPUMemcache:
+		ret = specTopupVCPUMemcache(post, pre, call)
+	default:
+		rUnknownHC.hit()
+		ret = int64(hyp.ENOSYS)
+	}
+	if !ok {
+		return false
+	}
+	post.WriteGPR(cpu, 0, 0)
+	post.WriteGPR(cpu, 1, uint64(ret))
+	return true
+}
+
+// mayNomem lists the hypercalls the loose specification permits to
+// fail arbitrarily with -ENOMEM (§4.3): the ones whose success path
+// allocates table pages. When the implementation reports -ENOMEM on
+// one of these, the specification accepts it with an unchanged
+// abstract state.
+func mayNomem(id hyp.HC) bool {
+	switch id {
+	case hyp.HCHostShareHyp, hyp.HCHostDonateHyp, hyp.HCHostMapGuest:
+		return true
+	}
+	return false
+}
+
+// looseNomem implements the §4.3 parametricity on the return value:
+// it reports whether the recorded return was an allowed spurious
+// -ENOMEM for this hypercall, in which case the caller specifies "no
+// state change, return -ENOMEM".
+func looseNomem(pre *State, call *CallData) bool {
+	return call.Ret == int64(hyp.ENOMEM) && mayNomem(call.HC(pre))
+}
+
+// ownedExclusivelyByHost is the Fig 5 permission predicate: the page
+// is the host's alone iff it carries no ownership annotation and is
+// not part of any share.
+func ownedExclusivelyByHost(pre *State, phys arch.PhysAddr) bool {
+	if _, ok := pre.Host.Annot.Lookup(uint64(phys)); ok {
+		return false
+	}
+	if _, ok := pre.Host.Shared.Lookup(uint64(phys)); ok {
+		return false
+	}
+	return true
+}
+
+// hostMemoryAttributes mirrors §4.2 step (4): the attributes a host
+// mapping carries, from whether the address is DRAM and the share
+// state.
+func hostMemoryAttributes(isMemory bool, state arch.PageState) arch.Attrs {
+	if isMemory {
+		return arch.Attrs{Perms: arch.PermRWX, Mem: arch.MemNormal, State: state}
+	}
+	return arch.Attrs{Perms: arch.PermRW, Mem: arch.MemDevice, State: state}
+}
+
+// hypMemoryAttributes: the hypervisor's own mappings of memory it owns
+// or borrows are read-write, never executable.
+func hypMemoryAttributes(isMemory bool, state arch.PageState) arch.Attrs {
+	mem := arch.MemNormal
+	if !isMemory {
+		mem = arch.MemDevice
+	}
+	return arch.Attrs{Perms: arch.PermRW, Mem: mem, State: state}
+}
+
+// specHostMemAbort specifies the host stage 2 fault handler. The host
+// specification is deliberately loose here (§3.1): mapping-on-demand
+// may install anything legal for host-owned memory, and legality is
+// enforced by the abstraction function itself, so the deterministic
+// ghost components must simply not change. What the specification
+// does pin down is the inject decision: the fault bounces back into
+// the host exactly when the target is not the host's to map.
+func specHostMemAbort(post, pre *State, call *CallData) bool {
+	cpu := call.CPU
+	post.CopyLocal(pre, cpu)
+	post.CopyHost(pre)
+
+	g := pre.Globals.Globals
+	ipa := arch.PhysAddr(arch.AlignDown(uint64(call.Fault.Addr)))
+	_, annotated := pre.Host.Annot.Lookup(uint64(ipa))
+	injected := annotated || (!g.InRAM(ipa) && !g.InMMIO(ipa))
+	if specFault(SpecBugAbortInvertInject) {
+		injected = !injected
+	}
+
+	if injected {
+		rAbortInjected.hit()
+	} else {
+		rAbortMapped.hit()
+	}
+	l := post.local(cpu)
+	l.PerCPU.LastAbortInjected = injected
+	return true
+}

@@ -1,0 +1,223 @@
+package ghost
+
+// Property tests of the specification as a state machine in its own
+// right: random operation sequences applied purely through the spec
+// functions (no hypervisor anywhere) must preserve the isolation
+// invariants the spec is supposed to encode. This is the paper's
+// "specification as a tool for thinking" made executable: if the spec
+// itself could reach a state where a page is simultaneously shared and
+// annotated away, the spec is wrong regardless of the implementation.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/hyp"
+)
+
+// applySpec runs one hypercall through the spec and rolls the state
+// forward (post-components where present, pre elsewhere), returning
+// the new state and the spec's return value.
+func applySpec(pre *State, id hyp.HC, ret int64, args ...uint64) (*State, int64) {
+	l := pre.local(0)
+	l.HostRegs[0] = uint64(id)
+	for i := 1; i < 6; i++ {
+		l.HostRegs[i] = 0
+	}
+	for i, a := range args {
+		l.HostRegs[i+1] = a
+	}
+	post := NewState()
+	call := &CallData{CPU: 0, Reason: arch.ExitHVC, Ret: ret}
+	if !ComputePost(post, pre, call) {
+		return pre, int64(hyp.ENOSYS)
+	}
+	next := pre.Clone()
+	if post.Host.Present {
+		next.Host = post.Host
+	}
+	if post.Pkvm.Present {
+		next.Pkvm = post.Pkvm
+	}
+	if post.VMs.Present {
+		next.VMs = post.VMs
+	}
+	for h, g := range post.Guests {
+		next.Guests[h] = g
+	}
+	for c, lc := range post.Locals {
+		next.Locals[c] = lc
+	}
+	return next, int64(post.ReadGPR(0, 1))
+}
+
+// specInvariants checks the isolation invariants of a ghost state.
+func specInvariants(t *testing.T, s *State, step int) {
+	t.Helper()
+	// 1. No IPA is both annotated away and shared.
+	for _, ml := range s.Host.Annot.Maplets() {
+		for i := uint64(0); i < ml.NrPages; i++ {
+			va := ml.VA + i<<arch.PageShift
+			if _, both := s.Host.Shared.Lookup(va); both {
+				t.Fatalf("step %d: ipa %#x both annotated and shared", step, va)
+			}
+		}
+	}
+	// 2. Every page the hypervisor borrows (pkvm mapping with
+	// SharedBorrowed at a linear address) is shared-owned on the host
+	// side.
+	for _, ml := range s.Pkvm.PGT.Mapping.Maplets() {
+		if ml.Target.Kind != TargetMapped || ml.Target.Attrs.State != arch.StateSharedBorrowed {
+			continue
+		}
+		for i := uint64(0); i < ml.NrPages; i++ {
+			phys := uint64(ml.Target.Phys) + i<<arch.PageShift
+			tgt, ok := s.Host.Shared.Lookup(phys)
+			if !ok || tgt.Attrs.State != arch.StateSharedOwned {
+				t.Fatalf("step %d: hyp borrows %#x but host side is %+v (ok=%v)", step, phys, tgt, ok)
+			}
+		}
+	}
+	// 3. The hypervisor never maps borrowed memory executable.
+	for _, ml := range s.Pkvm.PGT.Mapping.Maplets() {
+		if ml.Target.Kind == TargetMapped && ml.Target.Attrs.State == arch.StateSharedBorrowed &&
+			ml.Target.Attrs.Perms&arch.PermX != 0 {
+			t.Fatalf("step %d: executable borrowed mapping at %#x", step, ml.VA)
+		}
+	}
+}
+
+// TestSpecStateMachineInvariants drives long random share / unshare /
+// donate / reclaim sequences through the spec alone.
+func TestSpecStateMachineInvariants(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := prestate(0)
+		const span = 24
+		base := ramPFN(0)
+
+		for step := 0; step < 1500; step++ {
+			pfn := base + arch.PFN(rng.Intn(span))
+			switch rng.Intn(5) {
+			case 0:
+				s, _ = applySpec(s, hyp.HCHostShareHyp, 0, uint64(pfn))
+			case 1:
+				s, _ = applySpec(s, hyp.HCHostUnshareHyp, 0, uint64(pfn))
+			case 2:
+				s, _ = applySpec(s, hyp.HCHostDonateHyp, 0, uint64(pfn), uint64(rng.Intn(3)+1))
+			case 3:
+				// Make a donated page reclaimable, then reclaim it —
+				// the host's recycling loop.
+				if _, annotated := s.Host.Annot.Lookup(uint64(pfn.Phys())); annotated {
+					s.VMs.Reclaim[pfn] = true
+					s, _ = applySpec(s, hyp.HCHostReclaimPage, 0, uint64(pfn))
+				}
+			case 4:
+				// A spurious loose ENOMEM on a would-succeed share.
+				s, _ = applySpec(s, hyp.HCHostShareHyp, int64(hyp.ENOMEM), uint64(pfn))
+			}
+			specInvariants(t, s, step)
+		}
+	}
+}
+
+// TestSpecShareUnshareRoundTrip: from any state where the page is
+// exclusively host-owned, share followed by unshare restores the host
+// and pkvm components exactly.
+func TestSpecShareUnshareRoundTrip(t *testing.T) {
+	f := func(pageIdx uint8, noiseIdx uint8) bool {
+		s := prestate(0)
+		// Background noise: another page already shared.
+		noise := ramPFN(uint64(noiseIdx%16) + 100)
+		s, _ = applySpec(s, hyp.HCHostShareHyp, 0, uint64(noise))
+
+		pfn := ramPFN(uint64(pageIdx % 16))
+		if !ownedExclusivelyByHost(s, pfn.Phys()) {
+			return true // vacuous when the noise picked the same page
+		}
+		before := s.Clone()
+		s, ret := applySpec(s, hyp.HCHostShareHyp, 0, uint64(pfn))
+		if hyp.Errno(ret) != hyp.OK {
+			return false
+		}
+		s, ret = applySpec(s, hyp.HCHostUnshareHyp, 0, uint64(pfn))
+		if hyp.Errno(ret) != hyp.OK {
+			return false
+		}
+		return EqualMappings(before.Host.Shared, s.Host.Shared) &&
+			EqualMappings(before.Host.Annot, s.Host.Annot) &&
+			EqualMappings(before.Pkvm.PGT.Mapping, s.Pkvm.PGT.Mapping)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSpecDonateReclaimRoundTrip: donate then reclaim restores the
+// host's annotation state for each page.
+func TestSpecDonateReclaimRoundTrip(t *testing.T) {
+	s := prestate(0)
+	pfn := ramPFN(4)
+	before := s.Host.Annot.Clone()
+
+	s, ret := applySpec(s, hyp.HCHostDonateHyp, 0, uint64(pfn), 2)
+	if hyp.Errno(ret) != hyp.OK {
+		t.Fatal(hyp.Errno(ret))
+	}
+	for i := arch.PFN(0); i < 2; i++ {
+		s.VMs.Reclaim[pfn+i] = true
+		var r int64
+		s, r = applySpec(s, hyp.HCHostReclaimPage, 0, uint64(pfn+i))
+		if hyp.Errno(r) != hyp.OK {
+			t.Fatal(hyp.Errno(r))
+		}
+	}
+	if !EqualMappings(before, s.Host.Annot) {
+		t.Errorf("donate/reclaim not a round trip:\n%s",
+			diffPages(DiffMappings(before, s.Host.Annot)))
+	}
+	// Note: the pkvm side of a donation legitimately persists — the
+	// hypervisor keeps its mapping of donated memory until it chooses
+	// to return it, which this API (like pKVM's) does not model as a
+	// host-visible transition.
+}
+
+// TestSpecIdempotentErrors: error-returning spec steps do not change
+// the abstract state, whatever the error.
+func TestSpecIdempotentErrors(t *testing.T) {
+	s := prestate(0)
+	pfn := ramPFN(3)
+	s, _ = applySpec(s, hyp.HCHostShareHyp, 0, uint64(pfn)) // now shared
+
+	snapshot := s.Clone()
+	errCalls := []struct {
+		id   hyp.HC
+		ret  int64
+		args []uint64
+	}{
+		{hyp.HCHostShareHyp, int64(hyp.EPERM), []uint64{uint64(pfn)}},           // double share
+		{hyp.HCHostShareHyp, int64(hyp.EINVAL), []uint64{0}},                    // MMIO
+		{hyp.HCHostUnshareHyp, int64(hyp.EPERM), []uint64{uint64(ramPFN(9))}},   // not shared
+		{hyp.HCHostDonateHyp, int64(hyp.EPERM), []uint64{uint64(pfn), 1}},       // shared page
+		{hyp.HCHostReclaimPage, int64(hyp.EPERM), []uint64{uint64(ramPFN(9))}},  // not reclaimable
+		{hyp.HCVCPULoad, int64(hyp.ENOENT), []uint64{0x9999, 0}},                // bad handle
+		{hyp.HCTeardownVM, int64(hyp.ENOENT), []uint64{0x9999}},                 // bad handle
+		{hyp.HCInitVM, int64(hyp.EINVAL), []uint64{0, uint64(ramPFN(10)), 0}},   // bad args
+		{hyp.HCTopupVCPUMemcache, int64(hyp.ENOENT), []uint64{0x9999, 0, 0, 1}}, // bad handle
+	}
+	for _, c := range errCalls {
+		var ret int64
+		s, ret = applySpec(s, c.id, c.ret, c.args...)
+		if ret != c.ret {
+			t.Fatalf("%v: spec returned %v, scenario expected %v", c.id, hyp.Errno(ret), hyp.Errno(c.ret))
+		}
+		if !EqualMappings(snapshot.Host.Shared, s.Host.Shared) ||
+			!EqualMappings(snapshot.Host.Annot, s.Host.Annot) ||
+			!EqualMappings(snapshot.Pkvm.PGT.Mapping, s.Pkvm.PGT.Mapping) ||
+			!snapshot.VMs.Equal(s.VMs) {
+			t.Fatalf("%v error path changed the abstract state", c.id)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package ghost
+
+import (
+	"strings"
+	"testing"
+
+	"ghostspec/internal/hyp"
+)
+
+func TestSpecCoverageRegistryAndCounting(t *testing.T) {
+	ResetSpecCoverage()
+	c0, total, missing0 := SpecCoverage()
+	if c0 != 0 || len(missing0) != total {
+		t.Fatalf("after reset: covered=%d missing=%d total=%d", c0, len(missing0), total)
+	}
+	if total < 40 {
+		t.Errorf("only %d spec regions registered", total)
+	}
+
+	// One successful share covers exactly one region.
+	s := newSys(t)
+	ResetSpecCoverage() // drop the regions the boot recording touched
+	if r := s.hvc(t, 0, hyp.HCHostShareHyp, uint64(s.hostPFN(1))); r != 0 {
+		t.Fatal("share failed")
+	}
+	c1, _, missing := SpecCoverage()
+	if c1 != 1 {
+		t.Errorf("one call covered %d regions", c1)
+	}
+	for _, m := range missing {
+		if m == "share.ok" {
+			t.Error("share.ok still missing after a successful share")
+		}
+	}
+}
+
+// TestSuiteSpecCoverage is the E2 claim at spec granularity: after the
+// handwritten suite, the only uncovered spec branches are the loose
+// spurious-failure ones — the paper's 92% with the same kind of
+// residue.
+func TestSuiteSpecCoverage(t *testing.T) {
+	ResetSpecCoverage()
+	// Run the full oracle scenario set: the handwritten suite lives in
+	// a higher package, so drive the equivalent breadth here through
+	// the bug-free oracle scenario plus targeted error calls.
+	s := newSys(t)
+	fullScenario(t, s)
+	// Extra calls for branches fullScenario misses.
+	s.hvc(t, 0, hyp.HCInitVCPU, 0x9999, 0)                     // enoent
+	s.hvc(t, 0, hyp.HCTeardownVM, 0x9999)                      // enoent
+	s.hvc(t, 0, hyp.HCVCPULoad, 0x9999, 0)                     // enoent
+	s.hvc(t, 0, hyp.HCHostDonateHyp, uint64(s.hostPFN(40)), 0) // einval
+	s.hvc(t, 0, hyp.HCHostReclaimPage, uint64(s.hostPFN(40)))  // eperm
+	s.hvc(t, 0, hyp.HCHostUnshareHyp, uint64(s.hostPFN(40)))   // eperm
+	s.hvc(t, 0, hyp.HCTopupVCPUMemcache, 0x9999, 0, 0, 1)      // enoent
+	s.hvc(t, 0, hyp.HCTopupVCPUMemcache, 0x9999, 0, 0, 999)    // einval (cap)
+	_, total, missing := SpecCoverage()
+	covered := total - len(missing)
+	pct := 100 * float64(covered) / float64(total)
+	t.Logf("spec regions: %d/%d (%.1f%%), missing: %v", covered, total, pct, missing)
+	// This in-package scenario is narrower than the 41-test suite;
+	// the full E2 measurement runs in cmd/benchreport. Here we only
+	// require the mainline breadth.
+	if pct < 50 {
+		t.Errorf("scenario covers only %.1f%% of spec regions", pct)
+	}
+	// Whatever is missing must be rare-error or loose territory, not
+	// mainline behaviour.
+	for _, m := range missing {
+		if strings.HasSuffix(m, ".ok") && m != "run.access-ok" {
+			t.Errorf("mainline region %q uncovered by the scenario", m)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package ghost
+
+// Specification-side fault injection. The paper's random testing
+// "found 9 errors in the specification itself, all related to subtle
+// error scenarios" — the oracle tests the *correspondence*, so a wrong
+// spec against a correct implementation alarms just the same. This
+// file makes that reproducible: named, deliberately wrong variants of
+// spec behaviour that tests (and the random tester) can switch on and
+// watch the oracle flag against the fixed hypervisor.
+//
+// One of these is not synthetic at all: SpecBugReclaimForgetShared is
+// the exact specification error the random campaign in this
+// reproduction found (see EXPERIMENTS.md, "Spec bugs found").
+
+import "sync"
+
+// SpecBug names an injectable specification defect.
+type SpecBug string
+
+const (
+	// SpecBugShareForgetPkvm: the share spec forgets to add the
+	// hypervisor's borrowed mapping to the expected post-state.
+	SpecBugShareForgetPkvm SpecBug = "spec-share-forget-pkvm"
+
+	// SpecBugReclaimForgetShared: the reclaim spec clears the dead
+	// guest's ownership annotation but forgets that a page the guest
+	// had shared back to the host also carries a borrowed mapping in
+	// host.shared. This is the real specification error found by
+	// random testing during this reproduction.
+	SpecBugReclaimForgetShared SpecBug = "spec-reclaim-forget-shared"
+
+	// SpecBugAbortInvertInject: the memory-abort spec inverts the
+	// inject decision.
+	SpecBugAbortInvertInject SpecBug = "spec-abort-invert-inject"
+)
+
+// AllSpecBugs lists the injectable spec defects.
+func AllSpecBugs() []SpecBug {
+	return []SpecBug{SpecBugShareForgetPkvm, SpecBugReclaimForgetShared, SpecBugAbortInvertInject}
+}
+
+var specFaultMu sync.RWMutex
+var specFaults = map[SpecBug]bool{}
+
+// SetSpecFault switches an injectable specification defect on or off.
+// Like the paper's spec-side errors, these are global to the build of
+// the spec, not to one hypervisor instance.
+func SetSpecFault(b SpecBug, on bool) {
+	specFaultMu.Lock()
+	defer specFaultMu.Unlock()
+	if on {
+		specFaults[b] = true
+	} else {
+		delete(specFaults, b)
+	}
+}
+
+// ClearSpecFaults switches every spec defect off.
+func ClearSpecFaults() {
+	specFaultMu.Lock()
+	defer specFaultMu.Unlock()
+	specFaults = map[SpecBug]bool{}
+}
+
+// specFault reports whether a spec defect is enabled.
+func specFault(b SpecBug) bool {
+	specFaultMu.RLock()
+	defer specFaultMu.RUnlock()
+	return specFaults[b]
+}

@@ -1,0 +1,79 @@
+package ghost
+
+import (
+	"testing"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/hyp"
+)
+
+// TestSpecFaultsFlagCorrectImplementation: with a spec defect
+// injected, the FIXED hypervisor triggers oracle alarms — the
+// correspondence check cuts both ways, and testing debugs the
+// specification too (paper §6, "found many errors in the specification
+// itself").
+func TestSpecFaultsFlagCorrectImplementation(t *testing.T) {
+	drive := map[SpecBug]func(t *testing.T, s *sys){
+		SpecBugShareForgetPkvm: func(t *testing.T, s *sys) {
+			s.hvc(t, 0, hyp.HCHostShareHyp, uint64(s.hostPFN(1)))
+		},
+		SpecBugReclaimForgetShared: func(t *testing.T, s *sys) {
+			// The exact sequence the random tester found: donate a
+			// page to a guest, guest shares it back, teardown,
+			// reclaim.
+			h := setupVMForOracle(t, s)
+			pfns := []arch.PFN{s.hostPFN(200), s.hostPFN(201), s.hostPFN(202)}
+			for i, pfn := range pfns {
+				next := uint64(0)
+				if i+1 < len(pfns) {
+					next = uint64(pfns[i+1].Phys())
+				}
+				s.hv.Mem.Write64(pfn.Phys(), next)
+			}
+			if r := s.hvc(t, 0, hyp.HCTopupVCPUMemcache, uint64(h), 0, uint64(pfns[0].Phys()), 3); r != 0 {
+				t.Fatalf("topup: %v", hyp.Errno(r))
+			}
+			if r := s.hvc(t, 0, hyp.HCVCPULoad, uint64(h), 0); r != 0 {
+				t.Fatal("load")
+			}
+			gp := s.hostPFN(300)
+			if r := s.hvc(t, 0, hyp.HCHostMapGuest, uint64(gp), 16); r != 0 {
+				t.Fatalf("map_guest: %v", hyp.Errno(r))
+			}
+			s.hv.QueueGuestOp(h, 0, hyp.GuestOp{Kind: hyp.GuestShareHost, IPA: 16 << arch.PageShift})
+			if r := s.hvc(t, 0, hyp.HCVCPURun); r != hyp.RunExitYield {
+				t.Fatal("run")
+			}
+			if r := s.hvc(t, 0, hyp.HCVCPUPut); r != 0 {
+				t.Fatal("put")
+			}
+			if r := s.hvc(t, 0, hyp.HCTeardownVM, uint64(h)); r != 0 {
+				t.Fatal("teardown")
+			}
+			s.rec.ResetFailures()
+			s.hvc(t, 0, hyp.HCHostReclaimPage, uint64(gp))
+		},
+		SpecBugAbortInvertInject: func(t *testing.T, s *sys) {
+			s.touch(t, 0, arch.IPA(s.hostPFN(0).Phys()), true)
+		},
+	}
+
+	for _, bug := range AllSpecBugs() {
+		t.Run(string(bug), func(t *testing.T) {
+			// Sanity: clean without the spec fault.
+			s := newSys(t)
+			drive[bug](t, s)
+			s.mustClean(t)
+
+			SetSpecFault(bug, true)
+			defer ClearSpecFaults()
+			s2 := newSys(t)
+			drive[bug](t, s2)
+			s2.mustAlarm(t, FailSpecMismatch)
+		})
+	}
+}
+
+// The random-tester-finds-spec-bugs experiment lives in
+// internal/randtest (TestRandomTesterFindsSpecBug) to avoid an import
+// cycle.

@@ -1,0 +1,168 @@
+package ghost
+
+// Trace recording and offline replay. Because the specification
+// functions are pure — they read only the ghost pre-state and the
+// ghost call data — a recorded trace of (pre, call, post) triples can
+// be re-checked entirely offline, away from the hypervisor: for
+// debugging a spec against a captured run, as a regression corpus, or
+// to re-examine a failure with a modified specification. This is the
+// workflow the paper's diffing/printing machinery supports
+// interactively, made persistent.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/hyp"
+)
+
+// SessionRecord is a serializable lock session (Sessions flattened:
+// struct-keyed maps do not survive JSON).
+type SessionRecord struct {
+	Kind   uint8
+	Handle hyp.Handle
+	Pre    *State
+	Post   *State
+}
+
+// TraceEvent is one checked trap: everything the oracle consumed.
+type TraceEvent struct {
+	Seq      int
+	Pre      *State
+	Post     *State
+	Call     CallData
+	Sessions []SessionRecord
+}
+
+// Trace is an append-only event log. It is not internally
+// synchronised; wire it through Recorder.OnEvent, which serialises.
+type Trace struct {
+	Events []TraceEvent
+}
+
+// Append adds an event, stamping its sequence number.
+func (t *Trace) Append(ev TraceEvent) {
+	ev.Seq = len(t.Events)
+	t.Events = append(t.Events, ev)
+}
+
+// Save serialises the trace as JSON.
+func (t *Trace) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// RecordTrace attaches a synchronised trace collector to the recorder
+// and returns it; every subsequently checked trap (on any CPU) is
+// appended.
+func (r *Recorder) RecordTrace() *Trace {
+	tr := &Trace{}
+	var mu sync.Mutex
+	r.OnEvent = func(ev TraceEvent) {
+		mu.Lock()
+		tr.Append(ev)
+		mu.Unlock()
+	}
+	return tr
+}
+
+// ReadTrace deserialises a trace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// MarshalJSON serialises a Mapping as its maplet list.
+func (m Mapping) MarshalJSON() ([]byte, error) { return json.Marshal(m.maplets) }
+
+// UnmarshalJSON restores a Mapping from a maplet list, verifying the
+// canonical form.
+func (m *Mapping) UnmarshalJSON(b []byte) error {
+	var mls []Maplet
+	if err := json.Unmarshal(b, &mls); err != nil {
+		return err
+	}
+	for i, ml := range mls {
+		if ml.NrPages == 0 {
+			return fmt.Errorf("ghost: maplet %d empty", i)
+		}
+		if i > 0 && mls[i-1].end() > ml.VA {
+			return fmt.Errorf("ghost: maplets %d/%d overlap", i-1, i)
+		}
+	}
+	m.maplets = mls
+	return nil
+}
+
+// ReplayResult is one replayed event's verdict.
+type ReplayResult struct {
+	Seq    int
+	Detail string // "" on success
+}
+
+// Replay re-runs the specification over every event, returning the
+// failures (empty = the whole trace re-checks clean). It needs no
+// hypervisor: pure spec computation against recorded states.
+func Replay(t *Trace) []ReplayResult {
+	var out []ReplayResult
+	for _, ev := range t.Events {
+		if d := replayEvent(ev); d != "" {
+			out = append(out, ReplayResult{Seq: ev.Seq, Detail: d})
+		}
+	}
+	return out
+}
+
+func replayEvent(ev TraceEvent) string {
+	call := ev.Call
+	if l, ok := ev.Post.Locals[call.CPU]; ok {
+		call.exitLocals = l
+	}
+
+	if call.Reason == arch.ExitHVC && isPhased(call.HC(ev.Pre)) {
+		sessions := make(Sessions)
+		for i := range ev.Sessions {
+			s := ev.Sessions[i]
+			c := hyp.Component{Kind: hyp.ComponentKind(s.Kind), Handle: s.Handle}
+			sessions[c] = append(sessions[c], &Session{Pre: s.Pre, Post: s.Post})
+		}
+		return checkShareRangePhased(ev.Pre, &call, sessions)
+	}
+
+	expected := NewState()
+	if !ComputePost(expected, ev.Pre, &call) {
+		return "no specification for this exception"
+	}
+	return CompareTernary(ev.Pre, ev.Post, expected, call.CPU)
+}
+
+// sessionRecords flattens a Sessions map, deterministically ordered by
+// component (within-component session order is what replay pairs on).
+func sessionRecords(s Sessions) []SessionRecord {
+	comps := make([]hyp.Component, 0, len(s))
+	for c := range s {
+		comps = append(comps, c)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if comps[i].Kind != comps[j].Kind {
+			return comps[i].Kind < comps[j].Kind
+		}
+		return comps[i].Handle < comps[j].Handle
+	})
+	var out []SessionRecord
+	for _, c := range comps {
+		for _, ses := range s[c] {
+			out = append(out, SessionRecord{
+				Kind: uint8(c.Kind), Handle: c.Handle, Pre: ses.Pre, Post: ses.Post,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package coverage
+
+import (
+	"sort"
+
+	"ghostspec/internal/hyp"
+)
+
+// Aggregator merges the raw observations of several trackers — the
+// handwritten suite boots a fresh system per test, so its coverage is
+// the union across all of them (the paper's per-run coverage data
+// moved out of EL2 and merged in user space).
+type Aggregator struct {
+	outcomes map[Outcome]int
+	aborts   map[abortOutcome]int
+	guestOps map[hyp.GuestOpKind]int
+	traps    int
+}
+
+// NewAggregator returns an empty aggregate.
+func NewAggregator() *Aggregator {
+	return &Aggregator{
+		outcomes: make(map[Outcome]int),
+		aborts:   make(map[abortOutcome]int),
+		guestOps: make(map[hyp.GuestOpKind]int),
+	}
+}
+
+// Absorb folds one tracker's observations into the aggregate.
+func (a *Aggregator) Absorb(t *Tracker) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k, v := range t.outcomes {
+		a.outcomes[k] += v
+	}
+	for k, v := range t.aborts {
+		a.aborts[k] += v
+	}
+	for k, v := range t.guestOps {
+		a.guestOps[k] += v
+	}
+	a.traps += t.traps
+}
+
+// Report computes the merged coverage report.
+func (a *Aggregator) Report() Report {
+	return buildReport(a.outcomes, a.aborts, a.guestOps, a.traps)
+}
+
+// buildReport is shared between Tracker.Snapshot and Aggregator.Report.
+func buildReport(outcomes map[Outcome]int, aborts map[abortOutcome]int,
+	guestOps map[hyp.GuestOpKind]int, traps int) Report {
+	var r Report
+	hcs := make([]hyp.HC, 0, len(universe))
+	for hc := range universe {
+		hcs = append(hcs, hc)
+	}
+	sort.Slice(hcs, func(i, j int) bool { return hcs[i] < hcs[j] })
+
+	for _, hc := range hcs {
+		row := HandlerCoverage{HC: hc, Total: len(universe[hc])}
+		for _, ret := range universe[hc] {
+			if outcomes[Outcome{HC: hc, Ret: ret}] > 0 {
+				row.Covered++
+			} else {
+				row.Missing = append(row.Missing, ret)
+			}
+		}
+		r.Handlers = append(r.Handlers, row)
+		r.ImplCovered += row.Covered
+		r.ImplTotal += row.Total
+
+		r.SpecCovered += row.Covered
+		r.SpecTotal += row.Total
+		for _, ret := range specExtra[hc] {
+			r.SpecTotal++
+			if outcomes[Outcome{HC: hc, Ret: ret}] > 0 {
+				r.SpecCovered++
+			}
+		}
+	}
+	r.AbortsMapped = aborts[abortMapped]
+	r.AbortsInjected = aborts[abortInjected]
+	r.GuestOps = make(map[hyp.GuestOpKind]int, len(guestOps))
+	for k, v := range guestOps {
+		r.GuestOps[k] = v
+	}
+	r.Traps = traps
+	return r
+}

@@ -1,0 +1,252 @@
+// Package coverage is the custom coverage infrastructure of paper §5:
+// pKVM at EL2 cannot use stock coverage tooling, so the authors built
+// their own hooks and carried the data out to user space. Here the
+// equivalent is an instrumentation decorator that observes every trap
+// through the same hook surface the ghost recorder uses, and reports
+// branch-style coverage of both the implementation handlers and the
+// specification functions against an enumerated universe of reachable
+// outcomes.
+package coverage
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/hyp"
+)
+
+// Outcome is one implementation branch at the observation granularity:
+// a handler returning a particular result class.
+type Outcome struct {
+	HC  hyp.HC
+	Ret hyp.Errno // OK for any non-negative return
+}
+
+func (o Outcome) String() string { return fmt.Sprintf("%v→%v", o.HC, o.Ret) }
+
+// abortOutcome classifies host stage 2 fault handling.
+type abortOutcome uint8
+
+const (
+	abortMapped abortOutcome = iota
+	abortInjected
+)
+
+// universe enumerates the reachable outcome branches of each handler —
+// the denominator of the coverage report. Branches the authors believe
+// unreachable under the current configuration are listed separately so
+// the report can mirror the paper's "absolute numbers do not account
+// for unreachable code" discussion.
+var universe = map[hyp.HC][]hyp.Errno{
+	hyp.HCHostShareHyp:      {hyp.OK, hyp.EPERM, hyp.EINVAL},
+	hyp.HCHostUnshareHyp:    {hyp.OK, hyp.EPERM, hyp.EINVAL},
+	hyp.HCHostDonateHyp:     {hyp.OK, hyp.EPERM, hyp.EINVAL},
+	hyp.HCHostReclaimPage:   {hyp.OK, hyp.EPERM},
+	hyp.HCInitVM:            {hyp.OK, hyp.EINVAL, hyp.EPERM, hyp.ENOSPC},
+	hyp.HCInitVCPU:          {hyp.OK, hyp.ENOENT, hyp.EINVAL, hyp.EEXIST},
+	hyp.HCTeardownVM:        {hyp.OK, hyp.ENOENT, hyp.EBUSY},
+	hyp.HCVCPULoad:          {hyp.OK, hyp.ENOENT, hyp.EINVAL, hyp.EBUSY},
+	hyp.HCVCPUPut:           {hyp.OK, hyp.ENOENT},
+	hyp.HCVCPURun:           {hyp.OK, hyp.ENOENT},
+	hyp.HCHostMapGuest:      {hyp.OK, hyp.ENOENT, hyp.EINVAL, hyp.EPERM, hyp.EEXIST, hyp.ENOMEM},
+	hyp.HCTopupVCPUMemcache: {hyp.OK, hyp.ENOENT, hyp.EINVAL, hyp.EPERM, hyp.EBUSY},
+	hyp.HCHostShareHypRange: {hyp.OK, hyp.EPERM, hyp.EINVAL},
+}
+
+// specExtra enumerates specification-only branches: the loose-ENOMEM
+// acceptances (§4.3), exercised only when the implementation actually
+// reports a spurious allocation failure. These are the branches that
+// keep measured spec coverage below 100%, mirroring the paper's 92%.
+var specExtra = map[hyp.HC][]hyp.Errno{
+	hyp.HCHostShareHyp:  {hyp.ENOMEM},
+	hyp.HCHostDonateHyp: {hyp.ENOMEM},
+}
+
+// Tracker observes traps through the hyp.Instrumentation interface,
+// delegating every hook to an inner instrumentation (typically the
+// ghost recorder) so coverage and checking stack.
+type Tracker struct {
+	inner hyp.Instrumentation
+	hv    *hyp.Hypervisor
+
+	mu       sync.Mutex
+	pending  []pendingTrap
+	outcomes map[Outcome]int
+	aborts   map[abortOutcome]int
+	guestOps map[hyp.GuestOpKind]int
+	unknown  int
+	panics   int
+	traps    int
+}
+
+type pendingTrap struct {
+	active bool
+	reason arch.ExitReason
+	hc     hyp.HC
+}
+
+// Wrap builds a tracker delegating to inner. Install it with
+// hv.SetInstrumentation.
+func Wrap(hv *hyp.Hypervisor, inner hyp.Instrumentation) *Tracker {
+	return &Tracker{
+		inner:    inner,
+		hv:       hv,
+		pending:  make([]pendingTrap, hv.Globals().NrCPUs),
+		outcomes: make(map[Outcome]int),
+		aborts:   make(map[abortOutcome]int),
+		guestOps: make(map[hyp.GuestOpKind]int),
+	}
+}
+
+// TrapEntry observes the exception kind and hypercall ID.
+func (t *Tracker) TrapEntry(cpu int, reason arch.ExitReason) {
+	t.mu.Lock()
+	t.pending[cpu] = pendingTrap{active: true, reason: reason, hc: hyp.HC(t.hv.CPUs[cpu].HostRegs[0])}
+	t.traps++
+	t.mu.Unlock()
+	if t.inner != nil {
+		t.inner.TrapEntry(cpu, reason)
+	}
+}
+
+// TrapExit classifies the outcome.
+func (t *Tracker) TrapExit(cpu int) {
+	t.mu.Lock()
+	p := t.pending[cpu]
+	if p.active {
+		t.pending[cpu].active = false
+		switch p.reason {
+		case arch.ExitHVC:
+			ret := hyp.ErrnoFromReg(t.hv.CPUs[cpu].HostRegs[1])
+			if ret > 0 {
+				ret = hyp.OK // positive returns (handles) are successes
+			}
+			if _, known := universe[p.hc]; known {
+				t.outcomes[Outcome{HC: p.hc, Ret: ret}]++
+			} else {
+				t.unknown++
+			}
+		case arch.ExitMemAbort:
+			if t.hv.PerCPUState(cpu).LastAbortInjected {
+				t.aborts[abortInjected]++
+			} else {
+				t.aborts[abortMapped]++
+			}
+		}
+	}
+	t.mu.Unlock()
+	if t.inner != nil {
+		t.inner.TrapExit(cpu)
+	}
+}
+
+// The remaining hooks pass straight through (recording guest-op kinds
+// and panics on the way).
+
+func (t *Tracker) LockAcquired(cpu int, c hyp.Component) {
+	if t.inner != nil {
+		t.inner.LockAcquired(cpu, c)
+	}
+}
+
+func (t *Tracker) LockReleasing(cpu int, c hyp.Component) {
+	if t.inner != nil {
+		t.inner.LockReleasing(cpu, c)
+	}
+}
+
+func (t *Tracker) ReadOnce(cpu int, pa arch.PhysAddr, val uint64) {
+	if t.inner != nil {
+		t.inner.ReadOnce(cpu, pa, val)
+	}
+}
+
+func (t *Tracker) GuestExit(cpu int, h hyp.Handle, vcpu int, op hyp.GuestOp) {
+	t.mu.Lock()
+	t.guestOps[op.Kind]++
+	t.mu.Unlock()
+	if t.inner != nil {
+		t.inner.GuestExit(cpu, h, vcpu, op)
+	}
+}
+
+func (t *Tracker) MemcacheAlloc(cpu int, pfn arch.PFN) {
+	if t.inner != nil {
+		t.inner.MemcacheAlloc(cpu, pfn)
+	}
+}
+
+func (t *Tracker) MemcacheFree(cpu int, pfn arch.PFN) {
+	if t.inner != nil {
+		t.inner.MemcacheFree(cpu, pfn)
+	}
+}
+
+func (t *Tracker) HypPanic(cpu int, msg string) {
+	t.mu.Lock()
+	t.panics++
+	t.pending[cpu].active = false
+	t.mu.Unlock()
+	if t.inner != nil {
+		t.inner.HypPanic(cpu, msg)
+	}
+}
+
+// HandlerCoverage is one handler's row in the report.
+type HandlerCoverage struct {
+	HC      hyp.HC
+	Covered int
+	Total   int
+	Missing []hyp.Errno
+}
+
+// Report is the coverage summary.
+type Report struct {
+	Handlers []HandlerCoverage
+	// ImplCovered/ImplTotal aggregate the implementation outcome
+	// branches.
+	ImplCovered, ImplTotal int
+	// SpecCovered/SpecTotal additionally count the spec-only loose
+	// branches.
+	SpecCovered, SpecTotal int
+	// AbortsMapped/AbortsInjected/GuestOps/Traps are auxiliary
+	// counters.
+	AbortsMapped, AbortsInjected int
+	GuestOps                     map[hyp.GuestOpKind]int
+	Traps                        int
+}
+
+// Snapshot computes the report.
+func (t *Tracker) Snapshot() Report {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return buildReport(t.outcomes, t.aborts, t.guestOps, t.traps)
+}
+
+// Percent formats covered/total as a percentage.
+func Percent(covered, total int) float64 {
+	if total == 0 {
+		return 100
+	}
+	return 100 * float64(covered) / float64(total)
+}
+
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "coverage after %d traps:\n", r.Traps)
+	for _, h := range r.Handlers {
+		fmt.Fprintf(&b, "  %-22v %d/%d", h.HC, h.Covered, h.Total)
+		if len(h.Missing) > 0 {
+			fmt.Fprintf(&b, "  missing: %v", h.Missing)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "  impl outcome branches: %d/%d (%.1f%%)\n",
+		r.ImplCovered, r.ImplTotal, Percent(r.ImplCovered, r.ImplTotal))
+	fmt.Fprintf(&b, "  spec branches (incl. loose -ENOMEM): %d/%d (%.1f%%)\n",
+		r.SpecCovered, r.SpecTotal, Percent(r.SpecCovered, r.SpecTotal))
+	fmt.Fprintf(&b, "  host aborts: %d mapped, %d injected\n", r.AbortsMapped, r.AbortsInjected)
+	return b.String()
+}

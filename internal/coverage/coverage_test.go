@@ -1,0 +1,122 @@
+package coverage
+
+import (
+	"strings"
+	"testing"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/core/ghost"
+	"ghostspec/internal/hyp"
+	"ghostspec/internal/proxy"
+)
+
+func newTracked(t *testing.T) (*proxy.Driver, *Tracker, *ghost.Recorder) {
+	t.Helper()
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := ghost.Attach(hv) // recorder installs itself
+	tr := Wrap(hv, rec)     // tracker decorates it
+	hv.SetInstrumentation(tr)
+	return proxy.New(hv), tr, rec
+}
+
+func TestTrackerCountsOutcomes(t *testing.T) {
+	d, tr, rec := newTracked(t)
+	pfn, _ := d.AllocPage()
+	if err := d.ShareHyp(0, pfn); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ShareHyp(0, pfn); err != hyp.EPERM {
+		t.Fatalf("double share: %v", err)
+	}
+	if err := d.UnshareHyp(0, pfn); err != nil {
+		t.Fatal(err)
+	}
+	r := tr.Snapshot()
+	if r.Traps != 3 {
+		t.Errorf("traps = %d", r.Traps)
+	}
+	find := func(hc hyp.HC) HandlerCoverage {
+		for _, h := range r.Handlers {
+			if h.HC == hc {
+				return h
+			}
+		}
+		t.Fatalf("no row for %v", hc)
+		return HandlerCoverage{}
+	}
+	if got := find(hyp.HCHostShareHyp); got.Covered != 2 { // OK + EPERM
+		t.Errorf("share covered = %d, want 2", got.Covered)
+	}
+	if got := find(hyp.HCHostUnshareHyp); got.Covered != 1 {
+		t.Errorf("unshare covered = %d, want 1", got.Covered)
+	}
+	// The ghost oracle ran underneath and stayed clean.
+	if len(rec.Failures()) != 0 {
+		t.Errorf("oracle alarms under tracker: %v", rec.Failures())
+	}
+	if rec.Stats().Checks != 3 {
+		t.Errorf("oracle checks = %d, want 3 (delegation broken)", rec.Stats().Checks)
+	}
+}
+
+func TestTrackerAbortsAndGuestOps(t *testing.T) {
+	d, tr, _ := newTracked(t)
+	pfn, _ := d.AllocPage()
+	ok, _ := d.Access(0, arch.IPA(pfn.Phys()), true)
+	if !ok {
+		t.Fatal("demand map failed")
+	}
+	// Injected abort on hypervisor memory.
+	if ok, _ := d.Access(0, arch.IPA(d.HV.Globals().CarveStart), false); ok {
+		t.Fatal("carve-out access succeeded")
+	}
+	h, _, err := d.InitVM(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InitVCPU(0, h, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.VCPULoad(0, h, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.QueueGuestOp(h, 0, hyp.GuestOp{Kind: hyp.GuestYield})
+	if _, err := d.VCPURun(0); err != nil {
+		t.Fatal(err)
+	}
+
+	r := tr.Snapshot()
+	if r.AbortsMapped != 1 || r.AbortsInjected != 1 {
+		t.Errorf("aborts = %d mapped / %d injected", r.AbortsMapped, r.AbortsInjected)
+	}
+	if r.GuestOps[hyp.GuestYield] != 1 {
+		t.Errorf("guest yields = %d", r.GuestOps[hyp.GuestYield])
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	d, tr, _ := newTracked(t)
+	pfn, _ := d.AllocPage()
+	_ = d.ShareHyp(0, pfn)
+	out := tr.Snapshot().String()
+	for _, want := range []string{"host_share_hyp", "impl outcome branches", "spec branches", "missing"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpecUniverseLargerThanImpl(t *testing.T) {
+	_, tr, _ := newTracked(t)
+	r := tr.Snapshot()
+	if r.SpecTotal <= r.ImplTotal {
+		t.Errorf("spec universe %d should exceed impl universe %d (loose branches)",
+			r.SpecTotal, r.ImplTotal)
+	}
+	if Percent(0, 0) != 100 || Percent(1, 2) != 50 {
+		t.Error("Percent math broken")
+	}
+}

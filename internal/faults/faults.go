@@ -1,0 +1,159 @@
+// Package faults is the synthetic-bug injection registry.
+//
+// The paper validates the discriminating power of the executable
+// specification by planting synthetic bugs in pKVM and checking that
+// the runtime oracle flags them (§5), and reports five real bugs the
+// work found in pKVM (§6). This package names each of those bugs; the
+// hypervisor and its substrates consult the injector at the exact code
+// point where the real bug lived, re-introducing it on demand. A
+// correctly configured (empty) injector yields the fixed behaviour.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Bug identifies an injectable defect.
+type Bug string
+
+// The five real pKVM bugs from §6, re-created as injectable
+// regressions, plus purely synthetic oracle-discrimination bugs
+// mirroring §5's synthetic bug testing.
+const (
+	// BugMemcacheAlignment: the memcache topup path does not check
+	// that the host-supplied page address is page-aligned, letting a
+	// malicious host make the hypervisor zero memory it chose (§6 bug 1).
+	BugMemcacheAlignment Bug = "memcache-alignment"
+
+	// BugMemcacheSize: the memcache topup path does not bound the
+	// host-supplied page count, hitting signed-integer overflow for
+	// huge counts (§6 bug 2).
+	BugMemcacheSize Bug = "memcache-size"
+
+	// BugVCPULoadRace: vCPU load does not synchronise with vCPU init,
+	// so a racing load can observe an uninitialised vCPU (§6 bug 3).
+	BugVCPULoadRace Bug = "vcpu-load-race"
+
+	// BugHostFaultRetry: the host memory-abort handler assumes the
+	// host's mappings are stable across its window, panicking if the
+	// host changes them concurrently (§6 bug 4).
+	BugHostFaultRetry Bug = "host-fault-retry"
+
+	// BugLinearMapOverlap: for very large physical memory, the pKVM
+	// linear map is laid out overlapping the IO mappings, permitting
+	// unchecked device access (§6 bug 5).
+	BugLinearMapOverlap Bug = "linear-map-overlap"
+
+	// BugShareSkipStateCheck: host_share_hyp skips the page-state
+	// check, sharing pages the host does not exclusively own
+	// (synthetic, §5).
+	BugShareSkipStateCheck Bug = "share-skip-state-check"
+
+	// BugShareWrongPerms: host_share_hyp installs the hypervisor
+	// mapping with execute permission (synthetic, §5).
+	BugShareWrongPerms Bug = "share-wrong-perms"
+
+	// BugUnshareLeaveMapping: host_unshare_hyp clears the host's
+	// shared annotation but leaves the hypervisor mapping in place
+	// (synthetic, §5).
+	BugUnshareLeaveMapping Bug = "unshare-leave-mapping"
+
+	// BugDonateKeepHostMapping: host_donate_hyp transfers ownership
+	// but forgets to remove the host's own mapping (synthetic, §5).
+	BugDonateKeepHostMapping Bug = "donate-keep-host-mapping"
+
+	// BugReclaimSkipOwnerClear: reclaim scrubs the page and removes it
+	// from the reclaim set but forgets to clear the guest-owner
+	// annotation in the host's table (synthetic, §5).
+	BugReclaimSkipOwnerClear Bug = "reclaim-skip-owner-clear"
+
+	// BugWrongReturnValue: host_share_hyp reports success on the
+	// permission-failure path (synthetic, §5).
+	BugWrongReturnValue Bug = "wrong-return-value"
+
+	// BugMapDemandWrongState: mapping-on-demand installs host pages
+	// with a shared page state instead of owned (synthetic, §5).
+	BugMapDemandWrongState Bug = "map-demand-wrong-state"
+
+	// BugShareRangeBadStop: the phased share-range hypercall reports
+	// success when a mid-range phase failed, leaving the range
+	// partially shared while claiming otherwise (synthetic, for the
+	// transactional-instrumentation extension).
+	BugShareRangeBadStop Bug = "share-range-bad-stop"
+)
+
+// All lists every injectable bug, in a stable order.
+func All() []Bug {
+	bugs := []Bug{
+		BugMemcacheAlignment, BugMemcacheSize, BugVCPULoadRace,
+		BugHostFaultRetry, BugLinearMapOverlap,
+		BugShareSkipStateCheck, BugShareWrongPerms,
+		BugUnshareLeaveMapping, BugDonateKeepHostMapping,
+		BugReclaimSkipOwnerClear, BugWrongReturnValue,
+		BugMapDemandWrongState, BugShareRangeBadStop,
+	}
+	sort.Slice(bugs, func(i, j int) bool { return bugs[i] < bugs[j] })
+	return bugs
+}
+
+// Injector is a set of enabled bugs. The zero value injects nothing
+// and is what a production configuration uses. Injectors are safe for
+// concurrent use.
+type Injector struct {
+	mu      sync.RWMutex
+	enabled map[Bug]bool
+}
+
+// NewInjector returns an injector with the given bugs enabled.
+func NewInjector(bugs ...Bug) *Injector {
+	inj := &Injector{enabled: make(map[Bug]bool, len(bugs))}
+	for _, b := range bugs {
+		inj.enabled[b] = true
+	}
+	return inj
+}
+
+// Enabled reports whether bug b is injected. A nil injector injects
+// nothing, so substrates can hold a nil *Injector safely.
+func (inj *Injector) Enabled(b Bug) bool {
+	if inj == nil {
+		return false
+	}
+	inj.mu.RLock()
+	defer inj.mu.RUnlock()
+	return inj.enabled[b]
+}
+
+// Enable turns bug b on.
+func (inj *Injector) Enable(b Bug) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.enabled == nil {
+		inj.enabled = make(map[Bug]bool)
+	}
+	inj.enabled[b] = true
+}
+
+// Disable turns bug b off.
+func (inj *Injector) Disable(b Bug) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	delete(inj.enabled, b)
+}
+
+// String lists the enabled bugs.
+func (inj *Injector) String() string {
+	if inj == nil {
+		return "faults{}"
+	}
+	inj.mu.RLock()
+	defer inj.mu.RUnlock()
+	names := make([]string, 0, len(inj.enabled))
+	for b := range inj.enabled {
+		names = append(names, string(b))
+	}
+	sort.Strings(names)
+	return fmt.Sprintf("faults%v", names)
+}

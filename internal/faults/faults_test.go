@@ -1,0 +1,85 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var inj *Injector
+	for _, b := range All() {
+		if inj.Enabled(b) {
+			t.Errorf("nil injector enables %s", b)
+		}
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	inj := NewInjector()
+	if inj.Enabled(BugMemcacheAlignment) {
+		t.Error("fresh injector enables a bug")
+	}
+	inj.Enable(BugMemcacheAlignment)
+	if !inj.Enabled(BugMemcacheAlignment) {
+		t.Error("Enable did not take")
+	}
+	if inj.Enabled(BugMemcacheSize) {
+		t.Error("enabling one bug enabled another")
+	}
+	inj.Disable(BugMemcacheAlignment)
+	if inj.Enabled(BugMemcacheAlignment) {
+		t.Error("Disable did not take")
+	}
+}
+
+func TestNewInjectorVariadic(t *testing.T) {
+	inj := NewInjector(BugShareWrongPerms, BugWrongReturnValue)
+	if !inj.Enabled(BugShareWrongPerms) || !inj.Enabled(BugWrongReturnValue) {
+		t.Error("variadic bugs not enabled")
+	}
+}
+
+func TestAllStableAndComplete(t *testing.T) {
+	bugs := All()
+	if len(bugs) != 13 {
+		t.Errorf("All() has %d bugs, want 13", len(bugs))
+	}
+	seen := map[Bug]bool{}
+	for i, b := range bugs {
+		if seen[b] {
+			t.Errorf("duplicate bug %s", b)
+		}
+		seen[b] = true
+		if i > 0 && bugs[i-1] >= b {
+			t.Errorf("All() not sorted at %d", i)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	inj := NewInjector()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				inj.Enable(BugVCPULoadRace)
+				inj.Enabled(BugVCPULoadRace)
+				inj.Disable(BugVCPULoadRace)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestString(t *testing.T) {
+	var nilInj *Injector
+	if nilInj.String() != "faults{}" {
+		t.Errorf("nil String = %q", nilInj.String())
+	}
+	inj := NewInjector(BugMemcacheSize)
+	if inj.String() != "faults[memcache-size]" {
+		t.Errorf("String = %q", inj.String())
+	}
+}

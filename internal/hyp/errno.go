@@ -1,0 +1,72 @@
+package hyp
+
+import "fmt"
+
+// Errno is the kernel-style return code of a hypercall, returned to
+// the host in x1 (0 on success, negative on failure).
+type Errno int64
+
+// The errno values the hypercall API uses, with kernel numbering.
+const (
+	OK     Errno = 0
+	EPERM  Errno = -1  // caller does not own the resource
+	ENOENT Errno = -2  // no such VM / vCPU / page
+	EBUSY  Errno = -16 // resource is loaded or in use
+	EEXIST Errno = -17 // already present
+	EINVAL Errno = -22 // malformed arguments
+	ENOMEM Errno = -12 // allocation failure (loosely specified)
+	ENOSYS Errno = -38 // unknown hypercall
+	EAGAIN Errno = -11 // transient, retry
+	ERANGE Errno = -34 // address outside the permitted range
+	ENOSPC Errno = -28 // table full
+)
+
+func (e Errno) Error() string { return e.String() }
+
+func (e Errno) String() string {
+	switch e {
+	case OK:
+		return "OK"
+	case EPERM:
+		return "-EPERM"
+	case ENOENT:
+		return "-ENOENT"
+	case EBUSY:
+		return "-EBUSY"
+	case EEXIST:
+		return "-EEXIST"
+	case EINVAL:
+		return "-EINVAL"
+	case ENOMEM:
+		return "-ENOMEM"
+	case ENOSYS:
+		return "-ENOSYS"
+	case EAGAIN:
+		return "-EAGAIN"
+	case ERANGE:
+		return "-ERANGE"
+	case ENOSPC:
+		return "-ENOSPC"
+	}
+	return fmt.Sprintf("errno(%d)", int64(e))
+}
+
+// Reg returns the register encoding of the errno (two's complement in
+// a uint64).
+func (e Errno) Reg() uint64 { return uint64(int64(e)) }
+
+// ErrnoFromReg decodes a register value back into an Errno.
+func ErrnoFromReg(v uint64) Errno { return Errno(int64(v)) }
+
+// PanicError is returned by HandleTrap when the hypervisor hit an
+// internal inconsistency that would panic a real pKVM (taking the
+// whole machine with it). The test harness recovers it so a campaign
+// can observe and continue.
+type PanicError struct {
+	CPU int
+	Msg string
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("hypervisor panic on cpu %d: %s", p.CPU, p.Msg)
+}

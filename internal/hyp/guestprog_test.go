@@ -1,0 +1,199 @@
+package hyp
+
+import (
+	"testing"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/faults"
+)
+
+// progVM boots a VM with one loaded vCPU running prog, with its
+// memcache topped up and one page mapped at gfn 16.
+func progVM(t *testing.T, hv *Hypervisor, prog []Insn) (Handle, arch.PFN) {
+	t.Helper()
+	h := setupVM(t, hv, 0, 100)
+	pfns := []arch.PFN{hostPFN(hv, 200), hostPFN(hv, 201), hostPFN(hv, 202), hostPFN(hv, 203)}
+	if ret := hvc(t, hv, 0, HCTopupVCPUMemcache, uint64(h), 0, uint64(topupList(hv, pfns)), 4); ret != 0 {
+		t.Fatalf("topup: %v", Errno(ret))
+	}
+	if !hv.LoadGuestProgram(h, 0, prog) {
+		t.Fatal("LoadGuestProgram failed")
+	}
+	if ret := hvc(t, hv, 0, HCVCPULoad, uint64(h), 0); ret != 0 {
+		t.Fatalf("load: %v", Errno(ret))
+	}
+	gp := hostPFN(hv, 300)
+	if ret := hvc(t, hv, 0, HCHostMapGuest, uint64(gp), 16); ret != 0 {
+		t.Fatalf("map_guest: %v", Errno(ret))
+	}
+	return h, gp
+}
+
+func TestProgramComputeAndStore(t *testing.T) {
+	hv := newTestHV(t)
+	page := uint64(16 << arch.PageShift)
+	// r1 = 40; r2 = 2; r1 += r2; [page] = r1; yield.
+	prog := []Insn{
+		{Op: OpMovi, Dst: 1, Imm: 40},
+		{Op: OpMovi, Dst: 2, Imm: 2},
+		{Op: OpAdd, Dst: 1, Src: 2},
+		{Op: OpMovi, Dst: 3, Imm: page},
+		{Op: OpStore, Dst: 1, Src: 3},
+		{Op: OpYield},
+	}
+	_, gp := progVM(t, hv, prog)
+	if ret := hvc(t, hv, 0, HCVCPURun); ret != RunExitYield {
+		t.Fatalf("run: %d", ret)
+	}
+	if got := hv.Mem.Read64(gp.Phys()); got != 42 {
+		t.Errorf("guest computed %d, want 42", got)
+	}
+	// PC sits just past the yield.
+	if pc := hv.CPUs[0].GuestRegs[PCReg]; pc != 6 {
+		t.Errorf("pc = %d, want 6", pc)
+	}
+}
+
+func TestProgramFaultRestart(t *testing.T) {
+	hv := newTestHV(t)
+	unmapped := uint64(40 << arch.PageShift)
+	// r1 = 7; [unmapped] = r1; [unmapped] read back to r2; yield.
+	prog := []Insn{
+		{Op: OpMovi, Dst: 1, Imm: 7},
+		{Op: OpMovi, Dst: 3, Imm: unmapped},
+		{Op: OpStore, Dst: 1, Src: 3},
+		{Op: OpLoad, Dst: 2, Src: 3},
+		{Op: OpYield},
+	}
+	_, _ = progVM(t, hv, prog)
+
+	// First run: the store faults; PC must sit ON the store.
+	ret := hvc(t, hv, 0, HCVCPURun)
+	if ret != RunExitMemAbort {
+		t.Fatalf("run: %d, want mem abort", ret)
+	}
+	if hv.CPUs[0].HostRegs[2] != unmapped || hv.CPUs[0].HostRegs[3] != 1 {
+		t.Errorf("fault detail: ipa=%#x write=%d", hv.CPUs[0].HostRegs[2], hv.CPUs[0].HostRegs[3])
+	}
+	if pc := hv.CPUs[0].GuestRegs[PCReg]; pc != 2 {
+		t.Errorf("pc after fault = %d, want 2 (restart semantics)", pc)
+	}
+
+	// The host services the fault and re-runs: the store retries and
+	// the program completes.
+	gp := hostPFN(hv, 301)
+	if r := hvc(t, hv, 0, HCHostMapGuest, uint64(gp), 40); r != 0 {
+		t.Fatalf("map_guest: %v", Errno(r))
+	}
+	if ret := hvc(t, hv, 0, HCVCPURun); ret != RunExitYield {
+		t.Fatalf("retried run: %d", ret)
+	}
+	if got := hv.Mem.Read64(gp.Phys()); got != 7 {
+		t.Errorf("stored %d, want 7", got)
+	}
+	if got := hv.CPUs[0].GuestRegs[2]; got != 7 {
+		t.Errorf("loaded back %d, want 7", got)
+	}
+}
+
+func TestProgramLoopAndBudget(t *testing.T) {
+	hv := newTestHV(t)
+	// An infinite loop: r1 = r1 (never equal to r2=1) branch to self.
+	prog := []Insn{
+		{Op: OpMovi, Dst: 1, Imm: 0},
+		{Op: OpMovi, Dst: 2, Imm: 1},
+		{Op: OpBne, Dst: 1, Src: 2, Imm: 2}, // loops on itself
+	}
+	_, _ = progVM(t, hv, prog)
+	// The budget preempts it: a yield exit, not a hang.
+	if ret := hvc(t, hv, 0, HCVCPURun); ret != RunExitYield {
+		t.Fatalf("run: %d", ret)
+	}
+}
+
+func TestProgramHaltIsSticky(t *testing.T) {
+	hv := newTestHV(t)
+	prog := []Insn{{Op: OpHalt}}
+	_, _ = progVM(t, hv, prog)
+	for i := 0; i < 3; i++ {
+		if ret := hvc(t, hv, 0, HCVCPURun); ret != RunExitYield {
+			t.Fatalf("halted run %d: %d", i, ret)
+		}
+	}
+	if pc := hv.CPUs[0].GuestRegs[PCReg]; pc != 0 {
+		t.Errorf("halt advanced pc to %d", pc)
+	}
+}
+
+func TestProgramShareHost(t *testing.T) {
+	hv := newTestHV(t)
+	page := uint64(16 << arch.PageShift)
+	prog := []Insn{
+		{Op: OpMovi, Dst: 3, Imm: page},
+		{Op: OpShareHost, Src: 3},
+		{Op: OpUnshareHost, Src: 3},
+		{Op: OpHalt},
+	}
+	_, gp := progVM(t, hv, prog)
+
+	// Run 1: the share hypercall exits to the host.
+	if ret := hvc(t, hv, 0, HCVCPURun); ret != RunExitYield {
+		t.Fatal("share run failed")
+	}
+	if e := ErrnoFromReg(hv.CPUs[0].GuestRegs[0]); e != OK {
+		t.Fatalf("guest share errno: %v", e)
+	}
+	if !hostTouch(t, hv, 1, arch.IPA(gp.Phys()), true) {
+		t.Error("host cannot reach program-shared page")
+	}
+	// Run 2: the unshare.
+	if ret := hvc(t, hv, 0, HCVCPURun); ret != RunExitYield {
+		t.Fatal("unshare run failed")
+	}
+	if hostTouch(t, hv, 1, arch.IPA(gp.Phys()), false) {
+		t.Error("host still reaches unshared page")
+	}
+}
+
+func TestProgramSurvivesContextSwitch(t *testing.T) {
+	hv := newTestHV(t)
+	page := uint64(16 << arch.PageShift)
+	prog := []Insn{
+		{Op: OpMovi, Dst: 1, Imm: 11},
+		{Op: OpYield},
+		{Op: OpMovi, Dst: 3, Imm: page},
+		{Op: OpStore, Dst: 1, Src: 3},
+		{Op: OpHalt},
+	}
+	h, gp := progVM(t, hv, prog)
+
+	if ret := hvc(t, hv, 0, HCVCPURun); ret != RunExitYield {
+		t.Fatal("first run failed")
+	}
+	// Put, reload on another CPU: the whole machine (incl. PC in the
+	// register file) context-switches.
+	if ret := hvc(t, hv, 0, HCVCPUPut); ret != 0 {
+		t.Fatal("put failed")
+	}
+	if ret := hvc(t, hv, 2, HCVCPULoad, uint64(h), 0); ret != 0 {
+		t.Fatal("reload failed")
+	}
+	if ret := hvc(t, hv, 2, HCVCPURun); ret != RunExitYield {
+		t.Fatal("resumed run failed")
+	}
+	if got := hv.Mem.Read64(gp.Phys()); got != 11 {
+		t.Errorf("value across context switch: %d, want 11", got)
+	}
+}
+
+func TestProgramBadOpcodePanics(t *testing.T) {
+	hv := newTestHV(t, faults.BugHostFaultRetry) // any injector; not relevant
+	prog := []Insn{{Op: Op(99)}}
+	_, _ = progVM(t, hv, prog)
+	regs := &hv.CPUs[0].HostRegs
+	regs[0] = uint64(HCVCPURun)
+	err := hv.HandleTrap(0, arch.ExitHVC)
+	if err == nil {
+		t.Error("invalid opcode did not panic the hypervisor")
+	}
+}

@@ -1,0 +1,100 @@
+package hyp
+
+import "ghostspec/internal/arch"
+
+// Component identifies a lock-protected portion of the hypervisor's
+// shared state, the granularity at which the ghost machinery records
+// abstractions (paper §3.1, "following the ownership structure").
+type Component struct {
+	// Kind selects which lock/state this is.
+	Kind ComponentKind
+	// Handle is the VM handle for CompGuest components, zero
+	// otherwise.
+	Handle Handle
+}
+
+// ComponentKind enumerates the lock-protected components.
+type ComponentKind uint8
+
+const (
+	// CompHost is the host stage 2 page table and its lock.
+	CompHost ComponentKind = iota
+	// CompHyp is the hypervisor's own stage 1 page table and its lock.
+	CompHyp
+	// CompVMTable is the table of VM metadata and its lock.
+	CompVMTable
+	// CompGuest is one VM's stage 2 page table and its lock.
+	CompGuest
+)
+
+func (k ComponentKind) String() string {
+	switch k {
+	case CompHost:
+		return "host"
+	case CompHyp:
+		return "pkvm"
+	case CompVMTable:
+		return "vms"
+	case CompGuest:
+		return "guest"
+	}
+	return "?"
+}
+
+func (c Component) String() string {
+	if c.Kind == CompGuest {
+		return "guest:" + c.Handle.String()
+	}
+	return c.Kind.String()
+}
+
+// Instrumentation is the set of hooks the ghost specification attaches
+// to the hypervisor. Every callback runs synchronously on the hardware
+// thread it names; the lock callbacks run while the named component's
+// lock is held, so a hook that records the component's abstraction is
+// reading owned state. A nil Instrumentation on the hypervisor
+// disables all recording (the CONFIG_NVHE_GHOST_SPEC=n build).
+type Instrumentation interface {
+	// TrapEntry runs at the top of the exception handler, before any
+	// locks are taken: the ghost records the thread-local pre-state.
+	TrapEntry(cpu int, reason arch.ExitReason)
+	// TrapExit runs at the bottom of the handler, after all locks are
+	// released and the return registers are written: the ghost
+	// records the thread-local post-state and runs the oracle check.
+	TrapExit(cpu int)
+	// LockAcquired runs immediately after the component's lock is
+	// taken (the paper's record_and_check_abstraction_*_pre).
+	LockAcquired(cpu int, c Component)
+	// LockReleasing runs immediately before the component's lock is
+	// dropped (record_..._post).
+	LockReleasing(cpu int, c Component)
+	// ReadOnce records a nondeterministic read of host-owned memory —
+	// the READ_ONCE values the specification is parameterised on
+	// (paper §4.3).
+	ReadOnce(cpu int, pa arch.PhysAddr, val uint64)
+	// GuestExit records which guest event a vcpu_run handler
+	// processed, another environment parameter of the specification.
+	GuestExit(cpu int, handle Handle, vcpu int, op GuestOp)
+	// MemcacheAlloc/MemcacheFree record the loaded vCPU's memcache
+	// traffic during guest table growth. How many table pages a
+	// mapping needs is memory-management detail the abstract state
+	// deliberately omits, so the specification takes the pop/push
+	// sequence as an environment parameter, like READ_ONCE values.
+	MemcacheAlloc(cpu int, pfn arch.PFN)
+	MemcacheFree(cpu int, pfn arch.PFN)
+	// HypPanic records that the hypervisor hit an internal panic.
+	HypPanic(cpu int, msg string)
+}
+
+// nopInstr is the disabled-instrumentation build.
+type nopInstr struct{}
+
+func (nopInstr) TrapEntry(int, arch.ExitReason)      {}
+func (nopInstr) TrapExit(int)                        {}
+func (nopInstr) LockAcquired(int, Component)         {}
+func (nopInstr) LockReleasing(int, Component)        {}
+func (nopInstr) ReadOnce(int, arch.PhysAddr, uint64) {}
+func (nopInstr) GuestExit(int, Handle, int, GuestOp) {}
+func (nopInstr) MemcacheAlloc(int, arch.PFN)         {}
+func (nopInstr) MemcacheFree(int, arch.PFN)          {}
+func (nopInstr) HypPanic(int, string)                {}

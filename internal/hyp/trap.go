@@ -1,0 +1,142 @@
+package hyp
+
+import (
+	"ghostspec/internal/arch"
+)
+
+// HC is a hypercall function ID, passed by the host in x0.
+type HC uint64
+
+// The host-facing hypercall API (paper §2): memory
+// sharing/donation/reclaim, VM and vCPU lifecycle, and the vCPU
+// memcache topup path.
+const (
+	HCHostShareHyp HC = iota + 1
+	HCHostUnshareHyp
+	HCHostDonateHyp
+	HCHostReclaimPage
+	HCInitVM
+	HCInitVCPU
+	HCTeardownVM
+	HCVCPULoad
+	HCVCPUPut
+	HCVCPURun
+	HCHostMapGuest
+	HCTopupVCPUMemcache
+	// HCHostShareHypRange is the phased extension: it shares a run of
+	// pages, taking and releasing the locks per page — the
+	// release-and-retake execution style the paper notes needs
+	// transactional instrumentation (handled here per lock session).
+	HCHostShareHypRange
+)
+
+func (h HC) String() string {
+	switch h {
+	case HCHostShareHyp:
+		return "host_share_hyp"
+	case HCHostUnshareHyp:
+		return "host_unshare_hyp"
+	case HCHostDonateHyp:
+		return "host_donate_hyp"
+	case HCHostReclaimPage:
+		return "host_reclaim_page"
+	case HCInitVM:
+		return "init_vm"
+	case HCInitVCPU:
+		return "init_vcpu"
+	case HCTeardownVM:
+		return "teardown_vm"
+	case HCVCPULoad:
+		return "vcpu_load"
+	case HCVCPUPut:
+		return "vcpu_put"
+	case HCVCPURun:
+		return "vcpu_run"
+	case HCHostMapGuest:
+		return "host_map_guest"
+	case HCTopupVCPUMemcache:
+		return "topup_vcpu_memcache"
+	case HCHostShareHypRange:
+		return "host_share_hyp_range"
+	}
+	return "unknown_hypercall"
+}
+
+// VCPU run exit codes, returned to the host in x1 (with detail in
+// x2/x3) after HCVCPURun.
+const (
+	// RunExitYield: the guest yielded (interrupt, or nothing to do).
+	RunExitYield int64 = 0
+	// RunExitMemAbort: the guest took a stage 2 fault; x2 carries the
+	// IPA and x3 the write flag — the virtio-style notification path.
+	RunExitMemAbort int64 = 2
+)
+
+// HandleTrap is the top-level EL2 exception handler (the paper's
+// handle_trap): it dispatches hypercalls and host stage 2 aborts,
+// writes the return registers, and fires the ghost entry/exit hooks.
+//
+// An internal hypervisor panic — which takes down a real machine — is
+// recovered into a *PanicError so test campaigns can observe it and
+// carry on with a fresh system.
+func (hv *Hypervisor) HandleTrap(cpuID int, reason arch.ExitReason) (err error) {
+	cpu := hv.CPUs[cpuID]
+	hv.instr.TrapEntry(cpuID, reason)
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*PanicError); ok {
+				err = pe
+				return
+			}
+			panic(r)
+		}
+		hv.instr.TrapExit(cpuID)
+	}()
+
+	switch reason {
+	case arch.ExitHVC:
+		ret := hv.dispatchHVC(cpuID)
+		cpu.HostRegs[0] = 0 // SMCCC: call accepted
+		cpu.HostRegs[1] = uint64(ret)
+	case arch.ExitMemAbort:
+		hv.handleHostMemAbort(cpuID)
+	case arch.ExitIRQ:
+		// Interrupts pass straight back to the host.
+	}
+	return nil
+}
+
+func (hv *Hypervisor) dispatchHVC(cpu int) int64 {
+	regs := &hv.CPUs[cpu].HostRegs
+	id := HC(regs[0])
+	a1, a2, a3, a4 := regs[1], regs[2], regs[3], regs[4]
+	switch id {
+	case HCHostShareHyp:
+		return int64(hv.hostShareHyp(cpu, arch.PFN(a1)))
+	case HCHostUnshareHyp:
+		return int64(hv.hostUnshareHyp(cpu, arch.PFN(a1)))
+	case HCHostDonateHyp:
+		return int64(hv.hostDonateHyp(cpu, arch.PFN(a1), a2))
+	case HCHostReclaimPage:
+		return int64(hv.hostReclaimPage(cpu, arch.PFN(a1)))
+	case HCInitVM:
+		return hv.initVM(cpu, int(a1), arch.PFN(a2), a3)
+	case HCInitVCPU:
+		return int64(hv.initVCPU(cpu, Handle(a1), int(a2)))
+	case HCTeardownVM:
+		return int64(hv.teardownVM(cpu, Handle(a1)))
+	case HCVCPULoad:
+		return int64(hv.vcpuLoad(cpu, Handle(a1), int(a2)))
+	case HCVCPUPut:
+		return int64(hv.vcpuPut(cpu))
+	case HCVCPURun:
+		return hv.vcpuRun(cpu)
+	case HCHostMapGuest:
+		return int64(hv.hostMapGuest(cpu, arch.PFN(a1), a2))
+	case HCTopupVCPUMemcache:
+		return int64(hv.topupVCPUMemcache(cpu, Handle(a1), int(a2), arch.PhysAddr(a3), a4))
+	case HCHostShareHypRange:
+		return int64(hv.hostShareHypRange(cpu, arch.PFN(a1), a2))
+	}
+	return int64(ENOSYS)
+}

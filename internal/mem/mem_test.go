@@ -1,0 +1,164 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ghostspec/internal/arch"
+)
+
+func TestPoolAllocFree(t *testing.T) {
+	p := NewPool("test", 0x100, 4)
+	seen := map[arch.PFN]bool{}
+	for i := 0; i < 4; i++ {
+		pfn, ok := p.Alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		if seen[pfn] {
+			t.Fatalf("frame %#x allocated twice", uint64(pfn))
+		}
+		if !p.Contains(pfn) {
+			t.Fatalf("allocated frame %#x outside pool", uint64(pfn))
+		}
+		seen[pfn] = true
+	}
+	if _, ok := p.Alloc(); ok {
+		t.Error("alloc from empty pool succeeded")
+	}
+	if p.Available() != 0 || p.Allocated() != 4 {
+		t.Errorf("available=%d allocated=%d", p.Available(), p.Allocated())
+	}
+	for pfn := range seen {
+		p.Free(pfn)
+	}
+	if p.Available() != 4 || p.Allocated() != 0 {
+		t.Errorf("after free: available=%d allocated=%d", p.Available(), p.Allocated())
+	}
+}
+
+func TestPoolDoubleFreePanics(t *testing.T) {
+	p := NewPool("test", 0, 2)
+	pfn, _ := p.Alloc()
+	p.Free(pfn)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	p.Free(pfn)
+}
+
+func TestPoolForeignFreePanics(t *testing.T) {
+	p := NewPool("test", 0x100, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("foreign free did not panic")
+		}
+	}()
+	p.Free(0x999)
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool("test", 0, 256)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]arch.PFN, 0, 32)
+			for j := 0; j < 32; j++ {
+				pfn, ok := p.Alloc()
+				if !ok {
+					t.Error("pool exhausted unexpectedly")
+					return
+				}
+				local = append(local, pfn)
+			}
+			for _, pfn := range local {
+				p.Free(pfn)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Available() != 256 {
+		t.Errorf("available = %d after balanced alloc/free", p.Available())
+	}
+}
+
+// Property: alloc never returns a frame outside [start, start+nr) and
+// never returns a frame twice without an intervening free.
+func TestPoolUniquenessProperty(t *testing.T) {
+	f := func(start uint16, nrRaw uint8) bool {
+		nr := uint64(nrRaw%32) + 1
+		p := NewPool("q", arch.PFN(start), nr)
+		seen := map[arch.PFN]bool{}
+		for {
+			pfn, ok := p.Alloc()
+			if !ok {
+				break
+			}
+			if seen[pfn] || !p.Contains(pfn) {
+				return false
+			}
+			seen[pfn] = true
+		}
+		return uint64(len(seen)) == nr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemcacheLIFO(t *testing.T) {
+	var mc Memcache
+	mc.Push(1)
+	mc.Push(2)
+	mc.Push(3)
+	if mc.Len() != 3 {
+		t.Fatalf("len = %d", mc.Len())
+	}
+	for want := arch.PFN(3); want >= 1; want-- {
+		pfn, ok := mc.Pop()
+		if !ok || pfn != want {
+			t.Fatalf("pop = %v,%v want %v", pfn, ok, want)
+		}
+	}
+	if _, ok := mc.Pop(); ok {
+		t.Error("pop from empty memcache succeeded")
+	}
+}
+
+func TestMemcacheDrain(t *testing.T) {
+	var mc Memcache
+	for i := arch.PFN(0); i < 5; i++ {
+		mc.Push(i)
+	}
+	got := mc.Drain()
+	if len(got) != 5 || mc.Len() != 0 {
+		t.Errorf("drain = %v, len after = %d", got, mc.Len())
+	}
+	if _, ok := mc.Pop(); ok {
+		t.Error("pop after drain succeeded")
+	}
+}
+
+func TestMemcacheConcurrent(t *testing.T) {
+	var mc Memcache
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				mc.Push(arch.PFN(base*100 + j))
+				mc.Pop()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if mc.Len() != 0 {
+		t.Errorf("len = %d after balanced push/pop", mc.Len())
+	}
+}

@@ -1,0 +1,32 @@
+package pgtable
+
+import (
+	"ghostspec/internal/arch"
+	"ghostspec/internal/mem"
+)
+
+// PoolAllocator adapts a mem.Pool as a table-page Allocator; the host
+// stage 2 and hyp stage 1 tables are fed this way from the
+// hypervisor's donated carve-out.
+type PoolAllocator struct {
+	Pool *mem.Pool
+}
+
+// AllocTablePage takes a frame from the pool.
+func (a PoolAllocator) AllocTablePage() (arch.PFN, bool) { return a.Pool.Alloc() }
+
+// FreeTablePage returns a frame to the pool.
+func (a PoolAllocator) FreeTablePage(pfn arch.PFN) { a.Pool.Free(pfn) }
+
+// MemcacheAllocator adapts a vCPU memcache as a table-page Allocator;
+// guest stage 2 tables grow only from pages the host donated to that
+// vCPU ahead of time, as in pKVM.
+type MemcacheAllocator struct {
+	MC *mem.Memcache
+}
+
+// AllocTablePage pops a donated frame from the memcache.
+func (a MemcacheAllocator) AllocTablePage() (arch.PFN, bool) { return a.MC.Pop() }
+
+// FreeTablePage pushes a frame back onto the memcache.
+func (a MemcacheAllocator) FreeTablePage(pfn arch.PFN) { a.MC.Push(pfn) }

@@ -1,0 +1,135 @@
+package proxy
+
+import (
+	"errors"
+	"testing"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/hyp"
+)
+
+func newDriver(t *testing.T) *Driver {
+	t.Helper()
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(hv)
+}
+
+func TestAllocAndAccess(t *testing.T) {
+	d := newDriver(t)
+	pfn, err := d.AllocPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demand-fault the page in via a write, read it back.
+	if err := d.Write64(0, arch.IPA(pfn.Phys()), 0xfeed); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Read64(0, arch.IPA(pfn.Phys()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xfeed {
+		t.Errorf("read back %#x", v)
+	}
+	d.FreePage(pfn)
+}
+
+func TestAccessDenied(t *testing.T) {
+	d := newDriver(t)
+	ok, err := d.Access(0, arch.IPA(d.HV.Globals().CarveStart), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("access to hypervisor carve-out succeeded")
+	}
+}
+
+func TestShareUnshareWrappers(t *testing.T) {
+	d := newDriver(t)
+	pfn, _ := d.AllocPage()
+	if err := d.ShareHyp(0, pfn); err != nil {
+		t.Fatalf("share: %v", err)
+	}
+	if err := d.ShareHyp(0, pfn); !errors.Is(err, hyp.EPERM) {
+		t.Errorf("double share: %v, want EPERM", err)
+	}
+	if err := d.UnshareHyp(0, pfn); err != nil {
+		t.Fatalf("unshare: %v", err)
+	}
+}
+
+func TestVMWorkflow(t *testing.T) {
+	d := newDriver(t)
+	h, donated, err := d.InitVM(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(donated) != int(hyp.InitVMDonation(1)) {
+		t.Fatalf("donated %d pages", len(donated))
+	}
+	if err := d.InitVCPU(0, h, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Topup(0, h, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.VCPULoad(0, h, 0); err != nil {
+		t.Fatal(err)
+	}
+	gp, _ := d.AllocPage()
+	if err := d.MapGuest(0, gp, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	// Guest writes through its new page; run reports a yield.
+	d.QueueGuestOp(h, 0, hyp.GuestOp{Kind: hyp.GuestAccess, IPA: 7 << arch.PageShift, Write: true, Value: 5})
+	exit, err := d.VCPURun(0)
+	if err != nil || exit.Code != hyp.RunExitYield {
+		t.Fatalf("run: %+v %v", exit, err)
+	}
+	// Unmapped guest access reports the fault detail.
+	d.QueueGuestOp(h, 0, hyp.GuestOp{Kind: hyp.GuestAccess, IPA: 8 << arch.PageShift, Write: true})
+	exit, err = d.VCPURun(0)
+	if err != nil || exit.Code != hyp.RunExitMemAbort || exit.IPA != 8<<arch.PageShift || !exit.Write {
+		t.Fatalf("fault exit: %+v %v", exit, err)
+	}
+
+	if err := d.VCPUPut(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.TeardownVM(0, h); err != nil {
+		t.Fatal(err)
+	}
+	// Reclaim one of the donated pages.
+	if err := d.ReclaimPage(0, donated[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRawHVCArbitraryArgs(t *testing.T) {
+	d := newDriver(t)
+	ret, err := d.HVC(0, hyp.HC(0xdead), 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyp.Errno(ret) != hyp.ENOSYS {
+		t.Errorf("unknown hypercall = %v", hyp.Errno(ret))
+	}
+}
+
+func TestContiguousAllocation(t *testing.T) {
+	d := newDriver(t)
+	pfns, err := d.allocContiguous(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pfns); i++ {
+		if pfns[i] != pfns[i-1]+1 {
+			t.Fatalf("not contiguous: %v", pfns)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package randtest
+
+import (
+	"sync"
+
+	"ghostspec/internal/core/ghost"
+	"ghostspec/internal/proxy"
+)
+
+// ConcurrentCampaign drives one tester per hardware thread over a
+// single shared system: each tester is pinned to its CPU and works
+// its own VMs and pages, so all cross-thread interaction happens
+// inside the hypervisor — through its locks — while the ghost oracle
+// checks every trap on every CPU. This is the concurrency regime the
+// paper's instrumentation must survive: overlapping hypercalls with
+// per-component lock interleavings.
+func ConcurrentCampaign(d *proxy.Driver, rec *ghost.Recorder, seed int64, stepsPerCPU int) []Stats {
+	n := d.HV.Globals().NrCPUs
+	testers := make([]*Tester, n)
+	for cpu := 0; cpu < n; cpu++ {
+		t := New(d, rec, seed+int64(cpu)*7919, true)
+		t.pinCPU = cpu
+		testers[cpu] = t
+	}
+	var wg sync.WaitGroup
+	for _, t := range testers {
+		wg.Add(1)
+		go func(t *Tester) {
+			defer wg.Done()
+			t.Run(stepsPerCPU)
+		}(t)
+	}
+	wg.Wait()
+
+	out := make([]Stats, n)
+	for i, t := range testers {
+		out[i] = t.Stats()
+	}
+	return out
+}

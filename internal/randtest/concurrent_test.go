@@ -1,0 +1,50 @@
+package randtest
+
+import (
+	"testing"
+
+	"ghostspec/internal/core/ghost"
+	"ghostspec/internal/hyp"
+	"ghostspec/internal/proxy"
+)
+
+// TestConcurrentCampaignClean runs one guided tester per hardware
+// thread over a single system: genuinely overlapping hypercalls, every
+// trap oracle-checked, no alarms and no host crashes. Run with -race.
+func TestConcurrentCampaignClean(t *testing.T) {
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := ghost.Attach(hv)
+	d := proxy.New(hv)
+
+	stats := ConcurrentCampaign(d, rec, 1, 400)
+	if len(stats) != hv.Globals().NrCPUs {
+		t.Fatalf("stats for %d CPUs", len(stats))
+	}
+	totalCalls, totalVMs := 0, 0
+	for cpu, s := range stats {
+		if s.HostCrashes != 0 {
+			t.Errorf("cpu %d crashed the host %d times", cpu, s.HostCrashes)
+		}
+		if s.HypPanics != 0 {
+			t.Errorf("cpu %d: %d hypervisor panics", cpu, s.HypPanics)
+		}
+		totalCalls += s.Calls
+		totalVMs += s.VMsCreated
+	}
+	if totalCalls < 400 {
+		t.Errorf("only %d calls across all CPUs", totalCalls)
+	}
+	if totalVMs == 0 {
+		t.Error("no VM progress under concurrency")
+	}
+	for _, f := range rec.Failures() {
+		t.Errorf("oracle alarm under concurrency: %v", f)
+	}
+	st := rec.Stats()
+	if st.Passed != st.Checks {
+		t.Errorf("checks %d, passed %d", st.Checks, st.Passed)
+	}
+}

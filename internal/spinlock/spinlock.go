@@ -1,0 +1,71 @@
+// Package spinlock provides the hypervisor's spinlocks, with the
+// instrumentation hooks the ghost specification attaches to.
+//
+// pKVM protects each page table and the VM-metadata table with its own
+// lock; the ghost machinery records the abstraction of the protected
+// component exactly when its lock is taken and just before it is
+// released (paper §3.2). The hooks here are those attachment points:
+// they run while the lock is held, so the recorded abstraction is of
+// owned state.
+package spinlock
+
+import "sync"
+
+// Hooks are callbacks invoked while the lock is held: Acquired runs
+// immediately after the lock is taken, Releasing immediately before it
+// is dropped. Nil hooks are skipped. The component argument is the
+// lock's registered name.
+type Hooks struct {
+	Acquired  func(component string)
+	Releasing func(component string)
+}
+
+// Lock is a hypervisor spinlock. The zero value is usable but
+// uninstrumented; use New to name the component for the hooks.
+type Lock struct {
+	mu        sync.Mutex
+	component string
+	hooks     *Hooks
+
+	// held tracks lock state for sanity checking; it is only written
+	// under mu.
+	held bool
+}
+
+// New returns a named lock with the given hooks (which may be nil).
+func New(component string, hooks *Hooks) *Lock {
+	return &Lock{component: component, hooks: hooks}
+}
+
+// SetHooks installs hooks on an existing lock. It must not be called
+// concurrently with Lock/Unlock; the hypervisor installs hooks once at
+// initialisation, before any hypercall traffic.
+func (l *Lock) SetHooks(h *Hooks) { l.hooks = h }
+
+// Component returns the lock's registered name.
+func (l *Lock) Component() string { return l.component }
+
+// Lock acquires the lock and runs the Acquired hook while holding it.
+func (l *Lock) Lock() {
+	l.mu.Lock()
+	l.held = true
+	if l.hooks != nil && l.hooks.Acquired != nil {
+		l.hooks.Acquired(l.component)
+	}
+}
+
+// Unlock runs the Releasing hook and drops the lock.
+func (l *Lock) Unlock() {
+	if !l.held {
+		panic("spinlock: unlock of unheld lock " + l.component)
+	}
+	if l.hooks != nil && l.hooks.Releasing != nil {
+		l.hooks.Releasing(l.component)
+	}
+	l.held = false
+	l.mu.Unlock()
+}
+
+// Held reports whether the lock is currently held. It is advisory
+// (racy by nature) and intended for assertions on the owning thread.
+func (l *Lock) Held() bool { return l.held }

@@ -1,0 +1,154 @@
+// Package suite is the handwritten test suite of paper §5: 41 tests —
+// 19 targeting error-free paths, 22 targeting error paths, a handful
+// highly concurrent and targeting locking — each runnable with or
+// without the ghost oracle attached. With the oracle on, a test passes
+// only if the implementation behaved as expected AND the oracle raised
+// no alarm.
+package suite
+
+import (
+	"fmt"
+	"time"
+
+	"ghostspec/internal/core/ghost"
+	"ghostspec/internal/faults"
+	"ghostspec/internal/hyp"
+	"ghostspec/internal/proxy"
+)
+
+// Kind classifies a test, following the paper's taxonomy.
+type Kind uint8
+
+const (
+	// KindOK targets an error-free path.
+	KindOK Kind = iota
+	// KindError targets an error path.
+	KindError
+)
+
+func (k Kind) String() string {
+	if k == KindError {
+		return "error"
+	}
+	return "ok"
+}
+
+// Ctx is what a test runs against: a freshly booted system, the
+// hyp-proxy driver, and (when the oracle is attached) the recorder.
+type Ctx struct {
+	D   *proxy.Driver
+	HV  *hyp.Hypervisor
+	Rec *ghost.Recorder // nil when the ghost build is off
+}
+
+// Test is one handwritten test.
+type Test struct {
+	Name string
+	Kind Kind
+	// Concurrent marks the lock-targeting tests that drive several
+	// hardware threads at once.
+	Concurrent bool
+	Run        func(c *Ctx) error
+}
+
+// Result is the outcome of one test.
+type Result struct {
+	Test     Test
+	Err      error
+	Alarms   []ghost.Failure
+	Duration time.Duration
+}
+
+// Passed reports whether the test passed, including oracle silence.
+func (r Result) Passed() bool { return r.Err == nil && len(r.Alarms) == 0 }
+
+// Options configure a suite run.
+type Options struct {
+	// Ghost attaches the oracle (the CONFIG_NVHE_GHOST_SPEC build).
+	Ghost bool
+	// Bugs are injected into every booted system.
+	Bugs []faults.Bug
+	// Filter, when non-empty, runs only the named test.
+	Filter string
+	// Instrument, when set, runs after each system boots (and after
+	// the oracle attaches) — e.g. to wrap a coverage tracker around
+	// the instrumentation.
+	Instrument func(c *Ctx)
+}
+
+// Run executes the suite, each test on a freshly booted system.
+func Run(opts Options) []Result {
+	var results []Result
+	for _, tst := range All() {
+		if opts.Filter != "" && opts.Filter != tst.Name {
+			continue
+		}
+		hv, err := hyp.New(hyp.Config{Inj: faults.NewInjector(opts.Bugs...)})
+		if err != nil {
+			results = append(results, Result{Test: tst, Err: err})
+			continue
+		}
+		c := &Ctx{D: proxy.New(hv), HV: hv}
+		if opts.Ghost {
+			c.Rec = ghost.Attach(hv)
+		}
+		if opts.Instrument != nil {
+			opts.Instrument(c)
+		}
+		start := time.Now()
+		runErr := tst.Run(c)
+		res := Result{Test: tst, Err: runErr, Duration: time.Since(start)}
+		if c.Rec != nil {
+			res.Alarms = c.Rec.Failures()
+		}
+		results = append(results, res)
+	}
+	return results
+}
+
+// Summary aggregates results.
+type Summary struct {
+	Total, Passed, Failed int
+	OKTests, ErrorTests   int
+	Concurrent            int
+	TotalDuration         time.Duration
+	AlarmCount            int
+}
+
+// Summarise folds results.
+func Summarise(results []Result) Summary {
+	var s Summary
+	for _, r := range results {
+		s.Total++
+		if r.Passed() {
+			s.Passed++
+		} else {
+			s.Failed++
+		}
+		if r.Test.Kind == KindOK {
+			s.OKTests++
+		} else {
+			s.ErrorTests++
+		}
+		if r.Test.Concurrent {
+			s.Concurrent++
+		}
+		s.TotalDuration += r.Duration
+		s.AlarmCount += len(r.Alarms)
+	}
+	return s
+}
+
+// expect asserts a particular errno came back.
+func expect(err error, want hyp.Errno) error {
+	if want == hyp.OK {
+		if err != nil {
+			return fmt.Errorf("want success, got %v", err)
+		}
+		return nil
+	}
+	if err != want {
+		return fmt.Errorf("want %v, got %v", want, err)
+	}
+	return nil
+}

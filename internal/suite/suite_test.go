@@ -1,0 +1,80 @@
+package suite
+
+import (
+	"testing"
+
+	"ghostspec/internal/faults"
+)
+
+func TestSuiteComposition(t *testing.T) {
+	tests := All()
+	if len(tests) != 41 {
+		t.Errorf("suite has %d tests, want 41 (paper §5)", len(tests))
+	}
+	var ok, errs, conc int
+	names := map[string]bool{}
+	for _, tst := range tests {
+		if names[tst.Name] {
+			t.Errorf("duplicate test name %q", tst.Name)
+		}
+		names[tst.Name] = true
+		switch tst.Kind {
+		case KindOK:
+			ok++
+		case KindError:
+			errs++
+		}
+		if tst.Concurrent {
+			conc++
+		}
+	}
+	if ok != 19 || errs != 22 {
+		t.Errorf("composition %d ok / %d error, want 19/22", ok, errs)
+	}
+	if conc < 3 {
+		t.Errorf("only %d concurrent tests, want a handful", conc)
+	}
+}
+
+func TestSuitePassesWithoutGhost(t *testing.T) {
+	results := Run(Options{Ghost: false})
+	for _, r := range results {
+		if !r.Passed() {
+			t.Errorf("%s: %v", r.Test.Name, r.Err)
+		}
+	}
+}
+
+func TestSuitePassesWithGhost(t *testing.T) {
+	results := Run(Options{Ghost: true})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Test.Name, r.Err)
+		}
+		for _, a := range r.Alarms {
+			t.Errorf("%s: oracle alarm %v", r.Test.Name, a)
+		}
+	}
+	s := Summarise(results)
+	if s.Total != 41 || s.Passed != 41 {
+		t.Errorf("summary: %+v", s)
+	}
+}
+
+func TestSuiteCatchesInjectedBug(t *testing.T) {
+	// With a bug injected and the ghost on, at least one test must
+	// fail via an oracle alarm even though the implementation-level
+	// assertions may still hold.
+	results := Run(Options{Ghost: true, Bugs: []faults.Bug{faults.BugShareWrongPerms}})
+	s := Summarise(results)
+	if s.AlarmCount == 0 {
+		t.Error("injected share-wrong-perms raised no alarms across the suite")
+	}
+}
+
+func TestSuiteFilter(t *testing.T) {
+	results := Run(Options{Ghost: true, Filter: "share-basic"})
+	if len(results) != 1 || results[0].Test.Name != "share-basic" {
+		t.Errorf("filter returned %d results", len(results))
+	}
+}

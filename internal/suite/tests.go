@@ -1,0 +1,630 @@
+package suite
+
+import (
+	"fmt"
+	"sync"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/hyp"
+)
+
+// setupVM boots a VM with one initialised vCPU, topped-up memcache,
+// and the vCPU loaded on cpu.
+func setupLoadedVM(c *Ctx, cpu int) (hyp.Handle, error) {
+	h, _, err := c.D.InitVM(cpu, 1)
+	if err != nil {
+		return 0, fmt.Errorf("init_vm: %w", err)
+	}
+	if err := c.D.InitVCPU(cpu, h, 0); err != nil {
+		return 0, fmt.Errorf("init_vcpu: %w", err)
+	}
+	if _, err := c.D.Topup(cpu, h, 0, 6); err != nil {
+		return 0, fmt.Errorf("topup: %w", err)
+	}
+	if err := c.D.VCPULoad(cpu, h, 0); err != nil {
+		return 0, fmt.Errorf("load: %w", err)
+	}
+	return h, nil
+}
+
+// All returns the 41 handwritten tests.
+func All() []Test {
+	return []Test{
+		// ----- 19 error-free tests --------------------------------
+		{Name: "share-basic", Kind: KindOK, Run: func(c *Ctx) error {
+			pfn, _ := c.D.AllocPage()
+			return c.D.ShareHyp(0, pfn)
+		}},
+		{Name: "share-unshare-roundtrip", Kind: KindOK, Run: func(c *Ctx) error {
+			pfn, _ := c.D.AllocPage()
+			if err := c.D.ShareHyp(0, pfn); err != nil {
+				return err
+			}
+			if err := c.D.UnshareHyp(0, pfn); err != nil {
+				return err
+			}
+			// The phased range variant over the same page plus its
+			// neighbour (one locking phase per page).
+			pfn2, _ := c.D.AllocPage()
+			lo := pfn
+			if pfn2 < lo {
+				lo = pfn2
+			}
+			if err := c.D.ShareHypRange(0, lo, 2); err != nil {
+				return err
+			}
+			if err := c.D.UnshareHyp(0, lo); err != nil {
+				return err
+			}
+			return c.D.UnshareHyp(0, lo+1)
+		}},
+		{Name: "share-touched-page", Kind: KindOK, Run: func(c *Ctx) error {
+			// Sharing a page the host has already faulted in: the
+			// owned mapping becomes a shared one.
+			pfn, _ := c.D.AllocPage()
+			if err := c.D.Write64(0, arch.IPA(pfn.Phys()), 1); err != nil {
+				return err
+			}
+			return c.D.ShareHyp(0, pfn)
+		}},
+		{Name: "donate-basic", Kind: KindOK, Run: func(c *Ctx) error {
+			pfns, err := c.D.AllocPage()
+			if err != nil {
+				return err
+			}
+			return c.D.DonateHyp(0, pfns, 1)
+		}},
+		{Name: "donate-max", Kind: KindOK, Run: func(c *Ctx) error {
+			run := make([]arch.PFN, 0, hyp.MaxDonate)
+			for len(run) < hyp.MaxDonate {
+				pfn, err := c.D.AllocPage()
+				if err != nil {
+					return err
+				}
+				if len(run) > 0 && pfn != run[len(run)-1]+1 {
+					run = run[:0]
+				}
+				run = append(run, pfn)
+			}
+			return c.D.DonateHyp(0, run[0], hyp.MaxDonate)
+		}},
+		{Name: "demand-map-block", Kind: KindOK, Run: func(c *Ctx) error {
+			pfn, _ := c.D.AllocPage()
+			ok, err := c.D.Access(0, arch.IPA(pfn.Phys()), true)
+			if err != nil || !ok {
+				return fmt.Errorf("demand fault: ok=%v err=%v", ok, err)
+			}
+			return nil
+		}},
+		{Name: "demand-map-mmio", Kind: KindOK, Run: func(c *Ctx) error {
+			ok, err := c.D.Access(0, arch.IPA(hyp.UARTPhys), true)
+			if err != nil || !ok {
+				return fmt.Errorf("mmio fault: ok=%v err=%v", ok, err)
+			}
+			return nil
+		}},
+		{Name: "init-vcpu-multi", Kind: KindOK, Run: func(c *Ctx) error {
+			h, _, err := c.D.InitVM(0, 4)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < 4; i++ {
+				if err := c.D.InitVCPU(0, h, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{Name: "topup-basic", Kind: KindOK, Run: func(c *Ctx) error {
+			h, _, err := c.D.InitVM(0, 1)
+			if err != nil {
+				return err
+			}
+			if err := c.D.InitVCPU(0, h, 0); err != nil {
+				return err
+			}
+			_, err = c.D.Topup(0, h, 0, 8)
+			return err
+		}},
+		{Name: "vcpu-load-put-cycle", Kind: KindOK, Run: func(c *Ctx) error {
+			h, err := setupLoadedVM(c, 0)
+			if err != nil {
+				return err
+			}
+			// A quiescent guest just yields.
+			if ex, err := c.D.VCPURun(0); err != nil || ex.Code != hyp.RunExitYield {
+				return fmt.Errorf("quiescent run: %+v %v", ex, err)
+			}
+			if err := c.D.VCPUPut(0); err != nil {
+				return err
+			}
+			// Load on a different CPU after putting.
+			if err := c.D.VCPULoad(1, h, 0); err != nil {
+				return err
+			}
+			return c.D.VCPUPut(1)
+		}},
+		{Name: "map-guest-basic", Kind: KindOK, Run: func(c *Ctx) error {
+			if _, err := setupLoadedVM(c, 0); err != nil {
+				return err
+			}
+			pfn, _ := c.D.AllocPage()
+			return c.D.MapGuest(0, pfn, 16)
+		}},
+		{Name: "guest-access-rw", Kind: KindOK, Run: func(c *Ctx) error {
+			h, err := setupLoadedVM(c, 0)
+			if err != nil {
+				return err
+			}
+			pfn, _ := c.D.AllocPage()
+			if err := c.D.MapGuest(0, pfn, 16); err != nil {
+				return err
+			}
+			c.D.QueueGuestOp(h, 0, hyp.GuestOp{Kind: hyp.GuestAccess, IPA: 16 << arch.PageShift, Write: true, Value: 77})
+			if ex, err := c.D.VCPURun(0); err != nil || ex.Code != hyp.RunExitYield {
+				return fmt.Errorf("write run: %+v %v", ex, err)
+			}
+			c.D.QueueGuestOp(h, 0, hyp.GuestOp{Kind: hyp.GuestAccess, IPA: 16 << arch.PageShift})
+			if ex, err := c.D.VCPURun(0); err != nil || ex.Code != hyp.RunExitYield {
+				return fmt.Errorf("read run: %+v %v", ex, err)
+			}
+			if got := c.HV.CPUs[0].GuestRegs[0]; got != 77 {
+				return fmt.Errorf("guest read %d, want 77", got)
+			}
+			return nil
+		}},
+		{Name: "guest-fault-exit", Kind: KindOK, Run: func(c *Ctx) error {
+			h, err := setupLoadedVM(c, 0)
+			if err != nil {
+				return err
+			}
+			c.D.QueueGuestOp(h, 0, hyp.GuestOp{Kind: hyp.GuestAccess, IPA: 40 << arch.PageShift, Write: true})
+			ex, err := c.D.VCPURun(0)
+			if err != nil || ex.Code != hyp.RunExitMemAbort || ex.IPA != 40<<arch.PageShift || !ex.Write {
+				return fmt.Errorf("fault exit: %+v %v", ex, err)
+			}
+			return nil
+		}},
+		{Name: "guest-share-unshare-host", Kind: KindOK, Run: func(c *Ctx) error {
+			h, err := setupLoadedVM(c, 0)
+			if err != nil {
+				return err
+			}
+			pfn, _ := c.D.AllocPage()
+			if err := c.D.MapGuest(0, pfn, 16); err != nil {
+				return err
+			}
+			ipa := arch.IPA(16 << arch.PageShift)
+			c.D.QueueGuestOp(h, 0, hyp.GuestOp{Kind: hyp.GuestShareHost, IPA: ipa})
+			if _, err := c.D.VCPURun(0); err != nil {
+				return err
+			}
+			if e := hyp.ErrnoFromReg(c.HV.CPUs[0].GuestRegs[0]); e != hyp.OK {
+				return fmt.Errorf("guest share: %v", e)
+			}
+			// Host can reach the shared page now.
+			if ok, _ := c.D.Access(1, arch.IPA(pfn.Phys()), true); !ok {
+				return fmt.Errorf("host cannot reach guest-shared page")
+			}
+			c.D.QueueGuestOp(h, 0, hyp.GuestOp{Kind: hyp.GuestUnshareHost, IPA: ipa})
+			if _, err := c.D.VCPURun(0); err != nil {
+				return err
+			}
+			if e := hyp.ErrnoFromReg(c.HV.CPUs[0].GuestRegs[0]); e != hyp.OK {
+				return fmt.Errorf("guest unshare: %v", e)
+			}
+			if ok, _ := c.D.Access(1, arch.IPA(pfn.Phys()), false); ok {
+				return fmt.Errorf("host still reaches unshared page")
+			}
+			return nil
+		}},
+		{Name: "teardown-reclaim-full", Kind: KindOK, Run: func(c *Ctx) error {
+			h, err := setupLoadedVM(c, 0)
+			if err != nil {
+				return err
+			}
+			pfn, _ := c.D.AllocPage()
+			if err := c.D.MapGuest(0, pfn, 16); err != nil {
+				return err
+			}
+			if err := c.D.VCPUPut(0); err != nil {
+				return err
+			}
+			if err := c.D.TeardownVM(0, h); err != nil {
+				return err
+			}
+			// Reclaim the guest data page and verify the host owns it
+			// again.
+			if err := c.D.ReclaimPage(0, pfn); err != nil {
+				return err
+			}
+			if ok, _ := c.D.Access(0, arch.IPA(pfn.Phys()), true); !ok {
+				return fmt.Errorf("reclaimed page not accessible")
+			}
+			return nil
+		}},
+		{Name: "multi-vm-coexist", Kind: KindOK, Run: func(c *Ctx) error {
+			h1, _, err := c.D.InitVM(0, 1)
+			if err != nil {
+				return err
+			}
+			h2, _, err := c.D.InitVM(0, 1)
+			if err != nil {
+				return err
+			}
+			if h1 == h2 {
+				return fmt.Errorf("duplicate handles")
+			}
+			if err := c.D.InitVCPU(0, h1, 0); err != nil {
+				return err
+			}
+			if err := c.D.InitVCPU(0, h2, 0); err != nil {
+				return err
+			}
+			if err := c.D.VCPULoad(0, h1, 0); err != nil {
+				return err
+			}
+			if err := c.D.VCPULoad(1, h2, 0); err != nil {
+				return err
+			}
+			if err := c.D.VCPUPut(0); err != nil {
+				return err
+			}
+			return c.D.VCPUPut(1)
+		}},
+		// Concurrent, lock-targeting (still error-free).
+		{Name: "concurrent-share-distinct", Kind: KindOK, Concurrent: true, Run: func(c *Ctx) error {
+			var wg sync.WaitGroup
+			errs := make([]error, 4)
+			for cpu := 0; cpu < 4; cpu++ {
+				pfn, err := c.D.AllocPage()
+				if err != nil {
+					return err
+				}
+				wg.Add(1)
+				go func(cpu int, pfn arch.PFN) {
+					defer wg.Done()
+					for i := 0; i < 8; i++ {
+						if err := c.D.ShareHyp(cpu, pfn); err != nil {
+							errs[cpu] = err
+							return
+						}
+						if err := c.D.UnshareHyp(cpu, pfn); err != nil {
+							errs[cpu] = err
+							return
+						}
+					}
+				}(cpu, pfn)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{Name: "concurrent-demand-fault-same-region", Kind: KindOK, Concurrent: true, Run: func(c *Ctx) error {
+			// All CPUs fault the same 2MB region: one wins the block
+			// mapping, the others take the spurious-fault path the
+			// paper's bug 4 mishandled.
+			pfn, _ := c.D.AllocPage()
+			var wg sync.WaitGroup
+			errs := make([]error, 4)
+			for cpu := 0; cpu < 4; cpu++ {
+				wg.Add(1)
+				go func(cpu int) {
+					defer wg.Done()
+					ok, err := c.D.Access(cpu, arch.IPA(pfn.Phys()), true)
+					if err != nil {
+						errs[cpu] = err
+					} else if !ok {
+						errs[cpu] = fmt.Errorf("cpu %d: access denied", cpu)
+					}
+				}(cpu)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{Name: "concurrent-vm-lifecycle", Kind: KindOK, Concurrent: true, Run: func(c *Ctx) error {
+			var wg sync.WaitGroup
+			errs := make([]error, 3)
+			for i := 0; i < 3; i++ {
+				wg.Add(1)
+				go func(cpu int) {
+					defer wg.Done()
+					h, _, err := c.D.InitVM(cpu, 1)
+					if err != nil {
+						errs[cpu] = err
+						return
+					}
+					if err := c.D.InitVCPU(cpu, h, 0); err != nil {
+						errs[cpu] = err
+						return
+					}
+					if err := c.D.VCPULoad(cpu, h, 0); err != nil {
+						errs[cpu] = err
+						return
+					}
+					if err := c.D.VCPUPut(cpu); err != nil {
+						errs[cpu] = err
+						return
+					}
+					errs[cpu] = c.D.TeardownVM(cpu, h)
+				}(i)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+
+		// ----- 22 error-path tests --------------------------------
+		{Name: "share-double", Kind: KindError, Run: func(c *Ctx) error {
+			pfn, _ := c.D.AllocPage()
+			if err := c.D.ShareHyp(0, pfn); err != nil {
+				return err
+			}
+			if err := expect(c.D.ShareHyp(0, pfn), hyp.EPERM); err != nil {
+				return err
+			}
+			// The phased range variant stops with EPERM at the
+			// already-shared first page.
+			return expect(c.D.ShareHypRange(0, pfn, 2), hyp.EPERM)
+		}},
+		{Name: "share-mmio", Kind: KindError, Run: func(c *Ctx) error {
+			if err := expect(c.D.ShareHyp(0, arch.PhysToPFN(hyp.UARTPhys)), hyp.EINVAL); err != nil {
+				return err
+			}
+			if err := expect(c.D.ShareHypRange(0, arch.PhysToPFN(hyp.UARTPhys), 2), hyp.EINVAL); err != nil {
+				return err
+			}
+			pfn, _ := c.D.AllocPage()
+			return expect(c.D.ShareHypRange(0, pfn, hyp.MaxShareRange+1), hyp.EINVAL)
+		}},
+		{Name: "share-carveout", Kind: KindError, Run: func(c *Ctx) error {
+			return expect(c.D.ShareHyp(0, arch.PhysToPFN(c.HV.Globals().CarveStart)), hyp.EPERM)
+		}},
+		{Name: "share-guest-page", Kind: KindError, Run: func(c *Ctx) error {
+			if _, err := setupLoadedVM(c, 0); err != nil {
+				return err
+			}
+			pfn, _ := c.D.AllocPage()
+			if err := c.D.MapGuest(0, pfn, 16); err != nil {
+				return err
+			}
+			return expect(c.D.ShareHyp(0, pfn), hyp.EPERM)
+		}},
+		{Name: "unshare-unshared", Kind: KindError, Run: func(c *Ctx) error {
+			pfn, _ := c.D.AllocPage()
+			return expect(c.D.UnshareHyp(0, pfn), hyp.EPERM)
+		}},
+		{Name: "unshare-mmio", Kind: KindError, Run: func(c *Ctx) error {
+			return expect(c.D.UnshareHyp(0, arch.PhysToPFN(hyp.UARTPhys)), hyp.EINVAL)
+		}},
+		{Name: "donate-bad-size", Kind: KindError, Run: func(c *Ctx) error {
+			pfn, _ := c.D.AllocPage()
+			if err := expect(c.D.DonateHyp(0, pfn, 0), hyp.EINVAL); err != nil {
+				return err
+			}
+			return expect(c.D.DonateHyp(0, pfn, hyp.MaxDonate+1), hyp.EINVAL)
+		}},
+		{Name: "donate-shared-page", Kind: KindError, Run: func(c *Ctx) error {
+			pfn, _ := c.D.AllocPage()
+			if err := c.D.ShareHyp(0, pfn); err != nil {
+				return err
+			}
+			return expect(c.D.DonateHyp(0, pfn, 1), hyp.EPERM)
+		}},
+		{Name: "reclaim-unreclaimable", Kind: KindError, Run: func(c *Ctx) error {
+			pfn, _ := c.D.AllocPage()
+			return expect(c.D.ReclaimPage(0, pfn), hyp.EPERM)
+		}},
+		{Name: "reclaim-double", Kind: KindError, Run: func(c *Ctx) error {
+			h, donated, err := c.D.InitVM(0, 1)
+			if err != nil {
+				return err
+			}
+			if err := c.D.TeardownVM(0, h); err != nil {
+				return err
+			}
+			if err := c.D.ReclaimPage(0, donated[0]); err != nil {
+				return err
+			}
+			return expect(c.D.ReclaimPage(0, donated[0]), hyp.EPERM)
+		}},
+		{Name: "init-vm-bad-args", Kind: KindError, Run: func(c *Ctx) error {
+			pfn, _ := c.D.AllocPage()
+			ret, err := c.D.HVC(0, hyp.HCInitVM, 0, uint64(pfn), hyp.InitVMDonation(0))
+			if err != nil {
+				return err
+			}
+			if err := expect(hyp.Errno(ret), hyp.EINVAL); err != nil {
+				return err
+			}
+			ret, err = c.D.HVC(0, hyp.HCInitVM, 1, uint64(pfn), 99)
+			if err != nil {
+				return err
+			}
+			return expect(hyp.Errno(ret), hyp.EINVAL)
+		}},
+		{Name: "init-vm-donation-not-owned", Kind: KindError, Run: func(c *Ctx) error {
+			carve := arch.PhysToPFN(c.HV.Globals().CarveStart)
+			ret, err := c.D.HVC(0, hyp.HCInitVM, 1, uint64(carve), hyp.InitVMDonation(1))
+			if err != nil {
+				return err
+			}
+			return expect(hyp.Errno(ret), hyp.EPERM)
+		}},
+		{Name: "init-vm-slots-exhausted", Kind: KindError, Run: func(c *Ctx) error {
+			for i := 0; i < hyp.MaxVMs; i++ {
+				if _, _, err := c.D.InitVM(0, 1); err != nil {
+					return fmt.Errorf("vm %d: %w", i, err)
+				}
+			}
+			_, _, err := c.D.InitVM(0, 1)
+			return expect(err, hyp.ENOSPC)
+		}},
+		{Name: "init-vcpu-bad-handle", Kind: KindError, Run: func(c *Ctx) error {
+			return expect(c.D.InitVCPU(0, 0x9999, 0), hyp.ENOENT)
+		}},
+		{Name: "init-vcpu-bad-index", Kind: KindError, Run: func(c *Ctx) error {
+			h, _, err := c.D.InitVM(0, 1)
+			if err != nil {
+				return err
+			}
+			return expect(c.D.InitVCPU(0, h, 3), hyp.EINVAL)
+		}},
+		{Name: "init-vcpu-double", Kind: KindError, Run: func(c *Ctx) error {
+			h, _, err := c.D.InitVM(0, 1)
+			if err != nil {
+				return err
+			}
+			if err := c.D.InitVCPU(0, h, 0); err != nil {
+				return err
+			}
+			return expect(c.D.InitVCPU(0, h, 0), hyp.EEXIST)
+		}},
+		{Name: "load-errors", Kind: KindError, Run: func(c *Ctx) error {
+			if err := expect(c.D.VCPULoad(0, 0x9999, 0), hyp.ENOENT); err != nil {
+				return err
+			}
+			h, _, err := c.D.InitVM(0, 2)
+			if err != nil {
+				return err
+			}
+			// Uninitialised vCPU.
+			if err := expect(c.D.VCPULoad(0, h, 1), hyp.ENOENT); err != nil {
+				return err
+			}
+			// Index out of range.
+			return expect(c.D.VCPULoad(0, h, 7), hyp.EINVAL)
+		}},
+		{Name: "load-double", Kind: KindError, Run: func(c *Ctx) error {
+			h, err := setupLoadedVM(c, 0)
+			if err != nil {
+				return err
+			}
+			if err := expect(c.D.VCPULoad(0, h, 0), hyp.EBUSY); err != nil {
+				return err
+			}
+			return expect(c.D.VCPULoad(1, h, 0), hyp.EBUSY)
+		}},
+		{Name: "run-put-unloaded", Kind: KindError, Run: func(c *Ctx) error {
+			if _, err := c.D.VCPURun(0); err != hyp.ENOENT {
+				return fmt.Errorf("run unloaded: want ENOENT, got %v", err)
+			}
+			if err := expect(c.D.VCPUPut(0), hyp.ENOENT); err != nil {
+				return err
+			}
+			// And a hypercall number that does not exist at all.
+			ret, err := c.D.HVC(0, hyp.HC(0x7777))
+			if err != nil {
+				return err
+			}
+			return expect(hyp.Errno(ret), hyp.ENOSYS)
+		}},
+		{Name: "teardown-errors", Kind: KindError, Run: func(c *Ctx) error {
+			if err := expect(c.D.TeardownVM(0, 0x9999), hyp.ENOENT); err != nil {
+				return err
+			}
+			h, err := setupLoadedVM(c, 0)
+			if err != nil {
+				return err
+			}
+			return expect(c.D.TeardownVM(1, h), hyp.EBUSY)
+		}},
+		{Name: "map-guest-errors", Kind: KindError, Run: func(c *Ctx) error {
+			pfn, _ := c.D.AllocPage()
+			// Nothing loaded.
+			if err := expect(c.D.MapGuest(0, pfn, 16), hyp.ENOENT); err != nil {
+				return err
+			}
+			if _, err := setupLoadedVM(c, 0); err != nil {
+				return err
+			}
+			// Non-canonical guest address.
+			if err := expect(c.D.MapGuest(0, pfn, 1<<40), hyp.EINVAL); err != nil {
+				return err
+			}
+			// Donating memory the host does not own.
+			carve := arch.PhysToPFN(c.HV.Globals().CarveStart)
+			if err := expect(c.D.MapGuest(0, carve, 16), hyp.EPERM); err != nil {
+				return err
+			}
+			// Double map of one gfn.
+			if err := c.D.MapGuest(0, pfn, 16); err != nil {
+				return err
+			}
+			pfn2, _ := c.D.AllocPage()
+			if err := expect(c.D.MapGuest(0, pfn2, 16), hyp.EEXIST); err != nil {
+				return err
+			}
+			// Exhaust the memcache: -ENOMEM on table growth. Target
+			// far-apart guest addresses so each map needs fresh
+			// tables.
+			gfn := uint64(1) << 27 // new level-1 subtree each time
+			for i := 0; ; i++ {
+				if i > 64 {
+					return fmt.Errorf("memcache never exhausted")
+				}
+				p, _ := c.D.AllocPage()
+				err := c.D.MapGuest(0, p, gfn*uint64(i+2))
+				if err == hyp.ENOMEM {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+			}
+		}},
+		{Name: "topup-errors", Kind: KindError, Run: func(c *Ctx) error {
+			// Bad handle.
+			ret, err := c.D.HVC(0, hyp.HCTopupVCPUMemcache, 0x9999, 0, 0, 1)
+			if err != nil {
+				return err
+			}
+			if err := expect(hyp.Errno(ret), hyp.ENOENT); err != nil {
+				return err
+			}
+			h, _, err := c.D.InitVM(0, 1)
+			if err != nil {
+				return err
+			}
+			if err := c.D.InitVCPU(0, h, 0); err != nil {
+				return err
+			}
+			pfn, _ := c.D.AllocPage()
+			// Oversized request.
+			ret, _ = c.D.HVC(0, hyp.HCTopupVCPUMemcache, uint64(h), 0, uint64(pfn.Phys()), hyp.MemcacheCapPages+1)
+			if err := expect(hyp.Errno(ret), hyp.EINVAL); err != nil {
+				return err
+			}
+			// Misaligned donation address.
+			ret, _ = c.D.HVC(0, hyp.HCTopupVCPUMemcache, uint64(h), 0, uint64(pfn.Phys())+0x800, 1)
+			if err := expect(hyp.Errno(ret), hyp.EINVAL); err != nil {
+				return err
+			}
+			// Donating hypervisor-owned memory.
+			carve := uint64(c.HV.Globals().CarveStart)
+			ret, _ = c.D.HVC(0, hyp.HCTopupVCPUMemcache, uint64(h), 0, carve, 1)
+			if err := expect(hyp.Errno(ret), hyp.EPERM); err != nil {
+				return err
+			}
+			// Topping up a loaded vCPU.
+			if err := c.D.VCPULoad(0, h, 0); err != nil {
+				return err
+			}
+			ret, _ = c.D.HVC(0, hyp.HCTopupVCPUMemcache, uint64(h), 0, uint64(pfn.Phys()), 1)
+			return expect(hyp.Errno(ret), hyp.EBUSY)
+		}},
+	}
+}
