@@ -17,6 +17,7 @@ import (
 	"ghostspec/internal/proxy"
 	"ghostspec/internal/randtest"
 	"ghostspec/internal/suite"
+	"ghostspec/internal/telemetry"
 )
 
 // ---------------------------------------------------------------------
@@ -81,6 +82,7 @@ func benchShareLoop(b *testing.B, withGhost bool) {
 	}
 	d := proxy.New(hv)
 	pfn, _ := d.AllocPage()
+	telemetry.Reset()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := d.ShareHyp(0, pfn); err != nil {
@@ -91,6 +93,7 @@ func benchShareLoop(b *testing.B, withGhost bool) {
 		}
 	}
 	b.StopTimer()
+	reportHypercallLatency(b)
 	if rec != nil {
 		if n := len(rec.Failures()); n != 0 {
 			b.Fatalf("%d alarms", n)
@@ -98,8 +101,51 @@ func benchShareLoop(b *testing.B, withGhost bool) {
 	}
 }
 
+// reportHypercallLatency adds telemetry histogram percentiles (bucket
+// upper bounds) to the benchmark output, alongside ns/op.
+func reportHypercallLatency(b *testing.B) {
+	b.Helper()
+	if telemetry.Disabled() {
+		return
+	}
+	if h, ok := telemetry.Snapshot().Histogram(`hyp_trap_latency_ns{reason="hvc"}`); ok && h.Count > 0 {
+		b.ReportMetric(float64(h.Quantile(0.5)), "hvc-p50-ns")
+		b.ReportMetric(float64(h.Quantile(0.99)), "hvc-p99-ns")
+	}
+}
+
 func BenchmarkShareUnshareNoGhost(b *testing.B) { benchShareLoop(b, false) }
 func BenchmarkShareUnshareGhost(b *testing.B)   { benchShareLoop(b, true) }
+
+// ---------------------------------------------------------------------
+// Telemetry overhead on the hypercall hot path: the same share/unshare
+// loop (no ghost) with collection on vs. the Disabled fast path. The
+// Off variant must be within 5% of the seed's no-telemetry numbers —
+// the "compile-out cheap" requirement.
+
+func benchTelemetryToggle(b *testing.B, disabled bool) {
+	prev := telemetry.Disabled()
+	telemetry.SetDisabled(disabled)
+	defer telemetry.SetDisabled(prev)
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := proxy.New(hv)
+	pfn, _ := d.AllocPage()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.ShareHyp(0, pfn); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.UnshareHyp(0, pfn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHypercallTelemetryOn(b *testing.B)  { benchTelemetryToggle(b, false) }
+func BenchmarkHypercallTelemetryOff(b *testing.B) { benchTelemetryToggle(b, true) }
 
 func benchDemandFault(b *testing.B, withGhost bool) {
 	newSys := func() (*proxy.Driver, arch.PFN, int) {

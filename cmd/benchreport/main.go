@@ -2,8 +2,9 @@
 // paper's evaluation (§5-6), printing paper-reported vs measured
 // values side by side. See DESIGN.md for the experiment index.
 //
-//	benchreport            # all experiments
-//	benchreport -exp E4    # one experiment
+//	benchreport                        # all experiments
+//	benchreport -exp E4                # one experiment
+//	benchreport -telemetry snap.json   # summarise a pkvm-sim -metrics dump
 package main
 
 import (
@@ -20,13 +21,25 @@ import (
 	"ghostspec/internal/proxy"
 	"ghostspec/internal/randtest"
 	"ghostspec/internal/suite"
+	"ghostspec/internal/telemetry"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: E1..E8 or all")
 	randSteps := flag.Int("rand-steps", 20000, "random-campaign steps for E3")
 	reps := flag.Int("reps", 5, "timing repetitions for E7")
+	telemetryFile := flag.String("telemetry", "", "telemetry snapshot JSON (from pkvm-sim -metrics json) to summarise")
 	flag.Parse()
+
+	if *telemetryFile != "" {
+		if err := summariseTelemetry(*telemetryFile); err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry:", err)
+			os.Exit(1)
+		}
+		if *exp == "all" {
+			return // snapshot summary only; pass -exp to also run experiments
+		}
+	}
 
 	exps := map[string]func() error{
 		"E1": e1Suite, "E2": e2Coverage, "E3": func() error { return e3Random(*randSteps) },
@@ -242,6 +255,10 @@ func e7Performance(reps int) error {
 	fmt.Printf("measured: time inside ghost hooks during those steps: %v across %d traps (%.0fµs/trap)\n",
 		st.HookTime.Round(time.Millisecond), st.Traps,
 		float64(st.HookTime.Microseconds())/float64(max(st.Traps, 1)))
+	if h, ok := telemetry.Snapshot().Histogram(`hyp_trap_latency_ns{reason="hvc"}`); ok && h.Count > 0 {
+		fmt.Printf("measured: live hypercall latency over %d calls: p50 <= %dns, p99 <= %dns\n",
+			h.Count, h.Quantile(0.5), h.Quantile(0.99))
+	}
 	if suiteOn <= suiteOff {
 		return fmt.Errorf("ghost suite not slower than bare suite — instrumentation inert?")
 	}
@@ -280,5 +297,48 @@ func e8Invariants() error {
 		return fmt.Errorf("non-interference violation undetected")
 	}
 	fmt.Println("measured: separation check active on every lock release (see internal/core/ghost separation tests)")
+	return nil
+}
+
+// summariseTelemetry ingests a telemetry snapshot JSON (as written by
+// pkvm-sim -metrics json) and reports the headline latency and traffic
+// numbers. Quantiles are upper bounds of the log2 histogram buckets.
+func summariseTelemetry(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	snap, err := telemetry.ReadSnap(f)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("==================== telemetry: %s ====================\n", path)
+	for _, h := range []struct{ label, name string }{
+		{"hypercall latency", `hyp_trap_latency_ns{reason="hvc"}`},
+		{"mem-abort latency", `hyp_trap_latency_ns{reason="mem-abort"}`},
+		{"oracle check latency", "ghost_check_latency_ns"},
+	} {
+		hs, ok := snap.Histogram(h.name)
+		if !ok || hs.Count == 0 {
+			continue
+		}
+		fmt.Printf("%-22s %8d samples, p50 <= %dns, p99 <= %dns, mean %.0fns\n",
+			h.label+":", hs.Count, hs.Quantile(0.5), hs.Quantile(0.99), hs.Mean())
+	}
+	if traps, ok := snap.Counter("hyp_traps_total"); ok {
+		fmt.Printf("%-22s %8d\n", "traps:", traps)
+	}
+	if checks, ok := snap.Counter("ghost_checks_total"); ok {
+		passed, _ := snap.Counter("ghost_checks_passed_total")
+		fmt.Printf("%-22s %8d (%d passed)\n", "oracle checks:", checks, passed)
+	}
+	fmt.Println("per-hypercall counts:")
+	for _, c := range snap.Counters {
+		if strings.HasPrefix(c.Name, "hyp_hypercall_calls_total{") && c.Value > 0 {
+			fmt.Printf("  %-52s %8d\n", c.Name, c.Value)
+		}
+	}
 	return nil
 }

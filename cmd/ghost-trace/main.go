@@ -20,6 +20,7 @@ import (
 	"ghostspec/internal/proxy"
 	"ghostspec/internal/randtest"
 	"ghostspec/internal/suite"
+	"ghostspec/internal/telemetry"
 )
 
 func main() {
@@ -113,6 +114,7 @@ func doReplay(path string) error {
 	}
 	fails := ghost.Replay(trace)
 	fmt.Printf("replayed %d events offline: %d disagreements\n", len(trace.Events), len(fails))
+	printReplayMetrics()
 	for i, fl := range fails {
 		if i >= 10 {
 			fmt.Printf("… %d more\n", len(fails)-10)
@@ -124,4 +126,20 @@ func doReplay(path string) error {
 		os.Exit(1)
 	}
 	return nil
+}
+
+// printReplayMetrics summarises the replay's own telemetry: how many
+// spec checks ran and how long each took.
+func printReplayMetrics() {
+	if telemetry.Disabled() {
+		return
+	}
+	s := telemetry.Snapshot()
+	checks, _ := s.Counter("ghost_replay_checks_total")
+	failures, _ := s.Counter("ghost_replay_failures_total")
+	fmt.Printf("replay telemetry: %d checks, %d failures", checks, failures)
+	if h, ok := s.Histogram("ghost_replay_check_latency_ns"); ok && h.Count > 0 {
+		fmt.Printf(", check latency p50 <= %dns, p99 <= %dns", h.Quantile(0.5), h.Quantile(0.99))
+	}
+	fmt.Println()
 }

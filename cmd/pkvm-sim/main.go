@@ -7,6 +7,7 @@
 //	pkvm-sim                 # boot + workload with the oracle
 //	pkvm-sim -ghost=false    # bare implementation
 //	pkvm-sim -vms 4 -rounds 50
+//	pkvm-sim -metrics json   # dump the telemetry snapshot at exit
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"ghostspec/internal/faults"
 	"ghostspec/internal/hyp"
 	"ghostspec/internal/proxy"
+	"ghostspec/internal/telemetry"
 )
 
 func main() {
@@ -28,7 +30,14 @@ func main() {
 	rounds := flag.Int("rounds", 20, "guest work rounds per VM")
 	interp := flag.Bool("interp", true, "run odd-numbered VMs as interpreted guest programs")
 	bugFlag := flag.String("bug", "", "inject a named bug")
+	metricsFmt := flag.String("metrics", "", `dump the telemetry snapshot at exit: "json" or "prom"`)
+	metricsEvery := flag.Int("metrics-every", 0, "also dump the snapshot after every N VMs (0 = off)")
+	telemetryOff := flag.Bool("telemetry-off", false, "disable telemetry collection entirely")
 	flag.Parse()
+
+	if *telemetryOff {
+		telemetry.SetDisabled(true)
+	}
 
 	var inj *faults.Injector
 	if *bugFlag != "" {
@@ -44,7 +53,11 @@ func main() {
 	var rec *ghost.Recorder
 	if *ghostOn {
 		rec = ghost.Attach(hv)
-		rec.OnFailure = func(f ghost.Failure) { fmt.Printf("ALARM %v\n", f) }
+		rec.OnFailure = func(f ghost.Failure) {
+			fmt.Printf("ALARM %v\n", f)
+			fmt.Printf("  recent traps on cpu %d:\n%s", f.CPU,
+				telemetry.FormatTrapEvents(f.History))
+		}
 	}
 	d := proxy.New(hv)
 	bootTime := time.Since(bootStart)
@@ -64,17 +77,58 @@ func main() {
 			fmt.Fprintf(os.Stderr, "vm %d: %v\n", v, err)
 			os.Exit(1)
 		}
+		if *metricsEvery > 0 && (v+1)%*metricsEvery == 0 {
+			fmt.Printf("--- telemetry after vm %d ---\n", v)
+			dumpMetrics(*metricsFmt)
+		}
 	}
 	workTime := time.Since(workStart)
 
 	fmt.Printf("workload: %d VMs x %d rounds in %v\n", *nVMs, *rounds, workTime.Round(time.Microsecond))
+	printLatencySummary()
+	failed := false
 	if rec != nil {
 		st := rec.Stats()
 		fmt.Printf("oracle: %d traps, %d checks, %d passed, %d alarms, %d live maplets\n",
 			st.Traps, st.Checks, st.Passed, st.Failures, st.MapletsLive)
-		if st.Failures > 0 {
-			os.Exit(1)
-		}
+		failed = st.Failures > 0
+	}
+	if *metricsFmt != "" {
+		dumpMetrics(*metricsFmt)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// printLatencySummary reports hypercall latency percentiles from the
+// telemetry histogram (upper bounds of the log2 buckets).
+func printLatencySummary() {
+	if telemetry.Disabled() {
+		return
+	}
+	s := telemetry.Snapshot()
+	h, ok := s.Histogram(`hyp_trap_latency_ns{reason="hvc"}`)
+	if !ok || h.Count == 0 {
+		return
+	}
+	fmt.Printf("hypercalls: %d, latency p50 <= %dns, p99 <= %dns, mean %.0fns\n",
+		h.Count, h.Quantile(0.5), h.Quantile(0.99), h.Mean())
+}
+
+// dumpMetrics writes the current telemetry snapshot to stdout in the
+// requested encoding (defaulting to JSON when -metrics-every fires
+// without -metrics).
+func dumpMetrics(format string) {
+	var err error
+	switch format {
+	case "prom":
+		err = telemetry.Snapshot().WritePrometheus(os.Stdout)
+	default:
+		err = telemetry.Snapshot().WriteJSON(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "telemetry dump:", err)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"ghostspec/internal/arch"
 	"ghostspec/internal/hyp"
+	"ghostspec/internal/telemetry"
 )
 
 // FailureKind classifies an oracle alarm.
@@ -52,7 +53,7 @@ func (k FailureKind) String() string {
 	case FailSpecIncomplete:
 		return "spec-incomplete"
 	}
-	return "?"
+	return fmt.Sprintf("FailureKind(%d)", uint8(k))
 }
 
 // Failure is one oracle alarm.
@@ -61,6 +62,11 @@ type Failure struct {
 	CPU    int
 	Call   CallData
 	Detail string
+	// History is the flight-recorder dump of the failing CPU at alarm
+	// time, oldest trap first; the failing trap itself is the newest
+	// entry. Nil when telemetry is disabled or the recorder has no
+	// hypervisor attached.
+	History []telemetry.TrapEvent
 }
 
 func (f Failure) String() string {
@@ -166,11 +172,24 @@ func Attach(hv *hyp.Hypervisor) *Recorder {
 // timeHook accumulates the time since start into the hook-time
 // counter; used as `defer r.timeHook(time.Now())`.
 func (r *Recorder) timeHook(start time.Time) {
-	r.hookNanos.Add(int64(time.Since(start)))
+	d := time.Since(start)
+	r.hookNanos.Add(int64(d))
+	if !telemetry.Disabled() {
+		ghostHookTime.ObserveDuration(d)
+	}
 }
 
 // fail records an alarm; callers may hold mu or not (it re-locks).
 func (r *Recorder) fail(f Failure) {
+	if !telemetry.Disabled() {
+		failureCounter(f.Kind).Inc()
+		// Forensics: attach the failing CPU's recent trap history. The
+		// flight record of the current trap is written before TrapExit
+		// runs the oracle, so the dump ends with the failing trap.
+		if f.History == nil && r.hv != nil {
+			f.History = r.hv.FlightRecorder().Dump(f.CPU)
+		}
+	}
 	r.mu.Lock()
 	r.failures = append(r.failures, f)
 	r.stats.Failures++
@@ -491,6 +510,13 @@ func (r *Recorder) TrapExit(cpu int) {
 		})
 	}
 
+	if !telemetry.Disabled() {
+		ghostChecks.Inc()
+		defer func(start time.Time) {
+			ghostCheckLat.ObserveDuration(time.Since(start))
+		}(time.Now())
+	}
+
 	// Phased hypercalls get the transactional per-session check
 	// instead of the monolithic comparison: with locks released and
 	// retaken mid-call, other CPUs may legitimately change the
@@ -503,9 +529,7 @@ func (r *Recorder) TrapExit(cpu int) {
 			r.fail(Failure{Kind: FailSpecMismatch, CPU: cpu, Call: rec.call, Detail: detail})
 			return
 		}
-		r.mu.Lock()
-		r.stats.Passed++
-		r.mu.Unlock()
+		r.markPassed()
 		return
 	}
 
@@ -528,7 +552,16 @@ func (r *Recorder) TrapExit(cpu int) {
 		r.fail(Failure{Kind: FailSpecMismatch, CPU: cpu, Call: rec.call, Detail: detail})
 		return
 	}
+	r.markPassed()
+}
+
+// markPassed bumps both the recorder's own stats and the telemetry
+// counter for a clean oracle comparison.
+func (r *Recorder) markPassed() {
 	r.mu.Lock()
 	r.stats.Passed++
 	r.mu.Unlock()
+	if !telemetry.Disabled() {
+		ghostChecksPassed.Inc()
+	}
 }

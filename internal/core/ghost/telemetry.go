@@ -1,0 +1,40 @@
+package ghost
+
+import (
+	"ghostspec/internal/telemetry"
+)
+
+// The oracle's own telemetry: how often it checks, how often it fires,
+// and how much latency the checking itself adds to each trap.
+var (
+	ghostChecks       = telemetry.NewCounter("ghost_checks_total")
+	ghostChecksPassed = telemetry.NewCounter("ghost_checks_passed_total")
+	ghostCheckLat     = telemetry.NewHistogram("ghost_check_latency_ns")
+	ghostHookTime     = telemetry.NewHistogram("ghost_hook_time_ns")
+
+	// ghostFailures counts alarms per FailureKind; one counter per kind,
+	// registered up front so the hot path never builds names.
+	ghostFailures [int(FailSpecIncomplete) + 1]*telemetry.Counter
+
+	// Offline replay keeps its own counters so a live run and its
+	// replay can be compared side by side.
+	replayChecks   = telemetry.NewCounter("ghost_replay_checks_total")
+	replayFailures = telemetry.NewCounter("ghost_replay_failures_total")
+	replayCheckLat = telemetry.NewHistogram("ghost_replay_check_latency_ns")
+)
+
+func init() {
+	for k := range ghostFailures {
+		ghostFailures[k] = telemetry.NewCounter(
+			`ghost_failures_total{kind="` + FailureKind(k).String() + `"}`)
+	}
+}
+
+// failureCounter returns the per-kind alarm counter, tolerating
+// out-of-range kinds.
+func failureCounter(k FailureKind) *telemetry.Counter {
+	if int(k) < len(ghostFailures) {
+		return ghostFailures[k]
+	}
+	return telemetry.NewCounter(`ghost_failures_total{kind="` + k.String() + `"}`)
+}

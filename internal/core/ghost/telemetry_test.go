@@ -1,0 +1,104 @@
+package ghost
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/faults"
+	"ghostspec/internal/hyp"
+)
+
+func TestFailureKindStringUnknown(t *testing.T) {
+	if got := FailureKind(99).String(); got != "FailureKind(99)" {
+		t.Errorf("unknown kind = %q, want FailureKind(99)", got)
+	}
+	if got := FailSeparation.String(); got != "separation" {
+		t.Errorf("known kind = %q", got)
+	}
+}
+
+// TestTraceReplayTelemetryCountersMatch runs the live oracle over a
+// scenario, round-trips the trace through JSON, replays it, and checks
+// the replay executed exactly as many spec checks as the live run —
+// the trace carries everything the oracle consumed.
+func TestTraceReplayTelemetryCountersMatch(t *testing.T) {
+	s := newSys(t)
+	checksBefore := ghostChecks.Value()
+	tr := traceScenario(t, s)
+	s.mustClean(t)
+	liveChecks := ghostChecks.Value() - checksBefore
+	if liveChecks == 0 {
+		t.Fatal("live run recorded no oracle checks")
+	}
+	if uint64(len(tr.Events)) != liveChecks {
+		t.Fatalf("trace has %d events but live oracle checked %d traps",
+			len(tr.Events), liveChecks)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replayChecksBefore := replayChecks.Value()
+	replayFailuresBefore := replayFailures.Value()
+	if fails := Replay(back); len(fails) != 0 {
+		t.Fatalf("replay after round trip: %v", fails)
+	}
+	if d := replayChecks.Value() - replayChecksBefore; d != liveChecks {
+		t.Errorf("replay checked %d events, live checked %d", d, liveChecks)
+	}
+	if d := replayFailures.Value() - replayFailuresBefore; d != 0 {
+		t.Errorf("replay failure counter moved by %d on a clean trace", d)
+	}
+}
+
+// TestFailureHistoryAttached checks oracle-failure forensics: after a
+// run of clean traps, an induced spec violation must carry a
+// flight-recorder dump ending with the failing trap and including the
+// traps that led up to it.
+func TestFailureHistoryAttached(t *testing.T) {
+	s := newSys(t, faults.BugShareWrongPerms)
+
+	// Benign traffic first: these traps pass the oracle but land in
+	// the flight recorder.
+	s.hvc(t, 0, hyp.HCHostUnshareHyp, uint64(s.hostPFN(2))) // -EPERM, clean
+	s.touch(t, 0, arch.IPA(s.hostPFN(5).Phys()), true)
+	s.touch(t, 0, arch.IPA(s.hostPFN(600).Phys()), false)
+	s.hvc(t, 0, hyp.HCHostUnshareHyp, uint64(s.hostPFN(3))) // -EPERM, clean
+	if len(s.rec.Failures()) != 0 {
+		t.Fatalf("preamble already alarmed: %v", s.rec.Failures())
+	}
+
+	// The injected bug makes this share install wrong permissions;
+	// the oracle fires at trap exit.
+	s.hvc(t, 0, hyp.HCHostShareHyp, uint64(s.hostPFN(1)))
+	fs := s.rec.Failures()
+	if len(fs) == 0 {
+		t.Fatal("oracle missed the injected bug")
+	}
+	f := fs[0]
+	if len(f.History) < 5 {
+		t.Fatalf("failure history has %d traps, want >= 5 (4 preceding + failing):\n%v",
+			len(f.History), f.History)
+	}
+	last := f.History[len(f.History)-1]
+	if last.Name != "host_share_hyp" {
+		t.Errorf("newest history entry is %q, want the failing host_share_hyp", last.Name)
+	}
+	for i := 1; i < len(f.History); i++ {
+		if f.History[i].Seq <= f.History[i-1].Seq {
+			t.Errorf("history out of order at %d", i)
+		}
+	}
+	// The dump formats with one line per trap.
+	if fmt.Sprint(f) == "" {
+		t.Error("failure did not format")
+	}
+}

@@ -15,9 +15,11 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"ghostspec/internal/arch"
 	"ghostspec/internal/hyp"
+	"ghostspec/internal/telemetry"
 )
 
 // SessionRecord is a serializable lock session (Sessions flattened:
@@ -112,8 +114,21 @@ type ReplayResult struct {
 // hypervisor: pure spec computation against recorded states.
 func Replay(t *Trace) []ReplayResult {
 	var out []ReplayResult
+	tel := !telemetry.Disabled()
 	for _, ev := range t.Events {
-		if d := replayEvent(ev); d != "" {
+		var start time.Time
+		if tel {
+			replayChecks.Inc()
+			start = time.Now()
+		}
+		d := replayEvent(ev)
+		if tel {
+			replayCheckLat.ObserveDuration(time.Since(start))
+		}
+		if d != "" {
+			if tel {
+				replayFailures.Inc()
+			}
 			out = append(out, ReplayResult{Seq: ev.Seq, Detail: d})
 		}
 	}

@@ -58,6 +58,21 @@ func (e Errno) Reg() uint64 { return uint64(int64(e)) }
 // ErrnoFromReg decodes a register value back into an Errno.
 func ErrnoFromReg(v uint64) Errno { return Errno(int64(v)) }
 
+// RunExitString renders a vcpu_run exit code symbolically for
+// telemetry labels and failure reports; negative codes are errnos.
+func RunExitString(code int64) string {
+	switch code {
+	case RunExitYield:
+		return "yield"
+	case RunExitMemAbort:
+		return "mem-abort"
+	}
+	if code < 0 {
+		return Errno(code).String()
+	}
+	return "run-exit(?)"
+}
+
 // PanicError is returned by HandleTrap when the hypervisor hit an
 // internal inconsistency that would panic a real pKVM (taking the
 // whole machine with it). The test harness recovers it so a campaign

@@ -19,6 +19,7 @@ import (
 	"ghostspec/internal/mem"
 	"ghostspec/internal/pgtable"
 	"ghostspec/internal/spinlock"
+	"ghostspec/internal/telemetry"
 )
 
 // Owner IDs stored in host stage 2 ownership annotations. The host is
@@ -128,6 +129,9 @@ type Hypervisor struct {
 
 	globals Globals
 	instr   Instrumentation
+	// flight is the per-CPU ring of recent traps; oracle failure
+	// reports attach dumps of it.
+	flight *telemetry.FlightRecorder
 }
 
 // New boots the hypervisor: builds the physical memory, carves out the
@@ -153,6 +157,7 @@ func New(cfg Config) (*Hypervisor, error) {
 		reclaimable: make(map[arch.PFN]bool),
 		percpu:      make([]*PerCPU, cfg.NrCPUs),
 		instr:       nopInstr{},
+		flight:      telemetry.NewFlightRecorder(cfg.NrCPUs, telemetry.DefaultFlightDepth),
 	}
 	for i := range hv.percpu {
 		hv.percpu[i] = &PerCPU{LoadedVCPU: -1}

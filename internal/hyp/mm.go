@@ -6,6 +6,7 @@ import (
 
 	"ghostspec/internal/arch"
 	"ghostspec/internal/pgtable"
+	"ghostspec/internal/telemetry"
 )
 
 // pageOwnership is the hypervisor's decoded view of who holds a page
@@ -38,6 +39,9 @@ func hostOwnership(pte arch.PTE, level int) pageOwnership {
 // checks every page is host-owned with the wanted share state — the
 // paper's __check_page_state_visitor walk from do_share (Fig 4).
 func (hv *Hypervisor) hostCheckState(ipa arch.IPA, size uint64, want arch.PageState) Errno {
+	if !telemetry.Disabled() {
+		stateChecks.Inc()
+	}
 	err := hv.hostPGT.Walk(uint64(ipa), size, &pgtable.Visitor{
 		Flags: pgtable.VisitLeaf,
 		Fn: func(ctx *pgtable.VisitCtx) error {
@@ -99,6 +103,9 @@ func (hv *Hypervisor) hostSetOwner(ipa arch.IPA, size uint64, owner uint8) Errno
 // mapping over [va, va+size); sharing into an occupied hyp range is an
 // implementation invariant violation.
 func (hv *Hypervisor) hypCheckUnmapped(va arch.VirtAddr, size uint64) Errno {
+	if !telemetry.Disabled() {
+		stateChecks.Inc()
+	}
 	err := hv.hypPGT.Walk(uint64(va), size, &pgtable.Visitor{
 		Flags: pgtable.VisitLeaf,
 		Fn: func(ctx *pgtable.VisitCtx) error {
@@ -120,6 +127,9 @@ func (hv *Hypervisor) hypCheckUnmapped(va arch.VirtAddr, size uint64) Errno {
 // hypCheckState verifies every page of the hypervisor stage 1 range
 // is mapped with the given share state.
 func (hv *Hypervisor) hypCheckState(va arch.VirtAddr, size uint64, want arch.PageState) Errno {
+	if !telemetry.Disabled() {
+		stateChecks.Inc()
+	}
 	err := hv.hypPGT.Walk(uint64(va), size, &pgtable.Visitor{
 		Flags: pgtable.VisitLeaf,
 		Fn: func(ctx *pgtable.VisitCtx) error {
@@ -158,6 +168,9 @@ func errnoOf(err error) Errno {
 // under concurrent host control, so the instrumentation records it as
 // an environment parameter of the specification (paper §4.3).
 func (hv *Hypervisor) readOnceHost(cpu int, pa arch.PhysAddr) uint64 {
+	if !telemetry.Disabled() {
+		readOnces.Inc()
+	}
 	v := hv.Mem.Read64(pa)
 	hv.instr.ReadOnce(cpu, pa, v)
 	return v
@@ -176,6 +189,9 @@ func (hv *Hypervisor) clearPage(addr arch.PhysAddr) {
 // hypPanic raises an internal hypervisor panic: unrecoverable on real
 // hardware, recovered by HandleTrap for the test harness.
 func (hv *Hypervisor) hypPanic(cpu int, format string, args ...any) {
+	if !telemetry.Disabled() {
+		hypPanics.Inc()
+	}
 	msg := fmt.Sprintf(format, args...)
 	hv.instr.HypPanic(cpu, msg)
 	panic(&PanicError{CPU: cpu, Msg: msg})

@@ -1,0 +1,167 @@
+package hyp
+
+import (
+	"time"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/telemetry"
+)
+
+// The hypervisor's telemetry instruments. All are registered once at
+// package init (registration is the only allocating step); the hot
+// path performs atomic adds only, behind the global telemetry.Disabled
+// gate.
+
+// nrHCs is one past the largest hypercall ID, for per-HC counter
+// arrays.
+const nrHCs = int(HCHostShareHypRange) + 1
+
+var (
+	// hcCalls counts dispatches per hypercall, labelled with the
+	// symbolic call name.
+	hcCalls [nrHCs]*telemetry.Counter
+	// hcUnknown counts ENOSYS dispatches of out-of-range IDs.
+	hcUnknown *telemetry.Counter
+
+	// trapLatency is the end-to-end handler latency per exit reason
+	// (hypercall entry to exit, excluding the ghost hooks' own oracle
+	// check, which ghost reports separately).
+	trapLatHVC   = telemetry.NewHistogram(`hyp_trap_latency_ns{reason="hvc"}`)
+	trapLatAbort = telemetry.NewHistogram(`hyp_trap_latency_ns{reason="mem-abort"}`)
+	trapLatIRQ   = telemetry.NewHistogram(`hyp_trap_latency_ns{reason="irq"}`)
+
+	trapsTotal  = telemetry.NewCounter("hyp_traps_total")
+	hypPanics   = telemetry.NewCounter("hyp_panics_total")
+	readOnces   = telemetry.NewCounter("hyp_read_once_total")
+	stateChecks = telemetry.NewCounter("hyp_state_check_walks_total")
+
+	// Host stage 2 abort outcomes.
+	abortDemandMapped = telemetry.NewCounter(`hyp_host_aborts_total{outcome="demand-mapped"}`)
+	abortReflected    = telemetry.NewCounter(`hyp_host_aborts_total{outcome="reflected"}`)
+	abortSpurious     = telemetry.NewCounter(`hyp_host_aborts_total{outcome="spurious"}`)
+)
+
+func init() {
+	for id := HC(1); int(id) < nrHCs; id++ {
+		hcCalls[id] = telemetry.NewCounter(`hyp_hypercall_calls_total{call="` + id.String() + `"}`)
+	}
+	hcUnknown = telemetry.NewCounter(`hyp_hypercall_calls_total{call="` + HC(0).String() + `"}`)
+}
+
+// hcCounter returns the per-call counter for a (possibly out of range)
+// hypercall ID.
+func hcCounter(id HC) *telemetry.Counter {
+	if id >= 1 && int(id) < nrHCs {
+		return hcCalls[id]
+	}
+	return hcUnknown
+}
+
+// hcErrorCounter returns (creating on first use) the error counter for
+// one (hypercall, errno) pair, labelled with both symbolic names. The
+// error path is cold, so the name concatenation here is acceptable;
+// the registry dedupes, so each pair allocates once per process.
+func hcErrorCounter(id HC, e Errno) *telemetry.Counter {
+	return telemetry.NewCounter(
+		`hyp_hypercall_errors_total{call="` + id.String() + `",errno="` + e.String() + `"}`)
+}
+
+// hcRetString renders a hypercall return value symbolically: errno
+// names on failure, run-exit names for vcpu_run, "handle" for a
+// successful init_vm, "OK" otherwise. Every branch returns a constant
+// string, so flight recording stays allocation-free.
+func hcRetString(id HC, ret int64) string {
+	if ret < 0 {
+		return Errno(ret).String()
+	}
+	switch id {
+	case HCVCPURun:
+		return RunExitString(ret)
+	case HCInitVM:
+		if ret >= int64(HandleOffset) {
+			return "handle"
+		}
+	}
+	return "OK"
+}
+
+// trapTelemetry is the per-trap telemetry capture: filled at trap
+// entry, finished (metrics + flight record) at exit. Kept in a local
+// on HandleTrap's stack — no allocation per trap.
+type trapTelemetry struct {
+	on    bool
+	start time.Time
+	hc    HC
+	ev    telemetry.TrapEvent
+}
+
+// begin captures the entry-side state: the clock, and the hypercall
+// ID/arguments before the handler overwrites the return registers.
+func (t *trapTelemetry) begin(hv *Hypervisor, cpu int, reason arch.ExitReason) {
+	t.on = !telemetry.Disabled()
+	if !t.on {
+		return
+	}
+	t.start = time.Now()
+	regs := &hv.CPUs[cpu].HostRegs
+	t.ev = telemetry.TrapEvent{Kind: reason.String()}
+	switch reason {
+	case arch.ExitHVC:
+		t.hc = HC(regs[0])
+		t.ev.Name = t.hc.String()
+		t.ev.Args = [4]uint64{regs[1], regs[2], regs[3], regs[4]}
+	case arch.ExitMemAbort:
+		fault := hv.CPUs[cpu].Fault
+		t.ev.Name = "host_mem_abort"
+		t.ev.Args[0] = uint64(fault.Addr)
+		if fault.Write {
+			t.ev.Args[1] = 1
+		}
+	case arch.ExitIRQ:
+		t.ev.Name = "irq"
+	}
+}
+
+// finish observes the latency, bumps the per-call and error counters,
+// and records the trap into the flight recorder. panicked marks a trap
+// that died in a hypervisor panic (its return registers were never
+// written).
+func (t *trapTelemetry) finish(hv *Hypervisor, cpu int, reason arch.ExitReason, panicked bool) {
+	if !t.on {
+		return
+	}
+	t.ev.Dur = time.Since(t.start)
+	trapsTotal.Inc()
+	switch reason {
+	case arch.ExitHVC:
+		trapLatHVC.ObserveDuration(t.ev.Dur)
+		hcCounter(t.hc).Inc()
+		if panicked {
+			t.ev.RetStr = "hyp-panic"
+		} else {
+			ret := int64(hv.CPUs[cpu].HostRegs[1])
+			t.ev.Ret = ret
+			t.ev.RetStr = hcRetString(t.hc, ret)
+			if ret < 0 {
+				hcErrorCounter(t.hc, Errno(ret)).Inc()
+			}
+		}
+	case arch.ExitMemAbort:
+		trapLatAbort.ObserveDuration(t.ev.Dur)
+		if panicked {
+			t.ev.RetStr = "hyp-panic"
+		} else if hv.percpu[cpu].LastAbortInjected {
+			t.ev.RetStr = "reflected"
+		} else {
+			t.ev.RetStr = "mapped"
+		}
+	case arch.ExitIRQ:
+		trapLatIRQ.ObserveDuration(t.ev.Dur)
+		t.ev.RetStr = "OK"
+	}
+	hv.flight.Record(cpu, t.ev)
+}
+
+// FlightRecorder exposes the per-CPU trap history; the ghost recorder
+// attaches a dump of it to every oracle failure report.
+func (hv *Hypervisor) FlightRecorder() *telemetry.FlightRecorder { return hv.flight }

@@ -81,15 +81,22 @@ const (
 // carry on with a fresh system.
 func (hv *Hypervisor) HandleTrap(cpuID int, reason arch.ExitReason) (err error) {
 	cpu := hv.CPUs[cpuID]
+	var tel trapTelemetry
+	tel.begin(hv, cpuID, reason)
 	hv.instr.TrapEntry(cpuID, reason)
 	defer func() {
 		if r := recover(); r != nil {
 			if pe, ok := r.(*PanicError); ok {
+				tel.finish(hv, cpuID, reason, true)
 				err = pe
 				return
 			}
 			panic(r)
 		}
+		// The flight record lands before the ghost oracle runs in
+		// TrapExit, so a failure dump includes the failing trap itself
+		// as its newest entry.
+		tel.finish(hv, cpuID, reason, false)
 		hv.instr.TrapExit(cpuID)
 	}()
 

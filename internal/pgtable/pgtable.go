@@ -16,6 +16,20 @@ import (
 	"fmt"
 
 	"ghostspec/internal/arch"
+	"ghostspec/internal/telemetry"
+)
+
+// Walker and mutation traffic, across all tables in the process. The
+// walk-depth histogram observes the terminal level of each lookup —
+// deep walks mean fragmented tables.
+var (
+	telWalks      = telemetry.NewCounter("pgtable_walks_total")
+	telMaps       = telemetry.NewCounter("pgtable_map_total")
+	telUnmaps     = telemetry.NewCounter("pgtable_unmap_total")
+	telAnnotates  = telemetry.NewCounter("pgtable_annotate_total")
+	telPagesAlloc = telemetry.NewCounter("pgtable_table_pages_allocated_total")
+	telPagesFreed = telemetry.NewCounter("pgtable_table_pages_freed_total")
+	telWalkDepth  = telemetry.NewHistogram("pgtable_walk_depth")
 )
 
 // Sentinel errors, mirroring the kernel's errno discipline.
@@ -64,6 +78,9 @@ func New(name string, m *arch.Memory, stage arch.Stage, alloc Allocator, maxBloc
 	pfn, ok := alloc.AllocTablePage()
 	if !ok {
 		return nil, fmt.Errorf("%s root: %w", name, ErrNoMem)
+	}
+	if !telemetry.Disabled() {
+		telPagesAlloc.Inc()
 	}
 	m.ZeroPage(pfn.Phys())
 	t.root = pfn.Phys()
@@ -152,6 +169,9 @@ func (t *Table) Walk(ia, size uint64, v *Visitor) error {
 	if err := checkRange(ia, size); err != nil {
 		return err
 	}
+	if !telemetry.Disabled() {
+		telWalks.Inc()
+	}
 	return t.walkLevel(t.root, arch.StartLevel, ia, ia+size, v)
 }
 
@@ -210,6 +230,9 @@ func (t *Table) GetLeaf(ia uint64) (arch.PTE, int) {
 	for level := arch.StartLevel; ; level++ {
 		pte := t.Mem.ReadPTE(table, arch.IndexAt(ia, level))
 		if pte.Kind(level) != arch.EKTable {
+			if !telemetry.Disabled() {
+				telWalkDepth.Observe(uint64(level))
+			}
 			return pte, level
 		}
 		table = pte.TableAddr()
@@ -233,6 +256,9 @@ func (t *Table) Map(ia, size uint64, pa arch.PhysAddr, attrs arch.Attrs, force b
 	if !arch.PageAligned(uint64(pa)) {
 		return ErrRange
 	}
+	if !telemetry.Disabled() {
+		telMaps.Inc()
+	}
 	return t.mutateRange(t.root, arch.StartLevel, ia, ia+size, mutateOpts{force: force}, func(level int, entryIA uint64) arch.PTE {
 		return arch.MakeLeaf(level, pa+arch.PhysAddr(entryIA-ia), attrs)
 	}, func(level int, entryIA uint64) bool {
@@ -253,6 +279,9 @@ func (t *Table) Unmap(ia, size uint64) error {
 	if err := checkRange(ia, size); err != nil {
 		return err
 	}
+	if !telemetry.Disabled() {
+		telUnmaps.Inc()
+	}
 	return t.mutateRange(t.root, arch.StartLevel, ia, ia+size, mutateOpts{force: true, skipInvalid: true},
 		func(int, uint64) arch.PTE { return 0 },
 		func(int, uint64) bool { return true })
@@ -265,6 +294,9 @@ func (t *Table) Unmap(ia, size uint64) error {
 func (t *Table) Annotate(ia, size uint64, owner uint8) error {
 	if err := checkRange(ia, size); err != nil {
 		return err
+	}
+	if !telemetry.Disabled() {
+		telAnnotates.Inc()
 	}
 	return t.mutateRange(t.root, arch.StartLevel, ia, ia+size, mutateOpts{force: true, skipInvalid: owner == 0},
 		func(int, uint64) arch.PTE {
@@ -363,6 +395,9 @@ func (t *Table) mutateRange(table arch.PhysAddr, level int, ia, end uint64, opts
 		if opts.skipInvalid && tableEmpty(t.Mem, next) {
 			t.Mem.WritePTE(table, idx, 0)
 			t.Alloc.FreeTablePage(arch.PhysToPFN(next))
+			if !telemetry.Disabled() {
+				telPagesFreed.Inc()
+			}
 		}
 		ia = chunkEnd
 	}
@@ -387,6 +422,9 @@ func (t *Table) newTable(table arch.PhysAddr, idx int, old arch.PTE, level int) 
 	pfn, ok := t.Alloc.AllocTablePage()
 	if !ok {
 		return 0, fmt.Errorf("%s level %d: %w", t.Name, level+1, ErrNoMem)
+	}
+	if !telemetry.Disabled() {
+		telPagesAlloc.Inc()
 	}
 	pa := pfn.Phys()
 	t.Mem.ZeroPage(pa)
@@ -419,6 +457,9 @@ func (t *Table) freeSubtree(pte arch.PTE, level int) {
 		t.freeSubtree(t.Mem.ReadPTE(pa, i), level+1)
 	}
 	t.Alloc.FreeTablePage(arch.PhysToPFN(pa))
+	if !telemetry.Disabled() {
+		telPagesFreed.Inc()
+	}
 }
 
 // Destroy frees every table page including the root, leaving the

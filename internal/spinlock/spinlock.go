@@ -9,7 +9,11 @@
 // owned state.
 package spinlock
 
-import "sync"
+import (
+	"sync"
+
+	"ghostspec/internal/telemetry"
+)
 
 // Hooks are callbacks invoked while the lock is held: Acquired runs
 // immediately after the lock is taken, Releasing immediately before it
@@ -27,6 +31,11 @@ type Lock struct {
 	component string
 	hooks     *Hooks
 
+	// acquires/contended count lock traffic per component; nil on a
+	// zero-value (unnamed) lock, which stays uninstrumented.
+	acquires  *telemetry.Counter
+	contended *telemetry.Counter
+
 	// held tracks lock state for sanity checking; it is only written
 	// under mu.
 	held bool
@@ -34,7 +43,12 @@ type Lock struct {
 
 // New returns a named lock with the given hooks (which may be nil).
 func New(component string, hooks *Hooks) *Lock {
-	return &Lock{component: component, hooks: hooks}
+	return &Lock{
+		component: component,
+		hooks:     hooks,
+		acquires:  telemetry.NewCounter(`spinlock_acquisitions_total{lock="` + component + `"}`),
+		contended: telemetry.NewCounter(`spinlock_contended_total{lock="` + component + `"}`),
+	}
 }
 
 // SetHooks installs hooks on an existing lock. It must not be called
@@ -47,7 +61,15 @@ func (l *Lock) Component() string { return l.component }
 
 // Lock acquires the lock and runs the Acquired hook while holding it.
 func (l *Lock) Lock() {
-	l.mu.Lock()
+	if l.acquires == nil || telemetry.Disabled() {
+		l.mu.Lock()
+	} else {
+		l.acquires.Inc()
+		if !l.mu.TryLock() {
+			l.contended.Inc()
+			l.mu.Lock()
+		}
+	}
 	l.held = true
 	if l.hooks != nil && l.hooks.Acquired != nil {
 		l.hooks.Acquired(l.component)

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TrapEvent is one flight-recorder entry: a compact record of a trap
+// the hypervisor handled. Fields are generic so the recorder stays
+// independent of the hypervisor package; callers fill the symbolic
+// names (hypercall name, errno) from their own String methods, which
+// return constant strings and therefore do not allocate.
+type TrapEvent struct {
+	// Seq is the global sequence number across all CPUs; gaps in a
+	// single CPU's dump are traps taken on other CPUs.
+	Seq uint64 `json:"seq"`
+	// CPU is the hardware thread that took the trap.
+	CPU int `json:"cpu"`
+	// Kind is the exit reason ("hvc", "mem-abort", "irq").
+	Kind string `json:"kind"`
+	// Name is the symbolic event name (hypercall name, or
+	// "host_mem_abort").
+	Name string `json:"name"`
+	// Args are the hypercall arguments x1-x4, or the fault address and
+	// write flag for aborts.
+	Args [4]uint64 `json:"args"`
+	// Ret is the raw x1 return value at trap exit.
+	Ret int64 `json:"ret"`
+	// RetStr is the symbolic return (errno name, run-exit name, or a
+	// VM handle).
+	RetStr string `json:"retStr"`
+	// Dur is the wall time spent inside the trap handler.
+	Dur time.Duration `json:"dur"`
+}
+
+func (e TrapEvent) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d cpu%d %s %s(", e.Seq, e.CPU, e.Kind, e.Name)
+	for i, a := range e.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%#x", a)
+	}
+	fmt.Fprintf(&b, ") = %s (%v)", e.RetStr, e.Dur)
+	return b.String()
+}
+
+// flightRing is one CPU's fixed-size ring. Traps on a CPU are recorded
+// by that CPU's goroutine only, but dumps (taken when an oracle alarm
+// fires, possibly while other CPUs keep trapping) may read
+// concurrently, so the ring carries its own mutex — uncontended in
+// steady state.
+type flightRing struct {
+	mu  sync.Mutex
+	buf []TrapEvent
+	n   uint64 // total events ever recorded on this CPU
+}
+
+// FlightRecorder keeps the last N trap events per CPU. It is the
+// forensic complement of the oracle: when a spec mismatch fires, the
+// failure report attaches the trapping CPU's recent history instead of
+// just the single failing (pre, post) pair.
+type FlightRecorder struct {
+	cpus []flightRing
+	seq  atomic.Uint64
+}
+
+// DefaultFlightDepth is the per-CPU ring capacity used by the
+// hypervisor.
+const DefaultFlightDepth = 64
+
+// NewFlightRecorder builds a recorder with a depth-entry ring per CPU.
+func NewFlightRecorder(nrCPUs, depth int) *FlightRecorder {
+	if depth <= 0 {
+		depth = DefaultFlightDepth
+	}
+	fr := &FlightRecorder{cpus: make([]flightRing, nrCPUs)}
+	for i := range fr.cpus {
+		fr.cpus[i].buf = make([]TrapEvent, depth)
+	}
+	return fr
+}
+
+// Record appends an event to cpu's ring, stamping its global sequence
+// number. It is a no-op for out-of-range CPUs.
+func (fr *FlightRecorder) Record(cpu int, ev TrapEvent) {
+	if fr == nil || cpu < 0 || cpu >= len(fr.cpus) {
+		return
+	}
+	ev.Seq = fr.seq.Add(1)
+	ev.CPU = cpu
+	r := &fr.cpus[cpu]
+	r.mu.Lock()
+	r.buf[r.n%uint64(len(r.buf))] = ev
+	r.n++
+	r.mu.Unlock()
+}
+
+// Dump returns cpu's recorded events, oldest first (at most the ring
+// depth). Nil recorder or out-of-range CPU dumps empty.
+func (fr *FlightRecorder) Dump(cpu int) []TrapEvent {
+	if fr == nil || cpu < 0 || cpu >= len(fr.cpus) {
+		return nil
+	}
+	r := &fr.cpus[cpu]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	depth := uint64(len(r.buf))
+	n := r.n
+	if n > depth {
+		n = depth
+	}
+	out := make([]TrapEvent, 0, n)
+	for i := r.n - n; i < r.n; i++ {
+		out = append(out, r.buf[i%depth])
+	}
+	return out
+}
+
+// DumpAll returns every CPU's events, indexed by CPU.
+func (fr *FlightRecorder) DumpAll() [][]TrapEvent {
+	if fr == nil {
+		return nil
+	}
+	out := make([][]TrapEvent, len(fr.cpus))
+	for i := range fr.cpus {
+		out[i] = fr.Dump(i)
+	}
+	return out
+}
+
+// FormatTrapEvents renders a dump for a failure report, one event per
+// line, oldest first, ending with a newline.
+func FormatTrapEvents(evs []TrapEvent) string {
+	if len(evs) == 0 {
+		return "  (flight recorder empty)\n"
+	}
+	var b strings.Builder
+	for _, e := range evs {
+		b.WriteString("  ")
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
