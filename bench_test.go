@@ -294,6 +294,62 @@ func BenchmarkInterpretPgtable(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
+// Incremental abstraction: re-abstracting the host table after a small
+// mutation, through the dirty-generation cache vs a full
+// re-interpretation. This is the steady-state hook cost — each
+// hypercall perturbs a handful of table pages, and the cache re-walks
+// only those subtrees.
+
+func benchAbstract(b *testing.B, incremental bool) {
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := proxy.New(hv)
+	// Populate a spread of host mappings so the table has realistic
+	// depth and width before the measured churn starts.
+	base := arch.PhysToPFN(hv.HostMemStart())
+	for i := 0; i < 64; i++ {
+		pfn := base + arch.PFN(i*613)
+		if ok, _ := d.Access(0, arch.IPA(pfn.Phys()), true); !ok {
+			b.Fatal("populate fault failed")
+		}
+	}
+	pfn, _ := d.AllocPage()
+	var c ghost.PgtableCache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// One small mutation per iteration, like a real hypercall.
+		if i%2 == 0 {
+			if err := d.ShareHyp(0, pfn); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if err := d.UnshareHyp(0, pfn); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var abs ghost.AbstractPgtable
+		if incremental {
+			abs, _ = c.Interpret(hv.Mem, hv.HostPGTRoot())
+		} else {
+			abs = ghost.InterpretPgtable(hv.Mem, hv.HostPGTRoot())
+		}
+		if abs.Mapping.IsEmpty() {
+			b.Fatal("empty interpretation")
+		}
+	}
+	b.StopTimer()
+	if incremental {
+		st := c.Stats()
+		b.ReportMetric(float64(st.PagesWalked)/float64(b.N), "pages-walked/op")
+	}
+}
+
+func BenchmarkAbstractIncremental(b *testing.B) { benchAbstract(b, true) }
+func BenchmarkAbstractFull(b *testing.B)        { benchAbstract(b, false) }
+
+// ---------------------------------------------------------------------
 // Ablation 1 (DESIGN.md): coalesced maplet lists vs a naive per-page
 // map for the abstract mapping representation, building the
 // abstraction of a block-heavy address space and comparing two of

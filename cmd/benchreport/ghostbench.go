@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/core/ghost"
+	"ghostspec/internal/hyp"
+	"ghostspec/internal/proxy"
+	"ghostspec/internal/suite"
+)
+
+// The ghost-bench mode is the CI benchmark smoke run: it times the
+// abstraction hot path (incremental cache vs full re-interpretation)
+// plus the end-to-end suite pair, and writes the numbers as JSON for
+// archiving alongside the build. It exists so a regression in the
+// cache shows up as a number in a checked artifact, not as a vague
+// slowdown three PRs later.
+
+// seedBaseline is the same set of measurements taken at the seed
+// commit (before the incremental-abstraction cache existed), on the
+// reference machine (linux/amd64, Xeon 2.70GHz). Kept in the artifact
+// so before/after is one file.
+var seedBaseline = map[string]float64{
+	"SuiteNoGhost":      41031496,
+	"SuiteGhost":        103215370,
+	"ShareUnshareGhost": 611409,
+	"InterpretPgtable":  65509,
+	"AbstractFull":      76310, // full re-interpretation after each mutation
+}
+
+type benchResult struct {
+	NsPerOp float64            `json:"ns_per_op"`
+	N       int                `json:"n"`
+	Extra   map[string]float64 `json:"extra,omitempty"`
+}
+
+type ghostBenchReport struct {
+	GOOS         string                 `json:"goos"`
+	GOARCH       string                 `json:"goarch"`
+	NumCPU       int                    `json:"num_cpu"`
+	SeedBaseline map[string]float64     `json:"seed_baseline_ns_per_op"`
+	Results      map[string]benchResult `json:"results"`
+}
+
+func runGhostBench(path string) error {
+	report := ghostBenchReport{
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		NumCPU:       runtime.NumCPU(),
+		SeedBaseline: seedBaseline,
+		Results:      map[string]benchResult{},
+	}
+
+	run := func(name string, f func(b *testing.B)) {
+		r := testing.Benchmark(f)
+		res := benchResult{NsPerOp: float64(r.NsPerOp()), N: r.N}
+		for k, v := range r.Extra {
+			if res.Extra == nil {
+				res.Extra = map[string]float64{}
+			}
+			res.Extra[k] = v
+		}
+		report.Results[name] = res
+		fmt.Printf("  %-24s %12.0f ns/op  (n=%d)\n", name, res.NsPerOp, r.N)
+	}
+
+	fmt.Println("==================== ghost benchmark smoke ====================")
+	run("AbstractIncremental", func(b *testing.B) { benchAbstractPair(b, true) })
+	run("AbstractFull", func(b *testing.B) { benchAbstractPair(b, false) })
+	run("InterpretPgtable", benchInterpret)
+	run("ShareUnshareGhost", benchShareGhost)
+	run("SuiteNoGhost", func(b *testing.B) { benchSuite(b, false) })
+	run("SuiteGhost", func(b *testing.B) { benchSuite(b, true) })
+
+	inc, full := report.Results["AbstractIncremental"], report.Results["AbstractFull"]
+	if inc.NsPerOp > 0 {
+		fmt.Printf("  incremental vs full: %.1fx\n", full.NsPerOp/inc.NsPerOp)
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	// Smoke criterion: the cache must not be slower than recomputing
+	// from scratch. (A strict speedup floor would flake on loaded CI
+	// machines; losing to the full walk outright means the cache is
+	// broken.)
+	if inc.NsPerOp >= full.NsPerOp {
+		return fmt.Errorf("incremental abstraction (%.0fns) not faster than full (%.0fns)", inc.NsPerOp, full.NsPerOp)
+	}
+	return nil
+}
+
+// benchAbstractPair mirrors BenchmarkAbstractIncremental/-Full in the
+// repo-root bench_test.go: churn one page per iteration, re-abstract
+// the host table through the cache or from scratch.
+func benchAbstractPair(b *testing.B, incremental bool) {
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := proxy.New(hv)
+	base := arch.PhysToPFN(hv.HostMemStart())
+	for i := 0; i < 64; i++ {
+		pfn := base + arch.PFN(i*613)
+		if ok, _ := d.Access(0, arch.IPA(pfn.Phys()), true); !ok {
+			b.Fatal("populate fault failed")
+		}
+	}
+	pfn, _ := d.AllocPage()
+	var c ghost.PgtableCache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			if err := d.ShareHyp(0, pfn); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if err := d.UnshareHyp(0, pfn); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var abs ghost.AbstractPgtable
+		if incremental {
+			abs, _ = c.Interpret(hv.Mem, hv.HostPGTRoot())
+		} else {
+			abs = ghost.InterpretPgtable(hv.Mem, hv.HostPGTRoot())
+		}
+		if abs.Mapping.IsEmpty() {
+			b.Fatal("empty interpretation")
+		}
+	}
+}
+
+func benchInterpret(b *testing.B) {
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := proxy.New(hv)
+	base := arch.PhysToPFN(hv.HostMemStart())
+	for i := 0; i < 32; i++ {
+		pfn := base + arch.PFN(i*613)
+		if ok, _ := d.Access(0, arch.IPA(pfn.Phys()), true); !ok {
+			b.Fatal("populate fault failed")
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		abs := ghost.InterpretPgtable(hv.Mem, hv.HostPGTRoot())
+		if abs.Mapping.IsEmpty() {
+			b.Fatal("empty interpretation")
+		}
+	}
+}
+
+func benchShareGhost(b *testing.B) {
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := ghost.Attach(hv)
+	d := proxy.New(hv)
+	pfn, _ := d.AllocPage()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.ShareHyp(0, pfn); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.UnshareHyp(0, pfn); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if n := len(rec.Failures()); n != 0 {
+		b.Fatalf("%d alarms", n)
+	}
+}
+
+func benchSuite(b *testing.B, withGhost bool) {
+	for i := 0; i < b.N; i++ {
+		results := suite.Run(suite.Options{Ghost: withGhost})
+		if s := suite.Summarise(results); s.Failed != 0 {
+			b.Fatalf("suite failed: %+v", s)
+		}
+	}
+}

@@ -5,6 +5,7 @@
 //	benchreport                        # all experiments
 //	benchreport -exp E4                # one experiment
 //	benchreport -telemetry snap.json   # summarise a pkvm-sim -metrics dump
+//	benchreport -ghost-bench out.json  # benchmark smoke run -> JSON artifact
 package main
 
 import (
@@ -29,7 +30,16 @@ func main() {
 	randSteps := flag.Int("rand-steps", 20000, "random-campaign steps for E3")
 	reps := flag.Int("reps", 5, "timing repetitions for E7")
 	telemetryFile := flag.String("telemetry", "", "telemetry snapshot JSON (from pkvm-sim -metrics json) to summarise")
+	ghostBench := flag.String("ghost-bench", "", "run the ghost benchmark smoke set and write results to this JSON file")
 	flag.Parse()
+
+	if *ghostBench != "" {
+		if err := runGhostBench(*ghostBench); err != nil {
+			fmt.Fprintln(os.Stderr, "ghost-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *telemetryFile != "" {
 		if err := summariseTelemetry(*telemetryFile); err != nil {

@@ -16,8 +16,16 @@ import (
 // legitimately race with the hypervisor's descriptor updates, and each
 // observes either the old or the new descriptor, never a torn one.
 type Memory struct {
-	mu     sync.Mutex // guards frames map structure only
-	frames map[PFN]*Frame
+	// frames maps PFN -> *frameCell. A sync.Map because the access
+	// pattern is extreme read-mostly: every simulated load/store and
+	// every ghost interpretation walk resolves frames, while insertion
+	// happens once per frame ever touched. A plain mutex-guarded map
+	// here serialises all CPUs on one lock and shows up as futex storms
+	// under the concurrent tester. Frames are never deleted.
+	frames sync.Map
+	// nframes counts distinct frames ever touched (sync.Map has no
+	// cheap Len).
+	nframes atomic.Int64
 
 	// Layout of the physical map.
 	ramStart PhysAddr
@@ -27,6 +35,19 @@ type Memory struct {
 
 // Frame is one 4KB physical frame, stored as 512 64-bit words.
 type Frame [PTEsPerTable]uint64
+
+// frameCell is a frame plus its write-generation counter. The counter
+// is bumped after every store into the frame, so a reader that records
+// the generation before reading the contents can later detect whether
+// any word may have changed — the invalidation signal the ghost
+// abstraction cache keys on. Bumping after the store (not before) is
+// the conservative order: a racing snapshot can record a stale
+// generation for fresh data (forcing a needless re-read later) but
+// never a fresh generation for stale data.
+type frameCell struct {
+	gen atomic.Uint64
+	f   Frame
+}
 
 // MemLayout describes the simulated physical map: a contiguous RAM
 // region, optionally preceded by an MMIO hole at the bottom of the
@@ -49,7 +70,6 @@ func NewMemory(l MemLayout) *Memory {
 		panic("arch: memory layout must be page aligned")
 	}
 	return &Memory{
-		frames:   make(map[PFN]*Frame),
 		ramStart: l.RAMStart,
 		ramSize:  l.RAMSize,
 		mmioEnd:  PhysAddr(l.MMIOSize),
@@ -75,17 +95,19 @@ func (m *Memory) InRAM(pa PhysAddr) bool {
 // InMMIO reports whether pa lies in the MMIO hole.
 func (m *Memory) InMMIO(pa PhysAddr) bool { return pa < m.mmioEnd }
 
-// frame returns the backing frame for pa, allocating it on first use.
-func (m *Memory) frame(pa PhysAddr) *Frame {
+// frame returns the backing cell for pa, allocating it on first use.
+// The hot path is a lock-free Load; the allocating path races benignly
+// (LoadOrStore keeps exactly one winner).
+func (m *Memory) frame(pa PhysAddr) *frameCell {
 	pfn := PhysToPFN(pa)
-	m.mu.Lock()
-	f := m.frames[pfn]
-	if f == nil {
-		f = new(Frame)
-		m.frames[pfn] = f
+	if c, ok := m.frames.Load(pfn); ok {
+		return c.(*frameCell)
 	}
-	m.mu.Unlock()
-	return f
+	c, loaded := m.frames.LoadOrStore(pfn, new(frameCell))
+	if !loaded {
+		m.nframes.Add(1)
+	}
+	return c.(*frameCell)
 }
 
 // Read64 loads the 64-bit word at pa, which must be 8-byte aligned.
@@ -93,7 +115,7 @@ func (m *Memory) Read64(pa PhysAddr) uint64 {
 	if pa&7 != 0 {
 		panic(fmt.Sprintf("arch: unaligned Read64 at %#x", uint64(pa)))
 	}
-	return atomic.LoadUint64(&m.frame(pa)[(pa&PageMask)>>3])
+	return atomic.LoadUint64(&m.frame(pa).f[(pa&PageMask)>>3])
 }
 
 // Write64 stores the 64-bit word v at pa, which must be 8-byte aligned.
@@ -101,7 +123,9 @@ func (m *Memory) Write64(pa PhysAddr, v uint64) {
 	if pa&7 != 0 {
 		panic(fmt.Sprintf("arch: unaligned Write64 at %#x", uint64(pa)))
 	}
-	atomic.StoreUint64(&m.frame(pa)[(pa&PageMask)>>3], v)
+	c := m.frame(pa)
+	atomic.StoreUint64(&c.f[(pa&PageMask)>>3], v)
+	c.gen.Add(1)
 }
 
 // ReadPTE loads the descriptor at index idx of the table page at
@@ -118,16 +142,35 @@ func (m *Memory) WritePTE(table PhysAddr, idx int, p PTE) {
 
 // ZeroPage clears the frame containing pa.
 func (m *Memory) ZeroPage(pa PhysAddr) {
-	f := m.frame(pa)
-	for i := range f {
-		atomic.StoreUint64(&f[i], 0)
+	c := m.frame(pa)
+	for i := range c.f {
+		atomic.StoreUint64(&c.f[i], 0)
 	}
+	c.gen.Add(1)
+}
+
+// FrameGen returns the current write generation of the frame
+// containing pa: the number of stores (Write64/WritePTE calls, plus
+// one per ZeroPage) it has absorbed. A frame never written reports 0.
+func (m *Memory) FrameGen(pa PhysAddr) uint64 {
+	c, ok := m.frames.Load(PhysToPFN(pa))
+	if !ok {
+		return 0
+	}
+	return c.(*frameCell).gen.Load()
+}
+
+// FrameGenRef returns a stable pointer to the frame's generation
+// counter, allocating the frame on first use. Holding the pointer lets
+// a repeated staleness probe (the ghost abstraction cache checks every
+// cached table page on every hook) load the generation with one atomic
+// read instead of a map lookup under the memory lock.
+func (m *Memory) FrameGenRef(pa PhysAddr) *atomic.Uint64 {
+	return &m.frame(pa).gen
 }
 
 // FrameCount returns the number of frames touched so far; used by the
 // memory-impact accounting in the benchmarks.
 func (m *Memory) FrameCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.frames)
+	return int(m.nframes.Load())
 }

@@ -1,0 +1,49 @@
+package arch
+
+import "testing"
+
+// TestFrameGenerations: every store bumps the containing frame's
+// generation exactly once, ZeroPage bumps once, and untouched frames
+// report generation zero.
+func TestFrameGenerations(t *testing.T) {
+	m := NewMemory(DefaultLayout())
+	pa := m.RAMStart()
+
+	if g := m.FrameGen(pa); g != 0 {
+		t.Fatalf("fresh frame gen = %d, want 0", g)
+	}
+	m.Write64(pa, 1)
+	if g := m.FrameGen(pa); g != 1 {
+		t.Fatalf("after one write gen = %d, want 1", g)
+	}
+	m.Write64(pa+8, 2)
+	m.WritePTE(pa, 3, PTE(7))
+	if g := m.FrameGen(pa); g != 3 {
+		t.Fatalf("after three writes gen = %d, want 3", g)
+	}
+
+	// Reads do not bump.
+	_ = m.Read64(pa)
+	_ = m.ReadPTE(pa, 3)
+	if g := m.FrameGen(pa); g != 3 {
+		t.Fatalf("reads bumped gen to %d", g)
+	}
+
+	// ZeroPage is one bump, regardless of word count.
+	m.ZeroPage(pa)
+	if g := m.FrameGen(pa); g != 4 {
+		t.Fatalf("after ZeroPage gen = %d, want 4", g)
+	}
+
+	// A neighbouring frame is independent.
+	if g := m.FrameGen(pa + PageSize); g != 0 {
+		t.Fatalf("neighbour frame gen = %d, want 0", g)
+	}
+
+	// The ref observes the same counter as FrameGen.
+	ref := m.FrameGenRef(pa)
+	m.Write64(pa, 9)
+	if ref.Load() != m.FrameGen(pa) || ref.Load() != 5 {
+		t.Fatalf("ref = %d, FrameGen = %d, want 5", ref.Load(), m.FrameGen(pa))
+	}
+}

@@ -16,13 +16,13 @@ import (
 // It reads raw descriptors through the architecture model only: the
 // hypervisor's walker code is implementation, not specification.
 func InterpretPgtable(m *arch.Memory, root arch.PhysAddr) AbstractPgtable {
-	out := AbstractPgtable{Footprint: make(PageSet)}
+	var out AbstractPgtable
 	interpretLevel(m, root, arch.StartLevel, 0, &out)
 	return out
 }
 
 func interpretLevel(m *arch.Memory, table arch.PhysAddr, level int, vaPartial uint64, out *AbstractPgtable) {
-	out.Footprint[arch.PhysToPFN(table)] = true
+	out.Footprint.Add(arch.PhysToPFN(table))
 	nrPages := arch.LevelPages(level)
 	for idx := 0; idx < arch.PTEsPerTable; idx++ {
 		vaNew := vaPartial | uint64(idx)<<arch.LevelShift(level)
@@ -77,6 +77,15 @@ func AbstractHost(hv *hyp.Hypervisor) (Host, error) {
 // here avoids a second full interpretation per lock release.
 func AbstractHostWithFootprint(hv *hyp.Hypervisor) (Host, PageSet, error) {
 	full := InterpretPgtable(hv.Mem, hv.HostPGTRoot())
+	host, violation := deriveHost(hv, &full)
+	return host, full.Footprint, violation
+}
+
+// deriveHost projects a full host stage 2 abstraction onto the loose
+// ghost_host components — Annot and Shared — checking on the way that
+// every dropped plainly-owned mapping is legal. Shared between the
+// uncached reference path above and the recorder's host cache.
+func deriveHost(hv *hyp.Hypervisor, full *AbstractPgtable) (Host, error) {
 	out := Host{Present: true}
 	var violation error
 	for _, ml := range full.Mapping.Maplets() {
@@ -96,7 +105,7 @@ func AbstractHostWithFootprint(hv *hyp.Hypervisor) (Host, PageSet, error) {
 			}
 		}
 	}
-	return out, full.Footprint, violation
+	return out, violation
 }
 
 // checkHostOwnedLegal checks a plainly-owned host mapping against the
@@ -159,7 +168,7 @@ func AbstractVMs(hv *hyp.Hypervisor) VMs {
 		out.Table[vm.Handle] = info
 	}
 	for pfn := range hv.Reclaimable() {
-		out.Reclaim[pfn] = true
+		out.Reclaim.Add(pfn)
 	}
 	return out
 }

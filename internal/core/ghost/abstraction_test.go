@@ -100,10 +100,10 @@ func TestInterpretFootprint(t *testing.T) {
 	abs := InterpretPgtable(tbl.Mem, tbl.Root())
 	want := PageSet{}
 	for _, pfn := range tbl.TablePages() {
-		want[pfn] = true
+		want.Add(pfn)
 	}
 	if !abs.Footprint.Equal(want) {
-		t.Errorf("footprint: abs %d pages, impl %d pages", len(abs.Footprint), len(want))
+		t.Errorf("footprint: abs %d pages, impl %d pages", abs.Footprint.Len(), want.Len())
 	}
 }
 

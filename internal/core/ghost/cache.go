@@ -1,0 +1,298 @@
+package ghost
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/hyp"
+	"ghostspec/internal/telemetry"
+)
+
+// This file is the incremental abstraction cache. recordComponent used
+// to re-interpret each component's full 4-level table on every lock
+// acquire and release — the dominant term of the ghost overhead the
+// paper measures in §6. But a table's meaning only changes where
+// descriptors are written, so the cache keys the interpreted
+// Mapping/Footprint on (root, per-table-page write generations from
+// arch.Memory) and on each hook re-walks only the subtrees under table
+// pages whose generation moved, splicing the re-interpreted ranges
+// into the cached mapping. A write to the root page, or a root change,
+// falls back to a full walk.
+//
+// The walker here is deliberately a separate implementation from
+// InterpretPgtable: the Recorder's VerifyCache mode runs both side by
+// side and alarms on divergence, which only means something if the two
+// paths share no code beyond the descriptor decoding in package arch.
+
+// CacheOutcome classifies one cached interpretation.
+type CacheOutcome uint8
+
+const (
+	// CacheHit: no cached table page changed; the stored abstraction
+	// was returned as is.
+	CacheHit CacheOutcome = iota
+	// CachePartial: some table pages changed; only their subtrees were
+	// re-interpreted and spliced into the stored abstraction.
+	CachePartial
+	// CacheFull: first use, a different root, or a write to the root
+	// page itself — the whole tree was re-interpreted.
+	CacheFull
+)
+
+// cachedTable is the cache's record of one table page: where its
+// generation counter lives, the generation observed before the last
+// read of its entries, and the position (level, covered input-address
+// base) it occupied in the tree.
+//
+// Observing the generation before reading the entries pairs with
+// Memory bumping it after each store: a racing writer can at worst
+// make fresh data look stale (forcing a needless re-walk later),
+// never stale data look fresh.
+type cachedTable struct {
+	gen    *atomic.Uint64
+	seen   uint64
+	level  int
+	vaBase uint64
+}
+
+// tableSpan returns the bytes of input-address space covered by one
+// whole table page at the given level (the root, level 0, covers the
+// full 48-bit space).
+func tableSpan(level int) uint64 {
+	return arch.LevelSize(level) * arch.PTEsPerTable
+}
+
+// CacheStats counts a cache's interpretation outcomes.
+type CacheStats struct {
+	Hits         uint64
+	PartialWalks uint64
+	FullWalks    uint64
+	// PagesWalked is the number of table pages (re-)interpreted across
+	// all full and partial walks — the work the cache actually did,
+	// against which hits measure the work it avoided.
+	PagesWalked uint64
+}
+
+// add accumulates o into s.
+func (s *CacheStats) add(o CacheStats) {
+	s.Hits += o.Hits
+	s.PartialWalks += o.PartialWalks
+	s.FullWalks += o.FullWalks
+	s.PagesWalked += o.PagesWalked
+}
+
+// PgtableCache is the incremental interpretation cache for one page
+// table. It has its own lock: hooks already run under the component's
+// spinlock, but the oracle must stay sound against a buggy hypervisor
+// whose locking is broken, so the cache never relies on the
+// component's lock for its own consistency.
+type PgtableCache struct {
+	mu     sync.Mutex
+	valid  bool
+	root   arch.PhysAddr
+	tables map[arch.PFN]*cachedTable
+	abs    AbstractPgtable
+	stats  CacheStats
+}
+
+// Interpret returns the abstraction of the table rooted at root,
+// re-interpreting only what changed since the previous call. The
+// returned abstraction is a copy-on-write clone: the caller may hold
+// it indefinitely, and later cache updates will not mutate it.
+func (c *PgtableCache) Interpret(m *arch.Memory, root arch.PhysAddr) (AbstractPgtable, CacheOutcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if !c.valid || c.root != root {
+		return c.rebuild(m, root), CacheFull
+	}
+
+	rootPFN := arch.PhysToPFN(root)
+	type dirtyTable struct {
+		pfn arch.PFN
+		t   *cachedTable
+	}
+	var dirty []dirtyTable
+	for pfn, t := range c.tables {
+		if t.gen.Load() != t.seen {
+			if pfn == rootPFN {
+				// The root's entries each select a whole 512GB subtree;
+				// incremental splicing buys nothing there.
+				return c.rebuild(m, root), CacheFull
+			}
+			dirty = append(dirty, dirtyTable{pfn, t})
+		}
+	}
+	if len(dirty) == 0 {
+		c.stats.Hits++
+		if !telemetry.Disabled() {
+			ghostCacheHits.Inc()
+		}
+		return c.abs.Clone(), CacheHit
+	}
+
+	// Keep only the top dirty subtrees: shallowest first, then drop any
+	// dirty table lying inside an earlier top's span. Structural
+	// changes (detach, free, frame reuse) always write a still-live
+	// ancestor table, so every stale cache entry is covered by some
+	// live top — and a covering top is strictly shallower, which the
+	// (level, vaBase) sort order guarantees we meet first.
+	sort.Slice(dirty, func(i, j int) bool {
+		if dirty[i].t.level != dirty[j].t.level {
+			return dirty[i].t.level < dirty[j].t.level
+		}
+		return dirty[i].t.vaBase < dirty[j].t.vaBase
+	})
+	var tops []dirtyTable
+	for _, d := range dirty {
+		contained := false
+		for _, top := range tops {
+			if top.t.level < d.t.level &&
+				d.t.vaBase >= top.t.vaBase && d.t.vaBase < top.t.vaBase+tableSpan(top.t.level) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			tops = append(tops, d)
+		}
+	}
+
+	// Drop every cached entry inside a span about to be re-walked —
+	// stale entries for freed or reparented tables would otherwise
+	// linger. All deletions happen before any re-walk, so entries the
+	// walks re-add survive.
+	for _, top := range tops {
+		lo, hi := top.t.vaBase, top.t.vaBase+tableSpan(top.t.level)
+		for pfn, t := range c.tables {
+			if t.level >= top.t.level && t.vaBase >= lo && t.vaBase < hi {
+				delete(c.tables, pfn)
+			}
+		}
+	}
+
+	pages := 0
+	for _, top := range tops {
+		var sub AbstractPgtable
+		pages += interpretCached(m, top.pfn.Phys(), top.t.level, top.t.vaBase, &sub, c.tables)
+		c.abs.Mapping.SpliceRange(top.t.vaBase, tableSpan(top.t.level)>>arch.PageShift,
+			sub.Mapping.Maplets())
+	}
+	c.abs.Footprint = footprintOf(c.tables)
+
+	c.stats.PartialWalks++
+	c.stats.PagesWalked += uint64(pages)
+	if !telemetry.Disabled() {
+		ghostCachePartial.Inc()
+		ghostCachePages.Add(uint64(pages))
+	}
+	return c.abs.Clone(), CachePartial
+}
+
+// rebuild discards the cache and interprets the whole tree. Caller
+// holds c.mu.
+func (c *PgtableCache) rebuild(m *arch.Memory, root arch.PhysAddr) AbstractPgtable {
+	c.tables = make(map[arch.PFN]*cachedTable)
+	c.abs = AbstractPgtable{}
+	n := interpretCached(m, root, arch.StartLevel, 0, &c.abs, c.tables)
+	c.abs.Footprint = footprintOf(c.tables)
+	c.root = root
+	c.valid = true
+	c.stats.FullWalks++
+	c.stats.PagesWalked += uint64(n)
+	if !telemetry.Disabled() {
+		ghostCacheMisses.Inc()
+		ghostCachePages.Add(uint64(n))
+	}
+	return c.abs.Clone()
+}
+
+// Invalidate empties the cache; the next Interpret is a full walk.
+// Used when a guest's table is destroyed at teardown.
+func (c *PgtableCache) Invalidate() {
+	c.mu.Lock()
+	c.valid = false
+	c.tables = nil
+	c.abs = AbstractPgtable{}
+	c.mu.Unlock()
+}
+
+// Stats returns the cache's counters.
+func (c *PgtableCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// hostCache wraps a PgtableCache with the ghost_host projection: on a
+// hit the derived Annot/Shared components and the legality verdict are
+// returned from store, so the hit path skips the maplet scan too.
+type hostCache struct {
+	pgt PgtableCache
+
+	mu        sync.Mutex
+	valid     bool
+	host      Host
+	violation error
+}
+
+func (hc *hostCache) abstract(hv *hyp.Hypervisor) (Host, PageSet, error) {
+	full, outcome := hc.pgt.Interpret(hv.Mem, hv.HostPGTRoot())
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	if outcome != CacheHit || !hc.valid {
+		hc.host, hc.violation = deriveHost(hv, &full)
+		hc.valid = true
+	}
+	// The stored violation is returned on hits too: the uncached path
+	// re-found an illegal mapping on every hook, and alarm cadence must
+	// not depend on whether the cache hit.
+	return Host{Present: true, Annot: hc.host.Annot.Clone(), Shared: hc.host.Shared.Clone()},
+		full.Footprint, hc.violation
+}
+
+// interpretCached interprets the subtree rooted at the table page at
+// table (occupying the given level and input-address base), extending
+// out and recording each visited table page's generation — observed
+// before its entries are read — into tabs. Returns the number of
+// table pages visited.
+func interpretCached(m *arch.Memory, table arch.PhysAddr, level int, vaPartial uint64,
+	out *AbstractPgtable, tabs map[arch.PFN]*cachedTable) int {
+	gen := m.FrameGenRef(table)
+	tabs[arch.PhysToPFN(table)] = &cachedTable{gen: gen, seen: gen.Load(), level: level, vaBase: vaPartial}
+	n := 1
+	nrPages := arch.LevelPages(level)
+	for idx := 0; idx < arch.PTEsPerTable; idx++ {
+		vaNew := vaPartial | uint64(idx)<<arch.LevelShift(level)
+		pte := m.ReadPTE(table, idx)
+		switch pte.Kind(level) {
+		case arch.EKTable:
+			n += interpretCached(m, pte.TableAddr(), level+1, vaNew, out, tabs)
+		case arch.EKBlock, arch.EKPage:
+			out.Mapping.Extend(vaNew, nrPages, Mapped(pte.OutputAddr(level), pte.Attrs()))
+		case arch.EKAnnotated:
+			out.Mapping.Extend(vaNew, nrPages, Annotated(pte.OwnerID()))
+		case arch.EKInvalid:
+			// Unmapped, unowned: not part of the extension.
+		case arch.EKReserved:
+			out.Mapping.Extend(vaNew, nrPages, Annotated(0xFF))
+		}
+	}
+	return n
+}
+
+// footprintOf rebuilds the footprint set from the cached table pages.
+func footprintOf(tabs map[arch.PFN]*cachedTable) PageSet {
+	pfns := make([]arch.PFN, 0, len(tabs))
+	for pfn := range tabs {
+		pfns = append(pfns, pfn)
+	}
+	sort.Slice(pfns, func(i, j int) bool { return pfns[i] < pfns[j] })
+	var s PageSet
+	for _, pfn := range pfns {
+		s.Add(pfn)
+	}
+	return s
+}

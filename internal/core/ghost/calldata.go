@@ -45,6 +45,13 @@ type CallData struct {
 	Reason arch.ExitReason
 	Fault  arch.FaultInfo
 
+	// Boot marks call data attached to a boot-time alarm (Attach's
+	// initial-layout and host-invariant checks). There is no trapping
+	// CPU or exception then; String renders "boot" instead of the
+	// zero-valued cpu0/exit-reason fields, which used to read as if
+	// CPU 0 had trapped.
+	Boot bool
+
 	// Ret is the implementation's x1 return value, read at trap exit.
 	Ret int64
 
@@ -95,6 +102,9 @@ func (c *CallData) NextRead(idx *int) (uint64, bool) {
 }
 
 func (c *CallData) String() string {
+	if c.Boot {
+		return "boot"
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "cpu%d %v", c.CPU, c.Reason)
 	if c.Reason == arch.ExitMemAbort {

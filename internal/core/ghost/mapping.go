@@ -104,13 +104,33 @@ func (m Maplet) String() string {
 // form, so semantic equality is representation equality.
 type Mapping struct {
 	maplets []Maplet
+	// cow marks the maplet backing array as possibly shared with
+	// another Mapping produced by Clone; mutators copy it first (see
+	// own). Clone sets the flag on both sides, so whichever alias
+	// mutates first pays for the copy and the other keeps the original.
+	cow bool
 }
 
-// Clone returns an independent copy.
-func (m Mapping) Clone() Mapping {
-	out := make([]Maplet, len(m.maplets))
-	copy(out, m.maplets)
-	return Mapping{maplets: out}
+// Clone returns a semantically independent copy. The maplet slice is
+// shared copy-on-write: both aliases are marked, and the first
+// mutation on either side copies the backing array. The shared-ghost
+// refresh at every lock release clones mappings that are almost never
+// mutated afterwards, so sharing until proven otherwise removes an
+// allocation proportional to the live maplet count from that hot path.
+func (m *Mapping) Clone() Mapping {
+	m.cow = true
+	return Mapping{maplets: m.maplets, cow: true}
+}
+
+// own makes the receiver the sole owner of its backing array; every
+// mutator calls it before writing. Mutation through anything but the
+// exported methods below (or plain struct copies of an unflagged
+// Mapping) would defeat the scheme, so there are none.
+func (m *Mapping) own() {
+	if m.cow {
+		m.maplets = append([]Maplet(nil), m.maplets...)
+		m.cow = false
+	}
 }
 
 // IsEmpty reports whether the mapping has no pages.
@@ -151,6 +171,7 @@ func (m *Mapping) Extend(va uint64, nrPages uint64, t Target) {
 	if nrPages == 0 {
 		return
 	}
+	m.own()
 	if n := len(m.maplets); n > 0 {
 		last := &m.maplets[n-1]
 		if va < last.end() {
@@ -178,7 +199,7 @@ func (m *Mapping) Remove(va uint64, nrPages uint64) {
 		return
 	}
 	start, end := va, va+nrPages<<arch.PageShift
-	var out []Maplet
+	out := make([]Maplet, 0, len(m.maplets))
 	for _, ml := range m.maplets {
 		if ml.end() <= start || ml.VA >= end {
 			out = append(out, ml)
@@ -203,11 +224,13 @@ func (m *Mapping) Remove(va uint64, nrPages uint64) {
 		}
 	}
 	m.maplets = out
+	m.cow = false // out is freshly built, never shared
 }
 
 // insert adds a maplet that must not overlap anything present, then
 // re-establishes coalescing around it.
 func (m *Mapping) insert(nm Maplet) {
+	m.own()
 	i := sort.Search(len(m.maplets), func(i int) bool { return m.maplets[i].VA >= nm.VA })
 	m.maplets = append(m.maplets, Maplet{})
 	copy(m.maplets[i+1:], m.maplets[i:])
@@ -232,6 +255,50 @@ func (m *Mapping) coalesceAround(i int) {
 			m.maplets[i].NrPages += next.NrPages
 			m.maplets = append(m.maplets[:i+1], m.maplets[i+2:]...)
 		}
+	}
+}
+
+// SpliceRange replaces [va, va+nrPages*4K) wholesale with repl, whose
+// maplets must be canonical (ascending, coalesced) and lie entirely
+// within the range. It is the incremental abstraction's subtree graft:
+// the re-interpreted meaning of one table subtree replaces the cached
+// meaning of that subtree's input range, with coalescing re-established
+// at the two boundary joints so the result is bit-for-bit the mapping a
+// full re-interpretation would have built.
+func (m *Mapping) SpliceRange(va uint64, nrPages uint64, repl []Maplet) {
+	end := va + nrPages<<arch.PageShift
+	for i, ml := range repl {
+		if ml.VA < va || ml.end() > end || (i > 0 && repl[i-1].end() > ml.VA) {
+			panic(fmt.Sprintf("ghost: splice replacement %v outside [%#x,%#x) or out of order", ml, va, end))
+		}
+	}
+	m.Remove(va, nrPages) // leaves m uniquely owned
+	if len(repl) == 0 {
+		return
+	}
+	i := sort.Search(len(m.maplets), func(i int) bool { return m.maplets[i].VA >= va })
+	grown := make([]Maplet, 0, len(m.maplets)+len(repl))
+	grown = append(grown, m.maplets[:i]...)
+	grown = append(grown, repl...)
+	grown = append(grown, m.maplets[i:]...)
+	m.maplets = grown
+	// Right joint first: merging it does not disturb indices at or
+	// below the left joint. Interior joints of repl are already
+	// coalesced by construction.
+	m.mergeAt(i + len(repl) - 1)
+	m.mergeAt(i - 1)
+}
+
+// mergeAt coalesces maplets[k] with maplets[k+1] when both exist and
+// continue each other.
+func (m *Mapping) mergeAt(k int) {
+	if k < 0 || k+1 >= len(m.maplets) {
+		return
+	}
+	cur, next := m.maplets[k], m.maplets[k+1]
+	if cur.end() == next.VA && cur.Target.continues(cur.NrPages, next.Target) {
+		m.maplets[k].NrPages += next.NrPages
+		m.maplets = append(m.maplets[:k+1], m.maplets[k+2:]...)
 	}
 }
 
@@ -267,35 +334,82 @@ func (d PageDiff) String() string {
 	return fmt.Sprintf("%svirt:%x %s", sign, d.VA, d.Target)
 }
 
+// diffEntryCap bounds the entries DiffMappings returns. A wildly wrong
+// state (say, a corrupted root descriptor annotating half the address
+// space) differs in hundreds of millions of pages; materialising them
+// all turns a failure report into a multi-minute allocation storm. The
+// renderer prints 16 lines anyway.
+const diffEntryCap = 8192
+
 // DiffMappings returns the page-granular differences from old to new:
 // pages removed, pages added, and pages whose target changed (reported
-// as a remove plus an add).
+// as a remove plus an add), in ascending VA order, truncated at
+// diffEntryCap entries.
+//
+// Both sides are canonical maplet lists, so this is a two-pointer
+// interval sweep. Within a window where both sides cover the same
+// pages, the targets either agree everywhere or disagree everywhere
+// (page i's target is a linear function of the window's first target),
+// so equal windows are skipped in O(1) without per-page expansion.
 func DiffMappings(old, new Mapping) []PageDiff {
 	var diffs []PageDiff
-	forEachPage(old, func(va uint64, t Target) {
-		nt, ok := new.Lookup(va)
-		if !ok {
-			diffs = append(diffs, PageDiff{Added: false, VA: va, Target: t})
-		} else if nt != t {
-			diffs = append(diffs, PageDiff{Added: false, VA: va, Target: t})
-			diffs = append(diffs, PageDiff{Added: true, VA: va, Target: nt})
-		}
-	})
-	forEachPage(new, func(va uint64, t Target) {
-		if _, ok := old.Lookup(va); !ok {
-			diffs = append(diffs, PageDiff{Added: true, VA: va, Target: t})
-		}
-	})
-	sort.SliceStable(diffs, func(i, j int) bool { return diffs[i].VA < diffs[j].VA })
-	return diffs
-}
-
-func forEachPage(m Mapping, f func(va uint64, t Target)) {
-	for _, ml := range m.maplets {
-		for i := uint64(0); i < ml.NrPages; i++ {
-			f(ml.VA+i<<arch.PageShift, ml.Target.at(i))
+	emitRun := func(added bool, m Maplet) {
+		for k := uint64(0); k < m.NrPages && len(diffs) < diffEntryCap; k++ {
+			diffs = append(diffs, PageDiff{Added: added, VA: m.VA + k<<arch.PageShift, Target: m.Target.at(k)})
 		}
 	}
+	// advance consumes pages off the front of a maplet fragment.
+	advance := func(m *Maplet, pages uint64) {
+		m.VA += pages << arch.PageShift
+		m.Target = m.Target.at(pages)
+		m.NrPages -= pages
+	}
+
+	var o, n Maplet
+	i, j := 0, 0
+	for len(diffs) < diffEntryCap {
+		if o.NrPages == 0 && i < len(old.maplets) {
+			o, i = old.maplets[i], i+1
+		}
+		if n.NrPages == 0 && j < len(new.maplets) {
+			n, j = new.maplets[j], j+1
+		}
+		if o.NrPages == 0 && n.NrPages == 0 {
+			break
+		}
+		switch {
+		case n.NrPages == 0 || (o.NrPages > 0 && o.end() <= n.VA):
+			emitRun(false, o)
+			o.NrPages = 0
+		case o.NrPages == 0 || n.end() <= o.VA:
+			emitRun(true, n)
+			n.NrPages = 0
+		case o.VA < n.VA:
+			head := Maplet{VA: o.VA, NrPages: (n.VA - o.VA) >> arch.PageShift, Target: o.Target}
+			emitRun(false, head)
+			advance(&o, head.NrPages)
+		case n.VA < o.VA:
+			head := Maplet{VA: n.VA, NrPages: (o.VA - n.VA) >> arch.PageShift, Target: n.Target}
+			emitRun(true, head)
+			advance(&n, head.NrPages)
+		default: // aligned overlap window
+			w := o.NrPages
+			if n.NrPages < w {
+				w = n.NrPages
+			}
+			if o.Target != n.Target {
+				for k := uint64(0); k < w && len(diffs) < diffEntryCap; k++ {
+					va := o.VA + k<<arch.PageShift
+					diffs = append(diffs,
+						PageDiff{Added: false, VA: va, Target: o.Target.at(k)},
+						PageDiff{Added: true, VA: va, Target: n.Target.at(k)})
+				}
+			}
+			advance(&o, w)
+			advance(&n, w)
+		}
+	}
+	return diffs
 }
 
 func (m Mapping) String() string {

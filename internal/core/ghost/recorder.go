@@ -2,6 +2,8 @@ package ghost
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,6 +36,11 @@ const (
 	// FailSpecIncomplete: the specification declined to produce a
 	// post-state (gradual specification, §4.2).
 	FailSpecIncomplete
+	// FailCacheDivergence: the incremental abstraction cache and the
+	// full recompute disagree (differential self-check, VerifyCache).
+	// This is a bug in the ghost machinery itself, never in the
+	// hypervisor under test.
+	FailCacheDivergence
 )
 
 func (k FailureKind) String() string {
@@ -52,6 +59,8 @@ func (k FailureKind) String() string {
 		return "hyp-panic"
 	case FailSpecIncomplete:
 		return "spec-incomplete"
+	case FailCacheDivergence:
+		return "cache-divergence"
 	}
 	return fmt.Sprintf("FailureKind(%d)", uint8(k))
 }
@@ -86,6 +95,9 @@ type Stats struct {
 	// hooks across all CPUs — the instrumentation's share of the §6
 	// overhead.
 	HookTime time.Duration
+	// Cache aggregates the abstraction caches' outcomes across all
+	// components (hyp stage 1, host stage 2, every guest stage 2).
+	Cache CacheStats
 }
 
 // cpuRec is the per-hardware-thread recording slot (the thread-local
@@ -120,6 +132,19 @@ type Recorder struct {
 	// re-interpreting the table.
 	hostFootprint PageSet
 
+	// Incremental abstraction caches, one per component page table
+	// (see cache.go). Each has its own lock; gcMu guards only the
+	// guest-cache map structure.
+	hypCache  PgtableCache
+	hostCache hostCache
+	gcMu        sync.Mutex
+	guestCaches map[hyp.Handle]*PgtableCache
+
+	// VerifyCache, when set, recomputes every abstraction from scratch
+	// beside the cached path and raises FailCacheDivergence if they
+	// disagree — the differential self-check of the cache machinery.
+	VerifyCache bool
+
 	cpus []*cpuRec
 
 	// hookNanos accumulates time spent in hooks (atomic: hooks run on
@@ -141,32 +166,108 @@ type Recorder struct {
 // layout. It must be called before any hypercall traffic.
 func Attach(hv *hyp.Hypervisor) *Recorder {
 	r := &Recorder{
-		hv:     hv,
-		shared: NewState(),
-		cpus:   make([]*cpuRec, hv.Globals().NrCPUs),
+		hv:          hv,
+		shared:      NewState(),
+		cpus:        make([]*cpuRec, hv.Globals().NrCPUs),
+		guestCaches: make(map[hyp.Handle]*PgtableCache),
 	}
 	for i := range r.cpus {
 		r.cpus[i] = &cpuRec{}
 	}
 
 	// Initial recording: no traffic yet, so reading without locks is
-	// sound. This snapshot seeds the non-interference baseline.
+	// sound. This snapshot seeds the non-interference baseline and
+	// warms the abstraction caches.
 	r.shared.Globals = AbstractGlobals(hv)
-	r.shared.Pkvm = AbstractHyp(hv)
-	host, hostFP, herr := AbstractHostWithFootprint(hv)
+	r.shared.Pkvm = r.abstractHyp()
+	host, hostFP, herr := r.abstractHost()
 	r.shared.Host = host
 	r.hostFootprint = hostFP
 	r.shared.VMs = AbstractVMs(hv)
 
+	boot := CallData{Boot: true}
 	if herr != nil {
-		r.fail(Failure{Kind: FailHostInvariant, Detail: herr.Error()})
+		r.fail(Failure{Kind: FailHostInvariant, Call: boot, Detail: herr.Error()})
 	}
 	if detail := CheckInitLayout(r.shared); detail != "" {
-		r.fail(Failure{Kind: FailInitLayout, Detail: detail})
+		r.fail(Failure{Kind: FailInitLayout, Call: boot, Detail: detail})
 	}
 
 	hv.SetInstrumentation(r)
 	return r
+}
+
+// ---------------------------------------------------------------------
+// Cached abstraction paths. These wrap the Abstract* reference
+// functions with the incremental caches; VerifyCache re-runs the
+// reference implementation beside each and alarms on any divergence.
+
+// abstractHyp is AbstractHyp through the cache.
+func (r *Recorder) abstractHyp() Pkvm {
+	abs, _ := r.hypCache.Interpret(r.hv.Mem, r.hv.HypPGTRoot())
+	r.verifyCached("pkvm stage 1", abs, r.hv.HypPGTRoot())
+	return Pkvm{Present: true, PGT: abs}
+}
+
+// abstractHost is AbstractHostWithFootprint through the cache.
+func (r *Recorder) abstractHost() (Host, PageSet, error) {
+	host, fp, herr := r.hostCache.abstract(r.hv)
+	if r.VerifyCache {
+		refHost, refFP, _ := AbstractHostWithFootprint(r.hv)
+		if !EqualMappings(refHost.Annot, host.Annot) || !EqualMappings(refHost.Shared, host.Shared) ||
+			!refFP.Equal(fp) {
+			r.fail(Failure{Kind: FailCacheDivergence,
+				Detail: "host stage 2: cached abstraction diverges from full recompute:\n" +
+					diffHost(refHost, host) +
+					fmt.Sprintf("  footprint: full %v, cached %v\n", refFP, fp)})
+		}
+	}
+	return host, fp, herr
+}
+
+// abstractGuest is AbstractGuest through the per-VM cache.
+func (r *Recorder) abstractGuest(h hyp.Handle) GuestPgt {
+	slot := int(h - hyp.HandleOffset)
+	vm := r.hv.VMSnapshot(slot)
+	if vm == nil || vm.PGT == nil {
+		// Torn down (or never created): the table is gone, and with it
+		// the cache's subject.
+		r.guestCache(h).Invalidate()
+		return GuestPgt{Present: true, PGT: AbstractPgtable{}}
+	}
+	abs, _ := r.guestCache(h).Interpret(r.hv.Mem, vm.PGT.Root())
+	r.verifyCached(h.String()+" stage 2", abs, vm.PGT.Root())
+	return GuestPgt{Present: true, PGT: abs}
+}
+
+// guestCache returns the cache for one VM's stage 2, creating it on
+// first use.
+func (r *Recorder) guestCache(h hyp.Handle) *PgtableCache {
+	r.gcMu.Lock()
+	defer r.gcMu.Unlock()
+	c := r.guestCaches[h]
+	if c == nil {
+		c = &PgtableCache{}
+		r.guestCaches[h] = c
+	}
+	return c
+}
+
+// verifyCached compares a cached page-table abstraction against a
+// fresh full interpretation. Sound because hooks run under the
+// component's lock; with a hypervisor buggy enough to race here, a
+// spurious divergence alarm is the least misleading outcome available.
+func (r *Recorder) verifyCached(name string, got AbstractPgtable, root arch.PhysAddr) {
+	if !r.VerifyCache {
+		return
+	}
+	ref := InterpretPgtable(r.hv.Mem, root)
+	if !EqualMappings(ref.Mapping, got.Mapping) || !ref.Footprint.Equal(got.Footprint) {
+		r.fail(Failure{Kind: FailCacheDivergence,
+			Detail: name + ": cached abstraction diverges from full recompute:\n" +
+				diffPages(DiffMappings(ref.Mapping, got.Mapping)) +
+				fmt.Sprintf("  footprint: full %v, cached %v\n", ref.Footprint, got.Footprint)})
+	}
 }
 
 // timeHook accumulates the time since start into the hook-time
@@ -186,7 +287,8 @@ func (r *Recorder) fail(f Failure) {
 		// Forensics: attach the failing CPU's recent trap history. The
 		// flight record of the current trap is written before TrapExit
 		// runs the oracle, so the dump ends with the failing trap.
-		if f.History == nil && r.hv != nil {
+		// Boot-time alarms have no trapping CPU to dump.
+		if f.History == nil && r.hv != nil && !f.Call.Boot {
 			f.History = r.hv.FlightRecorder().Dump(f.CPU)
 		}
 	}
@@ -216,10 +318,20 @@ func (r *Recorder) ResetFailures() {
 
 // Stats returns the counters.
 func (r *Recorder) Stats() Stats {
+	var cs CacheStats
+	cs.add(r.hypCache.Stats())
+	cs.add(r.hostCache.pgt.Stats())
+	r.gcMu.Lock()
+	for _, c := range r.guestCaches {
+		cs.add(c.Stats())
+	}
+	r.gcMu.Unlock()
+
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := r.stats
 	s.HookTime = time.Duration(r.hookNanos.Load())
+	s.Cache = cs
 	s.MapletsLive = r.shared.Pkvm.PGT.Mapping.NrMaplets() +
 		r.shared.Host.Annot.NrMaplets() + r.shared.Host.Shared.NrMaplets()
 	for _, g := range r.shared.Guests {
@@ -288,7 +400,7 @@ func (r *Recorder) recordComponent(into *State, c hyp.Component, checkBaseline b
 	snap := NewState()
 	switch c.Kind {
 	case hyp.CompHost:
-		host, hostFP, herr := AbstractHostWithFootprint(r.hv)
+		host, hostFP, herr := r.abstractHost()
 		if herr != nil {
 			r.fail(Failure{Kind: FailHostInvariant, Detail: herr.Error()})
 		}
@@ -314,7 +426,7 @@ func (r *Recorder) recordComponent(into *State, c hyp.Component, checkBaseline b
 		into.Host = host
 
 	case hyp.CompHyp:
-		pk := AbstractHyp(r.hv)
+		pk := r.abstractHyp()
 		snap.Pkvm = pk
 		r.mu.Lock()
 		if checkBaseline {
@@ -356,7 +468,7 @@ func (r *Recorder) recordComponent(into *State, c hyp.Component, checkBaseline b
 		into.VMs = vms
 
 	case hyp.CompGuest:
-		g := AbstractGuest(r.hv, c.Handle)
+		g := r.abstractGuest(c.Handle)
 		snap.Guests[c.Handle] = &GuestPgt{Present: true, PGT: g.PGT.Clone()}
 		r.mu.Lock()
 		if checkBaseline {
@@ -386,7 +498,12 @@ func (r *Recorder) recordComponent(into *State, c hyp.Component, checkBaseline b
 
 // checkSeparation verifies pairwise disjointness of all recorded
 // page-table footprints, and that the host/hyp tables stay within the
-// boot carve-out (§4.4 check 2).
+// boot carve-out (§4.4 check 2). Footprints are sorted run lists, so
+// each pairwise check is one linear merge, not a nested set iteration.
+//
+// Every violated pair is reported in one alarm: an earlier version kept
+// only the last formatted detail, silently overwriting earlier pairs,
+// which hid concurrent overlaps when three or more tables collided.
 func (r *Recorder) checkSeparation() {
 	r.mu.Lock()
 	type fp struct {
@@ -410,27 +527,24 @@ func (r *Recorder) checkSeparation() {
 
 	carveStart := arch.PhysToPFN(g.CarveStart)
 	carveEnd := carveStart + arch.PFN(g.CarveSize>>arch.PageShift)
-	var detail string
+	var details []string
 	for i := range fps {
 		for j := i + 1; j < len(fps); j++ {
-			for pfn := range fps[i].set {
-				if fps[j].set[pfn] {
-					detail = fmt.Sprintf("footprints of %s and %s overlap at frame %#x",
-						fps[i].name, fps[j].name, uint64(pfn))
-				}
+			if pfn, ok := fps[i].set.FirstOverlap(fps[j].set); ok {
+				details = append(details, fmt.Sprintf("footprints of %s and %s overlap at frame %#x",
+					fps[i].name, fps[j].name, uint64(pfn)))
 			}
 		}
 		if fps[i].name == "pkvm" || fps[i].name == "host" {
-			for pfn := range fps[i].set {
-				if pfn < carveStart || pfn >= carveEnd {
-					detail = fmt.Sprintf("%s table frame %#x outside the carve-out",
-						fps[i].name, uint64(pfn))
-				}
+			if pfn, ok := fps[i].set.FirstOutside(carveStart, carveEnd); ok {
+				details = append(details, fmt.Sprintf("%s table frame %#x outside the carve-out",
+					fps[i].name, uint64(pfn)))
 			}
 		}
 	}
-	if detail != "" {
-		r.fail(Failure{Kind: FailSeparation, Detail: detail})
+	if len(details) > 0 {
+		sort.Strings(details)
+		r.fail(Failure{Kind: FailSeparation, Detail: strings.Join(details, "\n")})
 	}
 }
 

@@ -126,11 +126,11 @@ func specHostReclaimPage(post, pre *State, call *CallData) int64 {
 	post.CopyVMs(pre)
 	post.CopyHost(pre)
 
-	if !pre.VMs.Reclaim[pfn] {
+	if !pre.VMs.Reclaim.Contains(pfn) {
 		rReclaimEperm.hit()
 		return int64(hyp.EPERM)
 	}
-	delete(post.VMs.Reclaim, pfn)
+	post.VMs.Reclaim.Remove(pfn)
 	// The page returns to exclusive host ownership whatever its prior
 	// role: ownership annotations are cleared, and if the dead guest
 	// had shared it back to the host, the borrowed mapping reverts to

@@ -111,7 +111,7 @@ func TestSpecStateMachineInvariants(t *testing.T) {
 				// Make a donated page reclaimable, then reclaim it —
 				// the host's recycling loop.
 				if _, annotated := s.Host.Annot.Lookup(uint64(pfn.Phys())); annotated {
-					s.VMs.Reclaim[pfn] = true
+					s.VMs.Reclaim.Add(pfn)
 					s, _ = applySpec(s, hyp.HCHostReclaimPage, 0, uint64(pfn))
 				}
 			case 4:
@@ -167,7 +167,7 @@ func TestSpecDonateReclaimRoundTrip(t *testing.T) {
 		t.Fatal(hyp.Errno(ret))
 	}
 	for i := arch.PFN(0); i < 2; i++ {
-		s.VMs.Reclaim[pfn+i] = true
+		s.VMs.Reclaim.Add(pfn + i)
 		var r int64
 		s, r = applySpec(s, hyp.HCHostReclaimPage, 0, uint64(pfn+i))
 		if hyp.Errno(r) != hyp.OK {

@@ -183,11 +183,11 @@ func TestSpecDonate(t *testing.T) {
 func TestSpecReclaim(t *testing.T) {
 	pfn := ramPFN(5)
 	pre := prestate(hyp.HCHostReclaimPage, uint64(pfn))
-	pre.VMs.Reclaim[pfn] = true
+	pre.VMs.Reclaim.Add(pfn)
 	pre.Host.Annot.Set(uint64(pfn.Phys()), 1, Annotated(hyp.GuestOwner(0)))
 	post := NewState()
 	ComputePost(post, pre, callFor(pre, 0))
-	if post.VMs.Reclaim[pfn] {
+	if post.VMs.Reclaim.Contains(pfn) {
 		t.Error("reclaim set not shrunk")
 	}
 	if !post.Host.Annot.IsEmpty() {
@@ -286,7 +286,7 @@ func TestSpecTeardownReclaimSet(t *testing.T) {
 	pre.VMs.Table[h] = &VMInfo{Handle: h, NrVCPUs: 1,
 		VCPUs:   []VCPUInfo{{Initialized: true, LoadedOn: -1, MC: []arch.PFN{ramPFN(20)}}},
 		Donated: []arch.PFN{ramPFN(21), ramPFN(22)}}
-	guest := &GuestPgt{Present: true, PGT: AbstractPgtable{Footprint: PageSet{ramPFN(23): true}}}
+	guest := &GuestPgt{Present: true, PGT: AbstractPgtable{Footprint: NewPageSet(ramPFN(23))}}
 	guest.PGT.Mapping.Set(16<<arch.PageShift, 1, Mapped(ramPFN(24).Phys(),
 		arch.Attrs{Perms: arch.PermRWX, Mem: arch.MemNormal, State: arch.StateOwned}))
 	pre.Guests[h] = guest
@@ -297,7 +297,7 @@ func TestSpecTeardownReclaimSet(t *testing.T) {
 		t.Error("vm still in table")
 	}
 	for _, pfn := range []arch.PFN{ramPFN(20), ramPFN(21), ramPFN(22), ramPFN(23), ramPFN(24)} {
-		if !post.VMs.Reclaim[pfn] {
+		if !post.VMs.Reclaim.Contains(pfn) {
 			t.Errorf("frame %#x not reclaimable", uint64(pfn))
 		}
 	}

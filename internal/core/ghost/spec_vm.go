@@ -120,24 +120,21 @@ func specTeardownVM(post, pre *State, call *CallData) int64 {
 
 	delete(post.VMs.Table, handle)
 	for _, pfn := range vm.Donated {
-		post.VMs.Reclaim[pfn] = true
+		post.VMs.Reclaim.Add(pfn)
 	}
 	for _, vc := range vm.VCPUs {
 		for _, pfn := range vc.MC {
-			post.VMs.Reclaim[pfn] = true
+			post.VMs.Reclaim.Add(pfn)
 		}
 	}
-	for pfn := range guest.PGT.Footprint {
-		post.VMs.Reclaim[pfn] = true
-	}
+	guest.PGT.Footprint.ForEach(func(pfn arch.PFN) {
+		post.VMs.Reclaim.Add(pfn)
+	})
 	for _, ml := range guest.PGT.Mapping.Maplets() {
 		if ml.Target.Kind != TargetMapped {
 			continue
 		}
-		base := arch.PhysToPFN(ml.Target.Phys)
-		for i := uint64(0); i < ml.NrPages; i++ {
-			post.VMs.Reclaim[base+arch.PFN(i)] = true
-		}
+		post.VMs.Reclaim.AddRange(arch.PhysToPFN(ml.Target.Phys), ml.NrPages)
 	}
 	// The guest stage 2 is destroyed: present but empty.
 	post.Guests[handle] = &GuestPgt{Present: true, PGT: AbstractPgtable{Footprint: PageSet{}}}

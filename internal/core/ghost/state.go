@@ -1,62 +1,9 @@
 package ghost
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-
 	"ghostspec/internal/arch"
 	"ghostspec/internal/hyp"
 )
-
-// PageSet is a set of physical frames; used for page-table footprints
-// and the reclaim set.
-type PageSet map[arch.PFN]bool
-
-// Clone returns an independent copy.
-func (s PageSet) Clone() PageSet {
-	out := make(PageSet, len(s))
-	for k := range s {
-		out[k] = true
-	}
-	return out
-}
-
-// Equal reports set equality.
-func (s PageSet) Equal(o PageSet) bool {
-	if len(s) != len(o) {
-		return false
-	}
-	for k := range s {
-		if !o[k] {
-			return false
-		}
-	}
-	return true
-}
-
-// Sorted returns the frames in ascending order.
-func (s PageSet) Sorted() []arch.PFN {
-	out := make([]arch.PFN, 0, len(s))
-	for k := range s {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-func (s PageSet) String() string {
-	var b strings.Builder
-	b.WriteString("{")
-	for i, pfn := range s.Sorted() {
-		if i > 0 {
-			b.WriteString(",")
-		}
-		fmt.Fprintf(&b, "%x", uint64(pfn))
-	}
-	b.WriteString("}")
-	return b.String()
-}
 
 // AbstractPgtable is the abstraction of one page table: its
 // extensional mapping plus the memory footprint of the table pages
@@ -68,8 +15,9 @@ type AbstractPgtable struct {
 	Footprint PageSet
 }
 
-// Clone returns an independent copy.
-func (a AbstractPgtable) Clone() AbstractPgtable {
+// Clone returns an independent copy (the mapping copy-on-write, see
+// Mapping.Clone).
+func (a *AbstractPgtable) Clone() AbstractPgtable {
 	return AbstractPgtable{Mapping: a.Mapping.Clone(), Footprint: a.Footprint.Clone()}
 }
 

@@ -12,9 +12,19 @@ var (
 	ghostCheckLat     = telemetry.NewHistogram("ghost_check_latency_ns")
 	ghostHookTime     = telemetry.NewHistogram("ghost_hook_time_ns")
 
+	// Abstraction-cache traffic: hits returned the stored abstraction
+	// untouched, misses re-walked the whole tree (cold cache or root
+	// change/write), partial walks re-interpreted only dirty subtrees.
+	// The pages counter totals table pages actually re-read — the
+	// denominator for how much work the cache avoided.
+	ghostCacheHits    = telemetry.NewCounter("ghost_cache_hits_total")
+	ghostCacheMisses  = telemetry.NewCounter("ghost_cache_misses_total")
+	ghostCachePartial = telemetry.NewCounter("ghost_cache_partial_walks_total")
+	ghostCachePages   = telemetry.NewCounter("ghost_cache_pages_reinterpreted_total")
+
 	// ghostFailures counts alarms per FailureKind; one counter per kind,
 	// registered up front so the hot path never builds names.
-	ghostFailures [int(FailSpecIncomplete) + 1]*telemetry.Counter
+	ghostFailures [int(FailCacheDivergence) + 1]*telemetry.Counter
 
 	// Offline replay keeps its own counters so a live run and its
 	// replay can be compared side by side.

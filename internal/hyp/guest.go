@@ -13,8 +13,15 @@ const MemcacheCapPages = 128
 // page from the VM's donated frames. Guests are mapped at page
 // granularity: donations arrive a page at a time.
 func newTableFromDonation(hv *Hypervisor, vm *VM) (*pgtable.Table, error) {
-	return pgtable.New("guest_s2:"+vm.Handle.String(), hv.Mem, arch.Stage2,
+	pgt, err := pgtable.New("guest_s2:"+vm.Handle.String(), hv.Mem, arch.Stage2,
 		donationAllocator{pages: &vm.donated}, arch.LastLevel)
+	if err != nil {
+		return nil, err
+	}
+	// One aggregate gauge across all guests: per-handle labels would
+	// grow the registry without bound as VMs come and go.
+	pgt.SetOnTablePage(liveTableGauge(telGuestTablesLive))
+	return pgt, nil
 }
 
 // memcacheAllocator feeds a guest table from the running vCPU's

@@ -198,6 +198,7 @@ func (hv *Hypervisor) initHypS1() error {
 	if err != nil {
 		return err
 	}
+	pgt.SetOnTablePage(liveTableGauge(telHypTablesLive))
 	hv.hypPGT = pgt
 
 	g := &hv.globals
@@ -238,6 +239,7 @@ func (hv *Hypervisor) initHostS2() error {
 	if err != nil {
 		return err
 	}
+	pgt.SetOnTablePage(liveTableGauge(telHostTablesLive))
 	hv.hostPGT = pgt
 	g := &hv.globals
 	if err := pgt.Annotate(uint64(g.CarveStart), g.CarveSize, IDHyp); err != nil {

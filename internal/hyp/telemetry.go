@@ -39,7 +39,28 @@ var (
 	abortDemandMapped = telemetry.NewCounter(`hyp_host_aborts_total{outcome="demand-mapped"}`)
 	abortReflected    = telemetry.NewCounter(`hyp_host_aborts_total{outcome="reflected"}`)
 	abortSpurious     = telemetry.NewCounter(`hyp_host_aborts_total{outcome="spurious"}`)
+
+	// Live table pages per translation table, fed by the pgtable
+	// allocation notifications. Guests share one aggregate gauge.
+	telHypTablesLive   = telemetry.NewGauge(`pgtable_table_pages_live{table="hyp_s1"}`)
+	telHostTablesLive  = telemetry.NewGauge(`pgtable_table_pages_live{table="host_s2"}`)
+	telGuestTablesLive = telemetry.NewGauge(`pgtable_table_pages_live{table="guest_s2"}`)
 )
+
+// liveTableGauge adapts a gauge to the pgtable table-page notification
+// callback.
+func liveTableGauge(g *telemetry.Gauge) func(arch.PFN, bool) {
+	return func(_ arch.PFN, alloc bool) {
+		if telemetry.Disabled() {
+			return
+		}
+		if alloc {
+			g.Add(1)
+		} else {
+			g.Add(-1)
+		}
+	}
+}
 
 func init() {
 	for id := HC(1); int(id) < nrHCs; id++ {

@@ -70,6 +70,32 @@ type Table struct {
 	MaxBlockLevel int
 
 	root arch.PhysAddr
+
+	// onTablePage, when set, observes every table-page allocation and
+	// free; see SetOnTablePage.
+	onTablePage func(pfn arch.PFN, alloc bool)
+}
+
+// SetOnTablePage installs a callback notified after every table-page
+// allocation (alloc true) and free (alloc false) this table performs.
+// Installing replays the current tree — one allocation notification
+// per live table page, the root included — so a subscriber attaching
+// after New still observes the complete live set. Used by the
+// hypervisor to keep per-table live-page gauges without rescanning.
+func (t *Table) SetOnTablePage(cb func(pfn arch.PFN, alloc bool)) {
+	t.onTablePage = cb
+	if cb != nil {
+		for _, pfn := range t.TablePages() {
+			cb(pfn, true)
+		}
+	}
+}
+
+// notifyTablePage reports one allocation or free to the subscriber.
+func (t *Table) notifyTablePage(pfn arch.PFN, alloc bool) {
+	if t.onTablePage != nil {
+		t.onTablePage(pfn, alloc)
+	}
 }
 
 // New allocates a root table page and returns the handle.
@@ -395,6 +421,7 @@ func (t *Table) mutateRange(table arch.PhysAddr, level int, ia, end uint64, opts
 		if opts.skipInvalid && tableEmpty(t.Mem, next) {
 			t.Mem.WritePTE(table, idx, 0)
 			t.Alloc.FreeTablePage(arch.PhysToPFN(next))
+			t.notifyTablePage(arch.PhysToPFN(next), false)
 			if !telemetry.Disabled() {
 				telPagesFreed.Inc()
 			}
@@ -423,6 +450,7 @@ func (t *Table) newTable(table arch.PhysAddr, idx int, old arch.PTE, level int) 
 	if !ok {
 		return 0, fmt.Errorf("%s level %d: %w", t.Name, level+1, ErrNoMem)
 	}
+	t.notifyTablePage(pfn, true)
 	if !telemetry.Disabled() {
 		telPagesAlloc.Inc()
 	}
@@ -457,6 +485,7 @@ func (t *Table) freeSubtree(pte arch.PTE, level int) {
 		t.freeSubtree(t.Mem.ReadPTE(pa, i), level+1)
 	}
 	t.Alloc.FreeTablePage(arch.PhysToPFN(pa))
+	t.notifyTablePage(arch.PhysToPFN(pa), false)
 	if !telemetry.Disabled() {
 		telPagesFreed.Inc()
 	}

@@ -1,0 +1,71 @@
+package randtest
+
+import (
+	"testing"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/core/ghost"
+	"ghostspec/internal/hyp"
+	"ghostspec/internal/proxy"
+)
+
+// TestConcurrentCampaignVerifyCache runs the concurrent campaign with
+// the recorder's differential self-check on: at every hook the
+// incremental (cached) abstraction is compared against a full
+// recompute, so any invalidation bug under concurrent host map/unmap
+// and guest churn surfaces as FailCacheDivergence. Afterwards it
+// corrupts the host stage 2 while no lock is held and confirms the
+// non-interference alarm still fires through the cached path. Run
+// with -race.
+func TestConcurrentCampaignVerifyCache(t *testing.T) {
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := ghost.Attach(hv)
+	rec.VerifyCache = true
+	d := proxy.New(hv)
+
+	stats := ConcurrentCampaign(d, rec, 42, 300)
+	calls := 0
+	for cpu, s := range stats {
+		if s.HostCrashes != 0 || s.HypPanics != 0 {
+			t.Errorf("cpu %d: %d crashes, %d panics", cpu, s.HostCrashes, s.HypPanics)
+		}
+		calls += s.Calls
+	}
+	if calls < 300 {
+		t.Errorf("only %d calls across all CPUs", calls)
+	}
+	for _, f := range rec.Failures() {
+		t.Errorf("alarm with VerifyCache on: %v", f)
+	}
+	st := rec.Stats()
+	if st.Passed != st.Checks {
+		t.Errorf("checks %d, passed %d", st.Checks, st.Passed)
+	}
+	if st.Cache.Hits == 0 || st.Cache.PartialWalks == 0 {
+		t.Errorf("campaign exercised no cache reuse: %+v", st.Cache)
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Plant an annotation at an unused host stage 2 root slot while no
+	// component lock is held. The next hypercall's lock-acquire hook
+	// must flag the §4.4 violation — the cache must not mask it.
+	hv.Mem.WritePTE(hv.HostPGTRoot(), 5, arch.MakeAnnotation(3))
+	if _, err := d.HVC(0, hyp.HCHostShareHyp, uint64(arch.PhysToPFN(hv.HostMemStart()))); err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	for _, f := range rec.Failures() {
+		if f.Kind == ghost.FailCacheDivergence {
+			t.Errorf("cache diverged on corruption instead of non-interference: %v", f)
+		}
+		seen = seen || f.Kind == ghost.FailNonInterference
+	}
+	if !seen {
+		t.Error("unlocked corruption raised no non-interference alarm")
+	}
+}
