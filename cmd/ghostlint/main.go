@@ -1,0 +1,143 @@
+// Command ghostlint runs the repository's static lock-discipline and
+// spec-invariant analyzers (internal/analysis) over a set of
+// packages.
+//
+// Usage:
+//
+//	go run ./cmd/ghostlint [-strict] [-v] [packages...]
+//
+// Package patterns are directories, optionally ending in /... for
+// recursion; the default is ./... from the module root. Exit status
+// is 0 when no findings survive suppression, 1 when findings are
+// reported, and 2 on load errors.
+//
+// The -strict flag disables //ghostlint:ignore suppressions; CI runs
+// it against internal/bugdemo to prove the seeded lock-rank inversion
+// is still detected. See docs/ANALYSIS.md for the analyzer catalogue,
+// the //ghost:requires grammar and the lock-rank table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ghostspec/internal/analysis"
+)
+
+func main() {
+	strict := flag.Bool("strict", false, "ignore //ghostlint:ignore suppressions")
+	verbose := flag.Bool("v", false, "report suppressed findings, loader warnings and type errors")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	ld, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ghostlint:", err)
+		os.Exit(2)
+	}
+
+	var dirs []string
+	for _, pat := range patterns {
+		expanded, err := expand(ld.ModRoot, pat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ghostlint:", err)
+			os.Exit(2)
+		}
+		dirs = append(dirs, expanded...)
+	}
+
+	var requested []*analysis.Package
+	for _, dir := range dirs {
+		pkg, err := ld.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ghostlint: load %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		requested = append(requested, pkg)
+	}
+
+	u := analysis.NewUniverse(ld)
+	var kept, suppressed []analysis.Finding
+	seen := make(map[string]bool)
+	for _, pkg := range requested {
+		if seen[pkg.Path] {
+			continue
+		}
+		seen[pkg.Path] = true
+		for _, a := range analysis.Analyzers() {
+			findings := a.Run(u, pkg)
+			if *strict {
+				kept = append(kept, findings...)
+				continue
+			}
+			k, s := analysis.SplitSuppressed(pkg, findings)
+			kept = append(kept, k...)
+			suppressed = append(suppressed, s...)
+		}
+	}
+
+	analysis.SortFindings(kept)
+	for _, f := range kept {
+		fmt.Println(relativize(ld.ModRoot, f))
+	}
+	if *verbose {
+		analysis.SortFindings(suppressed)
+		for _, f := range suppressed {
+			fmt.Fprintf(os.Stderr, "suppressed: %s\n", relativize(ld.ModRoot, f))
+		}
+		for _, w := range ld.Warnings {
+			fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+		}
+		for _, pkg := range u.Pkgs {
+			for _, e := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "typecheck (%s): %v\n", pkg.Path, e)
+			}
+		}
+	}
+	if len(kept) > 0 {
+		fmt.Fprintf(os.Stderr, "ghostlint: %d finding(s)\n", len(kept))
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "ghostlint: clean (%d package(s) analyzed, %d finding(s) suppressed)\n",
+			len(requested), len(suppressed))
+	}
+}
+
+// expand turns one package pattern into package directories.
+func expand(modRoot, pat string) ([]string, error) {
+	if pat == "./..." || pat == "..." {
+		return analysis.ModuleDirs(modRoot)
+	}
+	if base, ok := strings.CutSuffix(pat, "/..."); ok {
+		root, err := filepath.Abs(base)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := analysis.ModuleDirs(root)
+		if err != nil {
+			return nil, err
+		}
+		return sub, nil
+	}
+	abs, err := filepath.Abs(pat)
+	if err != nil {
+		return nil, err
+	}
+	return []string{abs}, nil
+}
+
+// relativize shortens file paths for readability.
+func relativize(modRoot string, f analysis.Finding) string {
+	if rel, err := filepath.Rel(modRoot, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		f.Pos.Filename = rel
+	}
+	return f.String()
+}

@@ -18,6 +18,7 @@ import (
 	"ghostspec/internal/proxy"
 )
 
+//ghostlint:ignore lockcheck single-threaded demo: no concurrent hypercall traffic, so reading abstractions without the component locks is sound
 func main() {
 	hv, err := hyp.New(hyp.Config{})
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"ghostspec/internal/proxy"
 )
 
+//ghostlint:ignore lockcheck single-threaded demo: no concurrent hypercall traffic, so reading abstractions without the component locks is sound
 func main() {
 	// Boot the hypervisor: Arm-A-style memory, host stage 2 with
 	// mapping-on-demand, the hypervisor's own stage 1.

@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenDirs are the known-bad snippet packages under testdata/src;
+// each line carrying a "want:<analyzer>" marker comment must produce
+// exactly that analyzer's finding, and nothing else may fire.
+var goldenDirs = []string{
+	"lockcheck_bad",
+	"hookcheck_bad",
+	"ptecheck_bad",
+	"telemetrycheck_bad",
+}
+
+// mark identifies one expected or actual finding site.
+type mark struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// wantMarks extracts the "want:<analyzer>" markers of a package.
+func wantMarks(ld *Loader, pkg *Package) map[mark]bool {
+	out := map[mark]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want:")
+				if !ok {
+					continue
+				}
+				pos := ld.Fset.Position(c.Pos())
+				out[mark{filepath.Base(pos.Filename), pos.Line, strings.TrimSpace(rest)}] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestGoldenBadSnippets(t *testing.T) {
+	ld, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, d := range goldenDirs {
+		pkg, err := ld.LoadDir(filepath.Join("testdata", "src", d))
+		if err != nil {
+			t.Fatalf("load %s: %v", d, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	u := NewUniverse(ld)
+	for _, pkg := range pkgs {
+		want := wantMarks(ld, pkg)
+		if len(want) == 0 {
+			t.Errorf("%s: no want markers found", pkg.Path)
+			continue
+		}
+		got := map[mark]bool{}
+		for _, a := range Analyzers() {
+			for _, f := range a.Run(u, pkg) {
+				got[mark{filepath.Base(f.Pos.Filename), f.Pos.Line, f.Analyzer}] = true
+				if !want[mark{filepath.Base(f.Pos.Filename), f.Pos.Line, f.Analyzer}] {
+					t.Logf("finding: %s", f)
+				}
+			}
+		}
+		for m := range want {
+			if !got[m] {
+				t.Errorf("%s: expected %s finding at %s:%d, got none",
+					pkg.Path, m.analyzer, m.file, m.line)
+			}
+		}
+		for m := range got {
+			if !want[m] {
+				t.Errorf("%s: unexpected %s finding at %s:%d",
+					pkg.Path, m.analyzer, m.file, m.line)
+			}
+		}
+	}
+}
+
+// TestRepoClean is the in-process version of the CI ghostlint run:
+// every package of the module must be free of unsuppressed findings.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	ld, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := ModuleDirs(ld.ModRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, d := range dirs {
+		pkg, err := ld.LoadDir(d)
+		if err != nil {
+			t.Fatalf("load %s: %v", d, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	u := NewUniverse(ld)
+	for _, pkg := range pkgs {
+		for _, a := range Analyzers() {
+			kept, _ := SplitSuppressed(pkg, a.Run(u, pkg))
+			for _, f := range kept {
+				t.Errorf("unsuppressed finding: %s", f)
+			}
+		}
+	}
+}
+
+// TestBugdemoSuppression pins the seeded rank inversion in
+// internal/bugdemo: lockcheck must see it, and the //ghostlint:ignore
+// on the acquisition must hide it in non-strict runs.
+func TestBugdemoSuppression(t *testing.T) {
+	ld, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := ld.LoadDir(filepath.Join(ld.ModRoot, "internal", "bugdemo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := NewUniverse(ld)
+	all := (&LockCheck{}).Run(u, pkg)
+	kept, suppressed := SplitSuppressed(pkg, all)
+	if len(kept) != 0 {
+		t.Errorf("bugdemo has unsuppressed lockcheck findings: %v", kept)
+	}
+	found := false
+	for _, f := range suppressed {
+		if strings.Contains(f.Message, "rank inversion") &&
+			strings.HasSuffix(f.Pos.Filename, "lockorder.go") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("lockcheck no longer flags the seeded inversion in lockorder.go; suppressed findings: %v", suppressed)
+	}
+}
+
+func TestParseRequires(t *testing.T) {
+	doc := func(lines ...string) *ast.CommentGroup {
+		cg := &ast.CommentGroup{}
+		for _, l := range lines {
+			cg.List = append(cg.List, &ast.Comment{Text: l})
+		}
+		return cg
+	}
+
+	req, err := parseRequires(doc("// doThing does a thing.", "//ghost:requires lock=hyp lock=host"))
+	if err != nil || req == nil {
+		t.Fatalf("parseRequires: req=%v err=%v", req, err)
+	}
+	if len(req.Comps) != 2 || req.Comps[0] != "host" || req.Comps[1] != "hyp" {
+		t.Errorf("components not sorted by rank: %v", req.Comps)
+	}
+
+	req, err = parseRequires(doc("//ghost:requires lock=dynamic"))
+	if err != nil || req == nil || !req.Dynamic || len(req.Comps) != 0 {
+		t.Errorf("lock=dynamic: req=%+v err=%v", req, err)
+	}
+
+	req, err = parseRequires(doc("//ghost:requires lock=owner"))
+	if err != nil || req == nil || !req.Owner {
+		t.Errorf("lock=owner: req=%+v err=%v", req, err)
+	}
+
+	if _, err := parseRequires(doc("//ghost:requires lock=bogus")); err == nil {
+		t.Error("unknown lock name not rejected")
+	}
+	if _, err := parseRequires(doc("//ghost:requires held=host")); err == nil {
+		t.Error("unknown field not rejected")
+	}
+
+	req, err = parseRequires(doc("// an ordinary comment"))
+	if req != nil || err != nil {
+		t.Errorf("unannotated doc: req=%v err=%v", req, err)
+	}
+	req, err = parseRequires(nil)
+	if req != nil || err != nil {
+		t.Errorf("nil doc: req=%v err=%v", req, err)
+	}
+}
+
+func TestParseIgnore(t *testing.T) {
+	valid := AnalyzerNames()
+
+	set, ok := parseIgnore("//ghostlint:ignore lockcheck deliberate for the demo", valid)
+	if !ok || len(set) != 1 || !set["lockcheck"] {
+		t.Errorf("single-analyzer ignore: set=%v ok=%v", set, ok)
+	}
+
+	set, ok = parseIgnore("//ghostlint:ignore lockcheck ptecheck reason text", valid)
+	if !ok || len(set) != 2 || !set["lockcheck"] || !set["ptecheck"] {
+		t.Errorf("multi-analyzer ignore: set=%v ok=%v", set, ok)
+	}
+
+	set, ok = parseIgnore("//ghostlint:ignore cold path, registry dedupes", valid)
+	if !ok || set != nil {
+		t.Errorf("all-analyzer ignore: set=%v ok=%v", set, ok)
+	}
+
+	if _, ok := parseIgnore("// an ordinary comment", valid); ok {
+		t.Error("ordinary comment parsed as ignore directive")
+	}
+}

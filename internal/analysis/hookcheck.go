@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HookCheck forbids spinlock acquisition from code that runs while a
+// spinlock is already held by the locking machinery itself:
+//
+//   - the Acquired/Releasing callbacks of a spinlock.Hooks value, and
+//   - methods of hyp.Instrumentation implementations that the
+//     hypervisor invokes under a lock (LockAcquired, LockReleasing,
+//     ReadOnce, MemcacheAlloc, MemcacheFree).
+//
+// Taking any spinlock there is deadlock by construction: the ghost
+// recorder's hooks fire inside every critical section, so a lock
+// acquired in a hook nests under every lock in the system at once —
+// no rank assignment can make that safe. Reachability is computed
+// over the module-internal call graph; calls through interfaces or
+// function values are opaque to this analysis (the runtime rank
+// validator still catches those).
+type HookCheck struct{}
+
+func (*HookCheck) Name() string { return "hookcheck" }
+
+// underLockHooks are the Instrumentation methods invoked while a
+// spinlock is held.
+var underLockHooks = map[string]bool{
+	"LockAcquired":  true,
+	"LockReleasing": true,
+	"ReadOnce":      true,
+	"MemcacheAlloc": true,
+	"MemcacheFree":  true,
+}
+
+func (hc *HookCheck) Run(u *Universe, pkg *Package) []Finding {
+	var out []Finding
+	report := func(pos ast.Node, root string, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:      u.Fset.Position(pos.Pos()),
+			Analyzer: "hookcheck",
+			Message:  fmt.Sprintf("%s: %s", root, fmt.Sprintf(format, args...)),
+		})
+	}
+
+	// Roots 1: spinlock.Hooks composite literals anywhere in the
+	// package.
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if t := exprType(pkg, lit); t == nil || !isNamed(t, "internal/spinlock", "Hooks") {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				name := "hook"
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						name = "Hooks." + id.Name
+					}
+					val = kv.Value
+				}
+				hc.checkHookValue(u, pkg, name, val, report)
+			}
+			return true
+		})
+	}
+
+	// Roots 2: under-lock methods of Instrumentation implementations.
+	iface := instrumentationInterface(u)
+	if iface != nil {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Body == nil || !underLockHooks[fd.Name.Name] {
+					continue
+				}
+				obj := pkg.Info.Defs[fd.Name]
+				if obj == nil {
+					continue
+				}
+				recv := obj.Type().(*types.Signature).Recv()
+				if recv == nil || !implementsInstr(recv.Type(), iface) {
+					continue
+				}
+				root := recvTypeName(recv.Type()) + "." + fd.Name.Name
+				hc.checkBody(u, pkg, root, fd.Body, report)
+			}
+		}
+	}
+	return out
+}
+
+// checkHookValue inspects one Hooks field value: a func literal is
+// scanned directly; a named function is checked against the
+// transitive acquires set.
+func (hc *HookCheck) checkHookValue(u *Universe, pkg *Package, root string, val ast.Expr,
+	report func(ast.Node, string, string, ...any)) {
+	switch v := ast.Unparen(val).(type) {
+	case *ast.FuncLit:
+		hc.checkBody(u, pkg, root, v.Body, report)
+	case *ast.Ident, *ast.SelectorExpr:
+		var obj types.Object
+		switch id := v.(type) {
+		case *ast.Ident:
+			obj = pkg.Info.Uses[id]
+		case *ast.SelectorExpr:
+			obj = pkg.Info.Uses[id.Sel]
+		}
+		if obj == nil {
+			return
+		}
+		if w, bad := u.AcquiresSpinlock(obj); bad {
+			report(val, root, "installs %s as a spinlock hook, but it %s; hooks run with the lock held and must not take locks",
+				obj.Name(), w)
+		}
+	}
+}
+
+// checkBody flags direct acquisitions and calls into
+// spinlock-acquiring functions inside a hook body.
+func (hc *HookCheck) checkBody(u *Universe, pkg *Package, root string, body *ast.BlockStmt,
+	report func(ast.Node, string, string, ...any)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, comp, _ := classifyLockCall(pkg, call); op == opAcquire {
+			report(call, root, "acquires spinlock %q inside a hook that already runs under a spinlock (deadlock by construction)", comp)
+			return true
+		}
+		if callee := resolveCallee(pkg, call); callee != nil {
+			if w, bad := u.AcquiresSpinlock(callee); bad {
+				report(call, root, "calls %s, which %s; hooks run with the lock held and must not take locks",
+					callee.Name(), w)
+			}
+		}
+		return true
+	})
+}
+
+// instrumentationInterface finds hyp.Instrumentation if the hyp
+// package is loaded (it isn't when analyzing testdata in isolation).
+func instrumentationInterface(u *Universe) *types.Interface {
+	for _, pkg := range u.Pkgs {
+		if !strings.HasSuffix(pkg.Path, "internal/hyp") || pkg.Types == nil {
+			continue
+		}
+		obj := pkg.Types.Scope().Lookup("Instrumentation")
+		if obj == nil {
+			continue
+		}
+		if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+			return iface
+		}
+	}
+	return nil
+}
+
+func implementsInstr(t types.Type, iface *types.Interface) bool {
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,313 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader builds typed syntax for ghostlint using nothing but the
+// standard library: go/parser for syntax, go/types for checking, and
+// the "source" importer for standard-library dependencies.
+// Module-internal imports (anything under the module path) are
+// recursively type-checked from source and cached, so analyzers see
+// real types for spinlock.Lock, arch.PTE, hyp.Hypervisor and friends
+// across package boundaries. If an import cannot be resolved the
+// loader degrades to an empty stub package and records a warning:
+// analyzers then fall back to name-based heuristics rather than
+// failing the whole run.
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path ("ghostspec/internal/hyp")
+	Dir   string // absolute directory
+	Name  string // package name
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// TypeErrors collects (non-fatal) type-checking diagnostics. A
+	// stubbed import typically produces a handful; they are reported
+	// only in verbose mode.
+	TypeErrors []error
+
+	supp *suppressionIndex
+}
+
+// Loader loads and caches packages of a single module.
+type Loader struct {
+	Fset    *token.FileSet
+	ModPath string
+	ModRoot string
+
+	// Warnings records degraded-mode events (stubbed imports, files
+	// skipped for parse errors).
+	Warnings []string
+
+	std     types.Importer
+	pkgs    map[string]*Package       // module-internal, by import path
+	ext     map[string]*types.Package // non-module, incl. stubs
+	loading map[string]bool           // cycle guard
+}
+
+// NewLoader creates a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		ModPath: modPath,
+		ModRoot: root,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		ext:     make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// FindModuleRoot walks upward from dir to the directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// Packages returns every module-internal package loaded so far
+// (requested directly or pulled in as a dependency), sorted by path.
+func (ld *Loader) Packages() []*Package {
+	out := make([]*Package, 0, len(ld.pkgs))
+	for _, p := range ld.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// LoadDir loads and type-checks the package in dir (non-test files
+// only), reusing the cache.
+func (ld *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return ld.loadPath(ld.importPathFor(abs), abs)
+}
+
+// importPathFor maps a directory under the module root to its import
+// path. Directories outside the module map to a synthetic rooted path
+// so they can still be cached.
+func (ld *Loader) importPathFor(absDir string) string {
+	rel, err := filepath.Rel(ld.ModRoot, absDir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "dir:" + absDir
+	}
+	if rel == "." {
+		return ld.ModPath
+	}
+	return ld.ModPath + "/" + filepath.ToSlash(rel)
+}
+
+// dirForImport maps a module-internal import path back to a
+// directory, or "" if the path is not under this module.
+func (ld *Loader) dirForImport(path string) string {
+	if path == ld.ModPath {
+		return ld.ModRoot
+	}
+	if rest, ok := strings.CutPrefix(path, ld.ModPath+"/"); ok {
+		return filepath.Join(ld.ModRoot, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+func (ld *Loader) loadPath(path, dir string) (*Package, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	files, err := ld.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no buildable Go files", dir)
+	}
+
+	pkg := &Package{
+		Path:  path,
+		Dir:   dir,
+		Name:  files[0].Name.Name,
+		Files: files,
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: ld,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	// Check never returns a usable error here: diagnostics go through
+	// conf.Error and we keep whatever partial information survives.
+	pkg.Types, _ = conf.Check(path, ld.Fset, files, pkg.Info)
+	pkg.supp = buildSuppressionIndex(ld.Fset, files)
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the non-test .go files of dir.
+func (ld *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
+			strings.HasSuffix(n, "_test.go") ||
+			strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		fn := filepath.Join(dir, n)
+		f, err := parser.ParseFile(ld.Fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", fn, err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Import implements types.Importer: module-internal packages are
+// loaded from source; everything else goes to the stdlib source
+// importer, with an empty stub on failure.
+func (ld *Loader) Import(path string) (*types.Package, error) {
+	if dir := ld.dirForImport(path); dir != "" {
+		p, err := ld.loadPath(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		if p.Types == nil {
+			return nil, fmt.Errorf("type-checking %s failed", path)
+		}
+		return p.Types, nil
+	}
+	if tp, ok := ld.ext[path]; ok {
+		return tp, nil
+	}
+	tp, err := ld.std.Import(path)
+	if err != nil {
+		// Degrade: a complete-but-empty stub keeps the checker going;
+		// every selection into it becomes an invalid type, which the
+		// analyzers treat as "unknown" rather than an error.
+		ld.Warnings = append(ld.Warnings,
+			fmt.Sprintf("import %q unresolved, using stub: %v", path, err))
+		name := path[strings.LastIndex(path, "/")+1:]
+		tp = types.NewPackage(path, name)
+		tp.MarkComplete()
+	}
+	ld.ext[path] = tp
+	return tp, nil
+}
+
+// ModuleDirs expands a ./...-style pattern rooted at modRoot into the
+// list of package directories, skipping VCS metadata, testdata trees
+// (loadable explicitly, not part of repo-wide runs), docs and hidden
+// directories.
+func ModuleDirs(modRoot string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(modRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != modRoot &&
+			(strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor" || name == "docs" ||
+				name == "node_modules") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// buildable non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") &&
+			!strings.HasSuffix(n, "_test.go") &&
+			!strings.HasPrefix(n, ".") && !strings.HasPrefix(n, "_") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PTECheck confines raw page-table descriptor layout knowledge to
+// internal/arch. Outside that package, arch.PTE values are opaque:
+// any bitwise operation on a PTE (or on a uint64 obtained from one),
+// and any direct construction of a PTE from an integer, is flagged —
+// the accessor layer (Kind, OutputAddr, OwnerID, MakeLeaf, MakeTable,
+// MakeAnnotation, ...) is the only sanctioned way to touch descriptor
+// bits. This is the spec-ownership story of the paper applied to data
+// layout: if descriptor encodings leak into the walker or the ghost
+// interpreter, the abstraction function and the implementation can
+// drift apart silently.
+type PTECheck struct{}
+
+func (*PTECheck) Name() string { return "ptecheck" }
+
+// bitOps are the operators that manipulate descriptor bits.
+var bitOps = map[token.Token]bool{
+	token.AND:            true,
+	token.OR:             true,
+	token.XOR:            true,
+	token.AND_NOT:        true,
+	token.SHL:            true,
+	token.SHR:            true,
+	token.AND_ASSIGN:     true,
+	token.OR_ASSIGN:      true,
+	token.XOR_ASSIGN:     true,
+	token.AND_NOT_ASSIGN: true,
+	token.SHL_ASSIGN:     true,
+	token.SHR_ASSIGN:     true,
+}
+
+func (pc *PTECheck) Run(u *Universe, pkg *Package) []Finding {
+	if strings.HasSuffix(pkg.Path, "internal/arch") {
+		return nil
+	}
+	var out []Finding
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:      u.Fset.Position(n.Pos()),
+			Analyzer: "ptecheck",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if bitOps[n.Op] && (pc.carriesPTEBits(pkg, n.X) || pc.carriesPTEBits(pkg, n.Y)) {
+					report(n, "raw PTE bit manipulation (%s) outside internal/arch; use the arch.PTE accessor layer", n.Op)
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.XOR && pc.carriesPTEBits(pkg, n.X) {
+					report(n, "raw PTE bit complement outside internal/arch; use the arch.PTE accessor layer")
+				}
+			case *ast.AssignStmt:
+				if bitOps[n.Tok] {
+					for _, e := range append(append([]ast.Expr{}, n.Lhs...), n.Rhs...) {
+						if pc.carriesPTEBits(pkg, e) {
+							report(n, "raw PTE bit-assignment (%s) outside internal/arch; use the arch.PTE accessor layer", n.Tok)
+							break
+						}
+					}
+				}
+			case *ast.CallExpr:
+				// arch.PTE(x) conversions mint descriptors from raw
+				// integers; only arch's Make* constructors may do
+				// that.
+				if len(n.Args) == 1 {
+					if tv, ok := pkg.Info.Types[n.Fun]; ok && tv.IsType() && isPTEType(tv.Type) {
+						report(n, "constructing arch.PTE from a raw integer outside internal/arch; use arch.MakeLeaf/MakeTable/MakeAnnotation")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// carriesPTEBits reports whether expr is PTE-typed or is a uint64
+// conversion of a PTE-typed expression (laundering the bits through
+// uint64 does not make poking at them legal).
+func (pc *PTECheck) carriesPTEBits(pkg *Package, expr ast.Expr) bool {
+	expr = ast.Unparen(expr)
+	if t := exprType(pkg, expr); t != nil && isPTEType(t) {
+		return true
+	}
+	if call, ok := expr.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+			if t := exprType(pkg, call.Args[0]); t != nil && isPTEType(t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isPTEType(t types.Type) bool {
+	return isNamed(t, "internal/arch", "PTE")
+}

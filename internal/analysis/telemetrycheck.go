@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// TelemetryCheck keeps metric registration off hot paths. Registering
+// a counter allocates, takes the registry mutex, and concatenates
+// label strings — all fine once at startup, all unacceptable inside a
+// trap handler. Calls to telemetry.NewCounter/NewGauge/NewHistogram
+// are therefore only allowed in:
+//
+//   - package-level var initializers,
+//   - init() functions, and
+//   - constructors (functions named New* / new*).
+//
+// Anything else is a finding. Genuinely cold registration sites (e.g.
+// the per-errno error counters, minted only on first failure) carry
+// an explicit //ghostlint:ignore with the justification.
+type TelemetryCheck struct{}
+
+func (*TelemetryCheck) Name() string { return "telemetrycheck" }
+
+// registrationFuncs are the allocating registry entry points.
+var registrationFuncs = map[string]bool{
+	"NewCounter":   true,
+	"NewGauge":     true,
+	"NewHistogram": true,
+}
+
+func (tc *TelemetryCheck) Run(u *Universe, pkg *Package) []Finding {
+	// The telemetry package itself is the registry implementation.
+	if strings.HasSuffix(pkg.Path, "internal/telemetry") {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Package-level var blocks (GenDecl) are allowed
+			// wholesale, as are init and constructors.
+			name := fd.Name.Name
+			if name == "init" || strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if reg := registrationCall(pkg, call); reg != "" {
+					out = append(out, Finding{
+						Pos:      u.Fset.Position(call.Pos()),
+						Analyzer: "telemetrycheck",
+						Message: fmt.Sprintf(
+							"%s: telemetry.%s outside init/constructor scope; metric registration allocates and locks the registry — hoist it, or justify with //ghostlint:ignore if the path is provably cold",
+							name, reg),
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// registrationCall returns the registration function name if call is
+// telemetry.New{Counter,Gauge,Histogram}, else "".
+func registrationCall(pkg *Package, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !registrationFuncs[sel.Sel.Name] {
+		return ""
+	}
+	// Confirm the qualifier is the telemetry package (by type info
+	// when available, by name otherwise).
+	if callee := resolveCallee(pkg, call); callee != nil {
+		if callee.Pkg() == nil || !strings.HasSuffix(callee.Pkg().Path(), "internal/telemetry") {
+			return ""
+		}
+		return sel.Sel.Name
+	}
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && id.Name == "telemetry" {
+		return sel.Sel.Name
+	}
+	return ""
+}

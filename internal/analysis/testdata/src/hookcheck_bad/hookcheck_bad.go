@@ -1,0 +1,42 @@
+// Package hookcheck_bad is golden-file input for the hookcheck
+// analyzer: spinlock hook callbacks that themselves take spinlocks
+// (directly or transitively) must be flagged.
+package hookcheck_bad
+
+import "ghostspec/internal/spinlock"
+
+type tracer struct {
+	mu     *spinlock.Lock
+	events int
+}
+
+// record takes the tracer's own lock — fine on its own, deadlock from
+// inside a hook.
+func (t *tracer) record() {
+	t.mu.Lock()
+	t.events++
+	t.mu.Unlock()
+}
+
+// badHooks installs callbacks that acquire a spinlock while the
+// instrumented lock is already held.
+func badHooks(t *tracer) *spinlock.Hooks {
+	return &spinlock.Hooks{
+		Acquired: func(string) {
+			t.mu.Lock() // want:hookcheck
+			t.events++
+			t.mu.Unlock()
+		},
+		Releasing: t.hookRelease, // want:hookcheck
+	}
+}
+
+// hookRelease acquires transitively, via record.
+func (t *tracer) hookRelease(string) { t.record() }
+
+// goodHooks only touches plain state; nothing is flagged.
+func goodHooks(t *tracer) *spinlock.Hooks {
+	return &spinlock.Hooks{
+		Acquired: func(string) { t.events++ },
+	}
+}

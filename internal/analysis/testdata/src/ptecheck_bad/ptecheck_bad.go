@@ -1,0 +1,30 @@
+// Package ptecheck_bad is golden-file input for the ptecheck
+// analyzer: raw descriptor-bit manipulation outside internal/arch.
+package ptecheck_bad
+
+import "ghostspec/internal/arch"
+
+// rawValid pokes at descriptor bits directly.
+func rawValid(p arch.PTE) bool {
+	return p&1 != 0 // want:ptecheck
+}
+
+// launder moves the bits through uint64 first; still flagged.
+func launder(p arch.PTE) uint64 {
+	return uint64(p) >> 2 // want:ptecheck
+}
+
+// mint constructs a descriptor from a raw integer.
+func mint(bits uint64) arch.PTE {
+	return arch.PTE(bits) // want:ptecheck
+}
+
+// clearLow mutates descriptor bits in place.
+func clearLow(p *arch.PTE) {
+	*p &^= 3 // want:ptecheck
+}
+
+// accessors uses the sanctioned API; nothing is flagged.
+func accessors(p arch.PTE) bool {
+	return p.Valid()
+}

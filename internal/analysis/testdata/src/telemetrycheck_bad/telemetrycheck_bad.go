@@ -1,0 +1,27 @@
+// Package telemetrycheck_bad is golden-file input for the
+// telemetrycheck analyzer: metric registration outside
+// init/constructor scope.
+package telemetrycheck_bad
+
+import "ghostspec/internal/telemetry"
+
+// perTrapCounter registers a metric on what would be a hot path.
+func perTrapCounter(name string) {
+	c := telemetry.NewCounter("trap_" + name) // want:telemetrycheck
+	c.Inc()
+}
+
+// trackDepth registers a gauge mid-function.
+func trackDepth(depth int) {
+	telemetry.NewGauge("depth").Set(int64(depth)) // want:telemetrycheck
+}
+
+// NewProbe is constructor scope: registration here is legal.
+func NewProbe(name string) *telemetry.Counter {
+	return telemetry.NewCounter("probe_" + name)
+}
+
+// hot is legal too: it only updates an already-registered metric.
+func hot(c *telemetry.Counter) {
+	c.Inc()
+}

@@ -1,0 +1,54 @@
+package bugdemo
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ghostspec/internal/hyp"
+	"ghostspec/internal/proxy"
+	"ghostspec/internal/spinlock"
+)
+
+// TestLockOrderInversionPanics proves the runtime half of the lock
+// discipline: with the rank validator enabled, the seeded
+// guest-before-vms inversion panics at the inverted acquisition. The
+// static half is covered by the CI lint job's
+// `ghostlint -strict ./internal/bugdemo` run and by
+// internal/analysis's suppression test.
+func TestLockOrderInversionPanics(t *testing.T) {
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := proxy.New(hv)
+	if _, _, err := d.InitVM(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	var vm *hyp.VM
+	func() {
+		hv.VMTableLock().Lock()
+		defer hv.VMTableLock().Unlock()
+		vm = hv.VMSnapshot(0)
+	}()
+	if vm == nil {
+		t.Fatal("no VM in slot 0 after InitVM")
+	}
+
+	spinlock.EnableRankCheck()
+	t.Cleanup(spinlock.DisableRankCheck)
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("rank validator did not panic on the seeded inversion")
+		}
+		msg := fmt.Sprint(r)
+		for _, want := range []string{"rank inversion", `"vms"`, "guest"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("panic message %q missing %q", msg, want)
+			}
+		}
+	}()
+	LockOrderInversion(hv, vm)
+}

@@ -46,6 +46,8 @@ func interpretLevel(m *arch.Memory, table arch.PhysAddr, level int, vaPartial ui
 
 // AbstractHyp computes the ghost of the hypervisor's own stage 1.
 // Caller holds the pkvm lock.
+//
+//ghost:requires lock=hyp
 func AbstractHyp(hv *hyp.Hypervisor) Pkvm {
 	return Pkvm{Present: true, PGT: InterpretPgtable(hv.Mem, hv.HypPGTRoot())}
 }
@@ -67,6 +69,8 @@ func (e *HostInvariantError) Error() string {
 // AbstractHost computes the ghost of the host stage 2: the Annot and
 // Shared mappings, checking on the way that every dropped
 // plainly-owned mapping is legal. Caller holds the host lock.
+//
+//ghost:requires lock=host
 func AbstractHost(hv *hyp.Hypervisor) (Host, error) {
 	host, _, err := AbstractHostWithFootprint(hv)
 	return host, err
@@ -75,6 +79,8 @@ func AbstractHost(hv *hyp.Hypervisor) (Host, error) {
 // AbstractHostWithFootprint additionally returns the host table's own
 // memory footprint, which the separation check consumes; computing it
 // here avoids a second full interpretation per lock release.
+//
+//ghost:requires lock=host
 func AbstractHostWithFootprint(hv *hyp.Hypervisor) (Host, PageSet, error) {
 	full := InterpretPgtable(hv.Mem, hv.HostPGTRoot())
 	host, violation := deriveHost(hv, &full)
@@ -143,6 +149,8 @@ func checkHostOwnedLegal(hv *hyp.Hypervisor, ml Maplet) error {
 
 // AbstractVMs computes the ghost of the VM table: metadata of every
 // live VM plus the reclaim set. Caller holds the vms lock.
+//
+//ghost:requires lock=vms
 func AbstractVMs(hv *hyp.Hypervisor) VMs {
 	out := VMs{Present: true, Table: make(map[hyp.Handle]*VMInfo), Reclaim: PageSet{}}
 	for slot := 0; slot < hyp.MaxVMs; slot++ {
@@ -176,6 +184,13 @@ func AbstractVMs(hv *hyp.Hypervisor) VMs {
 // AbstractGuest computes the ghost of one VM's stage 2. Caller holds
 // that VM's lock. After teardown the table is gone; the abstraction is
 // then present-but-empty.
+//
+// The VMSnapshot call below runs under the guest lock, not the vms
+// lock: the slot pointer is stable while the guest lock pins the VM,
+// the sanctioned exception VMSnapshot's contract documents.
+//
+//ghost:requires lock=guest
+//ghostlint:ignore lockcheck VMSnapshot under the guest lock reads a slot pinned by that lock (see VMSnapshot contract)
 func AbstractGuest(hv *hyp.Hypervisor, h hyp.Handle) GuestPgt {
 	slot := int(h - hyp.HandleOffset)
 	vm := hv.VMSnapshot(slot)

@@ -135,8 +135,8 @@ type Recorder struct {
 	// Incremental abstraction caches, one per component page table
 	// (see cache.go). Each has its own lock; gcMu guards only the
 	// guest-cache map structure.
-	hypCache  PgtableCache
-	hostCache hostCache
+	hypCache    PgtableCache
+	hostCache   hostCache
 	gcMu        sync.Mutex
 	guestCaches map[hyp.Handle]*PgtableCache
 
@@ -164,6 +164,8 @@ type Recorder struct {
 // Attach builds a recorder, wires it into the hypervisor, records the
 // initial abstraction of every component, and checks the boot-time
 // layout. It must be called before any hypercall traffic.
+//
+//ghostlint:ignore lockcheck boot-time snapshot: no hypercall traffic exists yet, so the lock-free reads of every component are sound
 func Attach(hv *hyp.Hypervisor) *Recorder {
 	r := &Recorder{
 		hv:          hv,
@@ -203,6 +205,8 @@ func Attach(hv *hyp.Hypervisor) *Recorder {
 // reference implementation beside each and alarms on any divergence.
 
 // abstractHyp is AbstractHyp through the cache.
+//
+//ghost:requires lock=dynamic
 func (r *Recorder) abstractHyp() Pkvm {
 	abs, _ := r.hypCache.Interpret(r.hv.Mem, r.hv.HypPGTRoot())
 	r.verifyCached("pkvm stage 1", abs, r.hv.HypPGTRoot())
@@ -210,6 +214,8 @@ func (r *Recorder) abstractHyp() Pkvm {
 }
 
 // abstractHost is AbstractHostWithFootprint through the cache.
+//
+//ghost:requires lock=dynamic
 func (r *Recorder) abstractHost() (Host, PageSet, error) {
 	host, fp, herr := r.hostCache.abstract(r.hv)
 	if r.VerifyCache {
@@ -226,6 +232,8 @@ func (r *Recorder) abstractHost() (Host, PageSet, error) {
 }
 
 // abstractGuest is AbstractGuest through the per-VM cache.
+//
+//ghost:requires lock=dynamic
 func (r *Recorder) abstractGuest(h hyp.Handle) GuestPgt {
 	slot := int(h - hyp.HandleOffset)
 	vm := r.hv.VMSnapshot(slot)
@@ -365,6 +373,8 @@ func (r *Recorder) TrapEntry(cpu int, reason arch.ExitReason) {
 // into the pre-state (first acquisition only) and open a new lock
 // session, after checking the component has not changed since it was
 // last recorded (§4.4 non-interference).
+//
+//ghost:requires lock=dynamic
 func (r *Recorder) LockAcquired(cpu int, c hyp.Component) {
 	defer r.timeHook(time.Now())
 	rec := r.cpus[cpu]
@@ -378,6 +388,8 @@ func (r *Recorder) LockAcquired(cpu int, c hyp.Component) {
 // LockReleasing is points (4)-(5): record the component's abstraction
 // into the post-state, close the lock session, and refresh the shared
 // copy.
+//
+//ghost:requires lock=dynamic
 func (r *Recorder) LockReleasing(cpu int, c hyp.Component) {
 	defer r.timeHook(time.Now())
 	rec := r.cpus[cpu]
@@ -396,6 +408,8 @@ func (r *Recorder) LockReleasing(cpu int, c hyp.Component) {
 // acquire side (non-interference comparison, keep-first into the
 // pre-state) vs the release side (refresh the shared copy,
 // overwrite-last into the post-state).
+//
+//ghost:requires lock=dynamic
 func (r *Recorder) recordComponent(into *State, c hyp.Component, checkBaseline bool) *State {
 	snap := NewState()
 	switch c.Kind {

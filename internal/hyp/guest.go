@@ -58,6 +58,8 @@ func (c collectAllocator) FreeTablePage(pfn arch.PFN)       { c.set[pfn] = true 
 // guestMappedFrames returns the physical frames the guest stage 2
 // currently maps — the guest-owned memory that must be reclaimable
 // after teardown. Caller holds the guest lock.
+//
+//ghost:requires lock=guest
 func guestMappedFrames(vm *VM) []arch.PFN {
 	var out []arch.PFN
 	_ = vm.PGT.Walk(0, 1<<arch.IABits, &pgtable.Visitor{

@@ -19,15 +19,18 @@ func (hv *Hypervisor) hostShareHyp(cpu int, pfn arch.PFN) Errno {
 
 	hv.lockHost(cpu)
 	hv.lockHyp(cpu)
-	ret := hv.doShareHyp(ipa, hypVA, phys)
-	hv.unlockHyp(cpu)
-	hv.unlockHost(cpu)
-	return ret
+	defer func() {
+		hv.unlockHyp(cpu)
+		hv.unlockHost(cpu)
+	}()
+	return hv.doShareHyp(ipa, hypVA, phys)
 }
 
 // doShareHyp is the do_share of Fig 4, with its three walks: check the
 // host page state, install the host's shared mapping, install the
 // hypervisor's borrowed mapping.
+//
+//ghost:requires lock=host lock=hyp
 func (hv *Hypervisor) doShareHyp(ipa arch.IPA, hypVA arch.VirtAddr, phys arch.PhysAddr) Errno {
 	// Walk 1: __check_page_state_visitor — the page must be owned
 	// exclusively by the host.
@@ -74,12 +77,20 @@ func (hv *Hypervisor) hostUnshareHyp(cpu int, pfn arch.PFN) Errno {
 
 	hv.lockHost(cpu)
 	hv.lockHyp(cpu)
-	ret := hv.doUnshareHyp(cpu, ipa, hypVA)
-	hv.unlockHyp(cpu)
-	hv.unlockHost(cpu)
-	return ret
+	// Deferred (not inline) unlocks: doUnshareHyp can reach hypPanic
+	// on a host/hyp state mismatch, and the panic must not leak the
+	// locks past the trap handler's recovery point.
+	defer func() {
+		hv.unlockHyp(cpu)
+		hv.unlockHost(cpu)
+	}()
+	return hv.doUnshareHyp(cpu, ipa, hypVA)
 }
 
+// doUnshareHyp reverses doShareHyp's three walks; a host/hyp state
+// mismatch is an internal invariant violation and panics.
+//
+//ghost:requires lock=host lock=hyp
 func (hv *Hypervisor) doUnshareHyp(cpu int, ipa arch.IPA, hypVA arch.VirtAddr) Errno {
 	if ret := hv.hostCheckState(ipa, arch.PageSize, arch.StateSharedOwned); ret != OK {
 		return ret
@@ -121,20 +132,9 @@ func (hv *Hypervisor) hostShareHypRange(cpu int, pfn arch.PFN, nr uint64) Errno 
 		return EINVAL
 	}
 	for i := uint64(0); i < nr; i++ {
-		phys := (pfn + arch.PFN(i)).Phys()
-		if !hv.Mem.InRAM(phys) {
-			return EINVAL
-		}
-		ipa := arch.IPA(phys)
-		hypVA := HypVA(phys)
-
-		// One locking phase per page.
-		hv.lockHost(cpu)
-		hv.lockHyp(cpu)
-		ret := hv.doShareHyp(ipa, hypVA, phys)
-		hv.unlockHyp(cpu)
-		hv.unlockHost(cpu)
-		if ret != OK {
+		// One locking phase per page: hostShareHyp takes and releases
+		// both locks, so other hypercalls interleave between phases.
+		if ret := hv.hostShareHyp(cpu, pfn+arch.PFN(i)); ret != OK {
 			if hv.Inj.Enabled(faults.BugShareRangeBadStop) {
 				return OK // reports success despite stopping early
 			}

@@ -84,7 +84,7 @@ func (hv *Hypervisor) initVM(cpu int, nrVCPUs int, donPFN arch.PFN, donNr uint64
 		State:     VMActive,
 		Protected: true,
 		NrVCPUs:   nrVCPUs,
-		Lock:      spinlock.New("guest:"+handle.String(), nil),
+		Lock:      spinlock.NewRanked("guest:"+handle.String(), LockRankGuest, nil),
 	}
 	for i := 0; i < nrVCPUs; i++ {
 		vm.VCPUs = append(vm.VCPUs, &VCPU{Idx: i, LoadedOn: -1})
@@ -358,6 +358,11 @@ func (hv *Hypervisor) topupVCPUMemcache(cpu int, handle Handle, idx int, head ar
 	return OK
 }
 
+// lookupVM resolves a handle to its VM slot. The slot array is
+// protected by the VM-table lock; LoadedMCPages documents the one
+// sanctioned lock-free exception.
+//
+//ghost:requires lock=vms
 func (hv *Hypervisor) lookupVM(handle Handle) *VM {
 	slot := handle.slot(MaxVMs)
 	if slot < 0 {

@@ -151,9 +151,9 @@ func New(cfg Config) (*Hypervisor, error) {
 		CPUs:        arch.NewCPUs(cfg.NrCPUs),
 		Inj:         cfg.Inj,
 		HypPool:     mem.NewPool("hyp", arch.PhysToPFN(carveStart), cfg.HypPoolPages),
-		hostLock:    spinlock.New("host", nil),
-		hypLock:     spinlock.New("pkvm", nil),
-		vmsLock:     spinlock.New("vms", nil),
+		hostLock:    spinlock.NewRanked("host", LockRankHost, nil),
+		hypLock:     spinlock.NewRanked("pkvm", LockRankHyp, nil),
+		vmsLock:     spinlock.NewRanked("vms", LockRankVMTable, nil),
 		reclaimable: make(map[arch.PFN]bool),
 		percpu:      make([]*PerCPU, cfg.NrCPUs),
 		instr:       nopInstr{},
@@ -250,6 +250,26 @@ func (hv *Hypervisor) initHostS2() error {
 
 func alignUpTo(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }
 
+// Lock ranks: the global acquisition order, validated statically by
+// ghostlint's lockcheck and dynamically by the spinlock rank
+// validator (spinlock.EnableRankCheck). Every hypercall path acquires
+// in strictly ascending rank: the VM table before any guest stage 2,
+// a guest stage 2 before the host stage 2, the host stage 2 before
+// the hypervisor's own stage 1. See docs/ANALYSIS.md for the table
+// and the per-path derivation.
+const (
+	LockRankVMTable = 1 // vms
+	LockRankGuest   = 2 // guest:<handle>
+	LockRankHost    = 3 // host
+	LockRankHyp     = 4 // pkvm
+)
+
+// VMTableLock exposes the VM-table lock. It exists for code that
+// demonstrates or tests the lock discipline itself (internal/bugdemo,
+// the rank validator tests); hypercall paths use the lockVMs helper
+// so the ghost hooks fire.
+func (hv *Hypervisor) VMTableLock() *spinlock.Lock { return hv.vmsLock }
+
 // SetInstrumentation attaches the ghost hooks. It must be called
 // before any hypercall traffic, mirroring the boot-time configuration
 // of the instrumented build.
@@ -289,9 +309,12 @@ func (hv *Hypervisor) HostPGTRoot() arch.PhysAddr { return hv.hostPGT.Root() }
 func (hv *Hypervisor) HypPGTRoot() arch.PhysAddr { return hv.hypPGT.Root() }
 
 // VMSnapshot gives the ghost abstraction functions read access to a VM
-// slot. The caller must hold the corresponding lock-discipline
-// position (the ghost hooks run under the right locks by
-// construction).
+// slot. The caller must hold the VM-table lock; reading an already
+// looked-up slot under its own guest lock is the one sanctioned
+// exception (slot pointers are stable while the guest lock pins the
+// VM), and carries an explicit suppression at the call site.
+//
+//ghost:requires lock=vms
 func (hv *Hypervisor) VMSnapshot(slot int) *VM {
 	if slot < 0 || slot >= MaxVMs {
 		return nil
@@ -302,6 +325,8 @@ func (hv *Hypervisor) VMSnapshot(slot int) *VM {
 // Reclaimable reports the reclaim set; the ghost abstraction of the
 // VM table copies it. Caller must be under the vms lock (see
 // VMSnapshot).
+//
+//ghost:requires lock=vms
 func (hv *Hypervisor) Reclaimable() map[arch.PFN]bool {
 	out := make(map[arch.PFN]bool, len(hv.reclaimable))
 	for k := range hv.reclaimable {
@@ -318,6 +343,8 @@ func (hv *Hypervisor) PerCPUState(cpu int) PerCPU { return *hv.percpu[cpu] }
 // cpu, or nil when none is loaded. While loaded, the memcache is owned
 // by the physical CPU, so the ghost records it among the thread-locals
 // rather than under the VM-table lock.
+//
+//ghostlint:ignore lockcheck lookupVM without the vms lock is the §3.1 ownership exception: vcpu_load transferred the memcache to this physical CPU, so the loaded slot cannot be torn down under us
 func (hv *Hypervisor) LoadedMCPages(cpu int) []arch.PFN {
 	pc := hv.percpu[cpu]
 	if pc.LoadedVM == 0 {

@@ -38,6 +38,8 @@ func hostOwnership(pte arch.PTE, level int) pageOwnership {
 // hostCheckState walks the host stage 2 over [ipa, ipa+size) and
 // checks every page is host-owned with the wanted share state — the
 // paper's __check_page_state_visitor walk from do_share (Fig 4).
+//
+//ghost:requires lock=host
 func (hv *Hypervisor) hostCheckState(ipa arch.IPA, size uint64, want arch.PageState) Errno {
 	if !telemetry.Disabled() {
 		stateChecks.Inc()
@@ -81,6 +83,8 @@ func hypAttrs(state arch.PageState, mem arch.MemType) arch.Attrs {
 // hostIDMap force-installs an identity mapping over [ipa, ipa+size)
 // in the host stage 2 with the given share state (pKVM's
 // host_stage2_idmap_locked). Caller holds the host lock.
+//
+//ghost:requires lock=host
 func (hv *Hypervisor) hostIDMap(ipa arch.IPA, size uint64, state arch.PageState) Errno {
 	attrs := hv.hostDefaultAttrs(arch.PhysAddr(ipa), state)
 	if err := hv.hostPGT.Map(uint64(ipa), size, arch.PhysAddr(ipa), attrs, true); err != nil {
@@ -92,6 +96,8 @@ func (hv *Hypervisor) hostIDMap(ipa arch.IPA, size uint64, state arch.PageState)
 // hostSetOwner force-annotates [ipa, ipa+size) in the host stage 2
 // with an owner (pKVM's host_stage2_set_owner_locked); owner 0 gives
 // the range back to the host as unmapped default-owned memory.
+//
+//ghost:requires lock=host
 func (hv *Hypervisor) hostSetOwner(ipa arch.IPA, size uint64, owner uint8) Errno {
 	if err := hv.hostPGT.Annotate(uint64(ipa), size, owner); err != nil {
 		return errnoOf(err)
@@ -102,6 +108,8 @@ func (hv *Hypervisor) hostSetOwner(ipa arch.IPA, size uint64, owner uint8) Errno
 // hypCheckUnmapped verifies the hypervisor's own stage 1 has no
 // mapping over [va, va+size); sharing into an occupied hyp range is an
 // implementation invariant violation.
+//
+//ghost:requires lock=hyp
 func (hv *Hypervisor) hypCheckUnmapped(va arch.VirtAddr, size uint64) Errno {
 	if !telemetry.Disabled() {
 		stateChecks.Inc()
@@ -126,6 +134,8 @@ func (hv *Hypervisor) hypCheckUnmapped(va arch.VirtAddr, size uint64) Errno {
 
 // hypCheckState verifies every page of the hypervisor stage 1 range
 // is mapped with the given share state.
+//
+//ghost:requires lock=hyp
 func (hv *Hypervisor) hypCheckState(va arch.VirtAddr, size uint64, want arch.PageState) Errno {
 	if !telemetry.Disabled() {
 		stateChecks.Inc()
@@ -167,6 +177,8 @@ func errnoOf(err error) Errno {
 // readOnceHost performs a READ_ONCE of host-owned memory: the value is
 // under concurrent host control, so the instrumentation records it as
 // an environment parameter of the specification (paper §4.3).
+//
+//ghost:requires lock=host
 func (hv *Hypervisor) readOnceHost(cpu int, pa arch.PhysAddr) uint64 {
 	if !telemetry.Disabled() {
 		readOnces.Inc()

@@ -83,6 +83,7 @@ func hcCounter(id HC) *telemetry.Counter {
 // error path is cold, so the name concatenation here is acceptable;
 // the registry dedupes, so each pair allocates once per process.
 func hcErrorCounter(id HC, e Errno) *telemetry.Counter {
+	//ghostlint:ignore telemetrycheck cold error path; the registry dedupes, so each (call,errno) pair registers once per process
 	return telemetry.NewCounter(
 		`hyp_hypercall_errors_total{call="` + id.String() + `",errno="` + e.String() + `"}`)
 }

@@ -191,6 +191,8 @@ type Visitor struct {
 // Walk traverses the table over [ia, ia+size), invoking the visitor
 // according to its flags. It follows the architecture's table-walk
 // order and visits entries in ascending input-address order.
+//
+//ghost:requires lock=owner
 func (t *Table) Walk(ia, size uint64, v *Visitor) error {
 	if err := checkRange(ia, size); err != nil {
 		return err
@@ -251,6 +253,8 @@ func (t *Table) walkLevel(table arch.PhysAddr, level int, ia, end uint64, v *Vis
 // GetLeaf walks to the entry covering ia and returns the terminal
 // descriptor and its level (the entry is a block, page, invalid, or
 // annotated descriptor — never a table).
+//
+//ghost:requires lock=owner
 func (t *Table) GetLeaf(ia uint64) (arch.PTE, int) {
 	table := t.root
 	for level := arch.StartLevel; ; level++ {
@@ -275,6 +279,8 @@ func (t *Table) GetLeaf(ia uint64) (arch.PTE, int) {
 // are replaced, and partially covered blocks or annotations are split.
 // Block descriptors are used where alignment permits, at levels no
 // coarser than MaxBlockLevel.
+//
+//ghost:requires lock=owner
 func (t *Table) Map(ia, size uint64, pa arch.PhysAddr, attrs arch.Attrs, force bool) error {
 	if err := checkRange(ia, size); err != nil {
 		return err
@@ -301,6 +307,8 @@ func (t *Table) Map(ia, size uint64, pa arch.PhysAddr, attrs arch.Attrs, force b
 // descriptor, splitting partially covered blocks and annotations. It
 // never fails on already-invalid entries: unmapping nothing is a
 // no-op, matching the kernel walker.
+//
+//ghost:requires lock=owner
 func (t *Table) Unmap(ia, size uint64) error {
 	if err := checkRange(ia, size); err != nil {
 		return err
@@ -317,6 +325,8 @@ func (t *Table) Unmap(ia, size uint64) error {
 // ownership annotation for owner (or the plain invalid descriptor when
 // owner is zero), pKVM's set_owner walk. Existing mappings in the
 // range are destroyed; partially covered blocks are split.
+//
+//ghost:requires lock=owner
 func (t *Table) Annotate(ia, size uint64, owner uint8) error {
 	if err := checkRange(ia, size); err != nil {
 		return err
@@ -493,6 +503,8 @@ func (t *Table) freeSubtree(pte arch.PTE, level int) {
 
 // Destroy frees every table page including the root, leaving the
 // handle unusable. Used at VM teardown.
+//
+//ghost:requires lock=owner
 func (t *Table) Destroy() {
 	t.freeSubtree(arch.MakeTable(t.root), arch.StartLevel-1)
 	t.root = 0

@@ -7,6 +7,7 @@ import (
 	"ghostspec/internal/core/ghost"
 	"ghostspec/internal/hyp"
 	"ghostspec/internal/proxy"
+	"ghostspec/internal/spinlock"
 )
 
 // TestConcurrentCampaignVerifyCache runs the concurrent campaign with
@@ -18,6 +19,8 @@ import (
 // non-interference alarm still fires through the cached path. Run
 // with -race.
 func TestConcurrentCampaignVerifyCache(t *testing.T) {
+	spinlock.EnableRankCheck()
+	t.Cleanup(spinlock.DisableRankCheck)
 	hv, err := hyp.New(hyp.Config{})
 	if err != nil {
 		t.Fatal(err)

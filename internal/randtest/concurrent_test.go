@@ -6,12 +6,18 @@ import (
 	"ghostspec/internal/core/ghost"
 	"ghostspec/internal/hyp"
 	"ghostspec/internal/proxy"
+	"ghostspec/internal/spinlock"
 )
 
 // TestConcurrentCampaignClean runs one guided tester per hardware
 // thread over a single system: genuinely overlapping hypercalls, every
-// trap oracle-checked, no alarms and no host crashes. Run with -race.
+// trap oracle-checked, no alarms and no host crashes. The runtime
+// lock-rank validator is on for the whole campaign, so any acquisition
+// out of the vms < guest < host < hyp order panics the test. Run with
+// -race.
 func TestConcurrentCampaignClean(t *testing.T) {
+	spinlock.EnableRankCheck()
+	t.Cleanup(spinlock.DisableRankCheck)
 	hv, err := hyp.New(hyp.Config{})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,169 @@
+package spinlock
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// mustPanic runs f and returns the recovered panic message, failing
+// the test if f completes without panicking.
+func mustPanic(t *testing.T, f func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = r.(string)
+			}
+		}()
+		f()
+		t.Fatal("expected panic, got none")
+	}()
+	return msg
+}
+
+func TestDoubleUnlockPanicsWithComponent(t *testing.T) {
+	l := New("host", nil)
+	l.Lock()
+	l.Unlock()
+	msg := mustPanic(t, l.Unlock)
+	if !strings.Contains(msg, "host") {
+		t.Errorf("double-unlock panic %q does not name the component", msg)
+	}
+}
+
+func TestDoubleUnlockUnnamedLock(t *testing.T) {
+	var l Lock
+	l.Lock()
+	l.Unlock()
+	msg := mustPanic(t, l.Unlock)
+	if !strings.Contains(msg, "unnamed") {
+		t.Errorf("double-unlock panic %q lacks unnamed placeholder", msg)
+	}
+}
+
+func TestRankCheckInversionPanics(t *testing.T) {
+	EnableRankCheck()
+	t.Cleanup(DisableRankCheck)
+
+	vms := NewRanked("vms", 1, nil)
+	host := NewRanked("host", 3, nil)
+
+	// Ascending order is fine.
+	vms.Lock()
+	host.Lock()
+	host.Unlock()
+	vms.Unlock()
+
+	// Descending order panics at the second acquisition.
+	host.Lock()
+	defer host.Unlock()
+	msg := mustPanic(t, vms.Lock)
+	for _, want := range []string{"rank inversion", `"vms"`, `"host"`} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("inversion panic %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestRankCheckEqualRankPanics(t *testing.T) {
+	EnableRankCheck()
+	t.Cleanup(DisableRankCheck)
+
+	a := NewRanked("guest:1", 2, nil)
+	b := NewRanked("guest:2", 2, nil)
+	a.Lock()
+	defer a.Unlock()
+	msg := mustPanic(t, b.Lock)
+	if !strings.Contains(msg, "rank inversion") {
+		t.Errorf("equal-rank panic %q", msg)
+	}
+}
+
+func TestRankCheckRecursiveAcquirePanics(t *testing.T) {
+	EnableRankCheck()
+	t.Cleanup(DisableRankCheck)
+
+	l := NewRanked("host", 3, nil)
+	l.Lock()
+	defer l.Unlock()
+	msg := mustPanic(t, l.Lock)
+	if !strings.Contains(msg, "recursive acquisition") {
+		t.Errorf("recursive-acquire panic %q", msg)
+	}
+}
+
+func TestRankCheckUnlockByNonOwnerPanics(t *testing.T) {
+	EnableRankCheck()
+	t.Cleanup(DisableRankCheck)
+
+	l := NewRanked("host", 3, nil)
+	l.Lock()
+	done := make(chan string, 1)
+	go func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				done <- ""
+				return
+			}
+			done <- r.(string)
+		}()
+		l.Unlock()
+	}()
+	msg := <-done
+	if !strings.Contains(msg, "does not hold") {
+		t.Errorf("cross-goroutine unlock panic %q", msg)
+	}
+	l.Unlock()
+}
+
+func TestRankCheckUnrankedExemptFromOrdering(t *testing.T) {
+	EnableRankCheck()
+	t.Cleanup(DisableRankCheck)
+
+	ranked := NewRanked("host", 3, nil)
+	unranked := New("scratch", nil)
+	ranked.Lock()
+	unranked.Lock() // unranked after ranked: allowed
+	unranked.Unlock()
+	ranked.Unlock()
+	unranked.Lock()
+	ranked.Lock() // ranked after unranked: also allowed
+	ranked.Unlock()
+	unranked.Unlock()
+}
+
+func TestRankCheckDisabledNoTracking(t *testing.T) {
+	// With the validator off, out-of-order acquisition must not panic
+	// (production behaviour is unchanged).
+	host := NewRanked("host", 3, nil)
+	vms := NewRanked("vms", 1, nil)
+	host.Lock()
+	vms.Lock()
+	vms.Unlock()
+	host.Unlock()
+}
+
+func TestRankCheckConcurrentAscending(t *testing.T) {
+	EnableRankCheck()
+	t.Cleanup(DisableRankCheck)
+
+	vms := NewRanked("vms", 1, nil)
+	host := NewRanked("host", 3, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				vms.Lock()
+				host.Lock()
+				host.Unlock()
+				vms.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}

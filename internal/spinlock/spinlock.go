@@ -39,6 +39,10 @@ type Lock struct {
 	// held tracks lock state for sanity checking; it is only written
 	// under mu.
 	held bool
+
+	// rank orders this lock in the global acquisition order checked by
+	// the runtime rank validator (rank.go); 0 means unranked.
+	rank int
 }
 
 // New returns a named lock with the given hooks (which may be nil).
@@ -51,6 +55,27 @@ func New(component string, hooks *Hooks) *Lock {
 	}
 }
 
+// NewRanked returns a named lock that participates in rank-order
+// validation: while EnableRankCheck is active, acquiring it with any
+// lock of equal or higher rank already held panics.
+func NewRanked(component string, rank int, hooks *Hooks) *Lock {
+	l := New(component, hooks)
+	l.rank = rank
+	return l
+}
+
+// Rank returns the lock's declared rank (0 if unranked).
+func (l *Lock) Rank() int { return l.rank }
+
+// name returns the component name, or a placeholder for zero-value
+// locks, for panic messages.
+func (l *Lock) name() string {
+	if l.component == "" {
+		return "(unnamed)"
+	}
+	return l.component
+}
+
 // SetHooks installs hooks on an existing lock. It must not be called
 // concurrently with Lock/Unlock; the hypervisor installs hooks once at
 // initialisation, before any hypercall traffic.
@@ -61,6 +86,12 @@ func (l *Lock) Component() string { return l.component }
 
 // Lock acquires the lock and runs the Acquired hook while holding it.
 func (l *Lock) Lock() {
+	if rankCheckOn.Load() {
+		// Validate before blocking on mu: a rank inversion must panic
+		// at the guilty acquisition, not deadlock against the thread
+		// holding the locks in the other order.
+		noteAcquire(l)
+	}
 	if l.acquires == nil || telemetry.Disabled() {
 		l.mu.Lock()
 	} else {
@@ -76,10 +107,14 @@ func (l *Lock) Lock() {
 	}
 }
 
-// Unlock runs the Releasing hook and drops the lock.
+// Unlock runs the Releasing hook and drops the lock. Unlocking a lock
+// that is not held (double unlock) panics with the component name.
 func (l *Lock) Unlock() {
 	if !l.held {
-		panic("spinlock: unlock of unheld lock " + l.component)
+		panic("spinlock: unlock of unheld lock " + l.name())
+	}
+	if rankCheckOn.Load() {
+		noteRelease(l)
 	}
 	if l.hooks != nil && l.hooks.Releasing != nil {
 		l.hooks.Releasing(l.component)
