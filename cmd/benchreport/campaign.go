@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ghostspec/internal/campaign"
+	"ghostspec/internal/coverage"
+)
+
+// The campaign-bench mode measures the parallel campaign engine:
+// identical exec budgets run serially (1 worker) and sharded (8
+// workers), and the throughputs land in a JSON artifact next to the
+// ghost-bench numbers. The speedup is only meaningful on a machine
+// with cores to spare — num_cpu/gomaxprocs are recorded so a CI
+// runner's number is never misread against a laptop's.
+
+type campaignLeg struct {
+	Workers     int     `json:"workers"`
+	Execs       int64   `json:"execs"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	ExecsPerSec float64 `json:"execs_per_sec"`
+	NovelRuns   int64   `json:"novel_runs"`
+	CorpusSize  int     `json:"corpus_size"`
+	Findings    int     `json:"findings"`
+}
+
+type campaignBenchReport struct {
+	GOOS        string      `json:"goos"`
+	GOARCH      string      `json:"goarch"`
+	NumCPU      int         `json:"num_cpu"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	StepsPerRun int         `json:"steps_per_run"`
+	Serial      campaignLeg `json:"serial"`
+	Parallel    campaignLeg `json:"parallel_8"`
+	Speedup     float64     `json:"speedup"`
+}
+
+func runCampaignBench(path string, execs int64) error {
+	fmt.Println("==================== campaign benchmark ====================")
+	report := campaignBenchReport{
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		StepsPerRun: 300,
+	}
+
+	leg := func(workers int) (campaignLeg, error) {
+		rep, err := campaign.Run(campaign.Config{
+			Workers:     workers,
+			StepsPerRun: report.StepsPerRun,
+			Seed:        1,
+			MaxExecs:    execs,
+		})
+		if err != nil {
+			return campaignLeg{}, err
+		}
+		if len(rep.Findings) > 0 {
+			return campaignLeg{}, fmt.Errorf("clean build produced findings: %v",
+				rep.Findings[0].Failures[0])
+		}
+		l := campaignLeg{
+			Workers:     workers,
+			Execs:       rep.Execs,
+			ElapsedMS:   float64(rep.Elapsed) / float64(time.Millisecond),
+			ExecsPerSec: rep.ExecsPerSec,
+			NovelRuns:   rep.NovelRuns,
+			CorpusSize:  rep.CorpusSize,
+			Findings:    len(rep.Findings),
+		}
+		fmt.Printf("  %d worker(s): %d execs in %v = %.1f execs/s (spec coverage %.1f%%)\n",
+			workers, rep.Execs, rep.Elapsed.Round(time.Millisecond), rep.ExecsPerSec,
+			coverage.Percent(rep.Coverage.SpecCovered, rep.Coverage.SpecTotal))
+		return l, nil
+	}
+
+	var err error
+	if report.Serial, err = leg(1); err != nil {
+		return err
+	}
+	if report.Parallel, err = leg(8); err != nil {
+		return err
+	}
+	if report.Serial.ExecsPerSec > 0 {
+		report.Speedup = report.Parallel.ExecsPerSec / report.Serial.ExecsPerSec
+	}
+	fmt.Printf("  speedup 8w/1w: %.2fx on %d CPUs (GOMAXPROCS %d)\n",
+		report.Speedup, report.NumCPU, report.GOMAXPROCS)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", path)
+	return nil
+}

@@ -6,6 +6,7 @@
 //	benchreport -exp E4                # one experiment
 //	benchreport -telemetry snap.json   # summarise a pkvm-sim -metrics dump
 //	benchreport -ghost-bench out.json  # benchmark smoke run -> JSON artifact
+//	benchreport -campaign out.json     # campaign engine serial vs 8 workers -> JSON artifact
 package main
 
 import (
@@ -31,11 +32,21 @@ func main() {
 	reps := flag.Int("reps", 5, "timing repetitions for E7")
 	telemetryFile := flag.String("telemetry", "", "telemetry snapshot JSON (from pkvm-sim -metrics json) to summarise")
 	ghostBench := flag.String("ghost-bench", "", "run the ghost benchmark smoke set and write results to this JSON file")
+	campaignBench := flag.String("campaign", "", "benchmark the campaign engine (serial vs 8 workers) and write results to this JSON file")
+	campaignExecs := flag.Int64("campaign-execs", 64, "executions per campaign benchmark leg")
 	flag.Parse()
 
 	if *ghostBench != "" {
 		if err := runGhostBench(*ghostBench); err != nil {
 			fmt.Fprintln(os.Stderr, "ghost-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *campaignBench != "" {
+		if err := runCampaignBench(*campaignBench, *campaignExecs); err != nil {
+			fmt.Fprintln(os.Stderr, "campaign-bench:", err)
 			os.Exit(1)
 		}
 		return
@@ -94,21 +105,9 @@ func e1Suite() error {
 // rare error cases.
 func e2Coverage() error {
 	ghost.ResetSpecCoverage()
-	agg := coverage.NewAggregator()
-	var trackers []*coverage.Tracker
-	results := suite.Run(suite.Options{
-		Ghost: true,
-		Instrument: func(c *suite.Ctx) {
-			tr := coverage.Wrap(c.HV, c.Rec)
-			c.HV.SetInstrumentation(tr)
-			trackers = append(trackers, tr)
-		},
-	})
+	agg, results := suite.CoverageBaseline()
 	if s := suite.Summarise(results); s.Failed != 0 {
 		return fmt.Errorf("suite failed under coverage")
-	}
-	for _, tr := range trackers {
-		agg.Absorb(tr)
 	}
 	r := agg.Report()
 	specCov, specTotal, specMissing := ghost.SpecCoverage()

@@ -1,0 +1,217 @@
+// Command ghost-fuzz runs the parallel coverage-guided campaign
+// engine: sharded model-guided random testing with a shared seed
+// corpus, oracle-checked on every trap, with delta-debugging trace
+// minimization of every finding.
+//
+//	ghost-fuzz -duration 30s                 # fuzz the fixed build (expect silence)
+//	ghost-fuzz -bug unshare-leave-mapping    # fuzz a buggy build, get a minimized repro
+//	ghost-fuzz -matrix                       # full faults.All() detection matrix
+//	ghost-fuzz -workers 1 -seed 7 -execs 50  # deterministic single-shard run
+//
+// Exit status is non-zero when a fuzz run produces findings or a
+// matrix run leaves a non-skip-listed bug undetected — on a fixed
+// build, findings mean either a regression or an oracle bug, and CI
+// wants to hear about both.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ghostspec/internal/campaign"
+	"ghostspec/internal/coverage"
+	"ghostspec/internal/faults"
+	"ghostspec/internal/spinlock"
+)
+
+func main() {
+	workers := flag.Int("workers", 0, "worker shards (default GOMAXPROCS)")
+	steps := flag.Int("steps", 400, "generator steps per execution")
+	seed := flag.Int64("seed", 1, "campaign seed (worker streams derive from it)")
+	guided := flag.Bool("guided", true, "model-guided generation (false: uniform ablation)")
+	bugFlag := flag.String("bug", "", "comma-separated bugs to inject")
+	bigMem := flag.Bool("big-memory", false, "boot the large-physical-map layout")
+	duration := flag.Duration("duration", 0, "wall-time budget (default 10s when no other stop condition)")
+	maxExecs := flag.Int64("execs", 0, "execution budget (0: unlimited)")
+	maxFindings := flag.Int("max-findings", 0, "stop after this many findings (0: keep going)")
+	shrink := flag.Int("shrink", 400, "replay budget per finding minimization")
+	matrix := flag.Bool("matrix", false, "fault-sweep mode: campaign per faults.All() bug")
+	skipFlag := flag.String("skip", "", "matrix skip-list: bug=reason;bug=reason")
+	rankCheck := flag.Bool("rankcheck", false, "enable the runtime lock-rank validator")
+	quiet := flag.Bool("quiet", false, "suppress per-finding progress lines")
+	flag.Parse()
+
+	if *rankCheck {
+		// Rank inversions panic at the acquisition point; under the
+		// campaign that takes the whole process down, which is the
+		// desired CI behaviour.
+		spinlock.EnableRankCheck()
+		defer spinlock.DisableRankCheck()
+	}
+
+	bugs, err := parseBugs(*bugFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := campaign.Config{
+		Workers:       *workers,
+		StepsPerRun:   *steps,
+		Seed:          *seed,
+		Unguided:      !*guided,
+		Bugs:          bugs,
+		BigMemory:     *bigMem,
+		Duration:      *duration,
+		MaxExecs:      *maxExecs,
+		MaxFindings:   *maxFindings,
+		ShrinkReplays: *shrink,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+
+	if *matrix {
+		if cfg.Duration <= 0 && cfg.MaxExecs <= 0 {
+			cfg.MaxExecs = 400 // per-bug detection budget
+		}
+		os.Exit(runMatrix(cfg, *skipFlag))
+	}
+
+	if cfg.Duration <= 0 && cfg.MaxExecs <= 0 && cfg.MaxFindings <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	os.Exit(runFuzz(cfg))
+}
+
+func parseBugs(s string) ([]faults.Bug, error) {
+	if s == "" {
+		return nil, nil
+	}
+	known := map[faults.Bug]bool{}
+	for _, b := range faults.All() {
+		known[b] = true
+	}
+	var bugs []faults.Bug
+	for _, name := range strings.Split(s, ",") {
+		b := faults.Bug(strings.TrimSpace(name))
+		if !known[b] {
+			return nil, fmt.Errorf("unknown bug %q (see faults.All: %v)", b, faults.All())
+		}
+		bugs = append(bugs, b)
+	}
+	return bugs, nil
+}
+
+func runFuzz(cfg campaign.Config) int {
+	mode := "guided"
+	if cfg.Unguided {
+		mode = "unguided"
+	}
+	fmt.Printf("ghost-fuzz: %s campaign, seed=%d steps=%d shrink-budget=%d\n",
+		mode, cfg.Seed, cfg.StepsPerRun, cfg.ShrinkReplays)
+
+	rep, err := campaign.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		return 2
+	}
+
+	fmt.Printf("\n%d execs in %v = %.1f execs/s across %d workers\n",
+		rep.Execs, rep.Elapsed.Round(time.Millisecond), rep.ExecsPerSec, max(cfg.Workers, 1))
+	fmt.Printf("coverage: impl %d/%d (%.1f%%), spec %d/%d (%.1f%%); %d novel runs, corpus %d\n",
+		rep.Coverage.ImplCovered, rep.Coverage.ImplTotal,
+		coverage.Percent(rep.Coverage.ImplCovered, rep.Coverage.ImplTotal),
+		rep.Coverage.SpecCovered, rep.Coverage.SpecTotal,
+		coverage.Percent(rep.Coverage.SpecCovered, rep.Coverage.SpecTotal),
+		rep.NovelRuns, rep.CorpusSize)
+
+	if len(rep.Findings) == 0 {
+		fmt.Println("no findings")
+		return 0
+	}
+	for i, f := range rep.Findings {
+		fmt.Printf("\n=== finding %d (worker %d, exec %d) ===\n", i+1, f.Worker, f.Exec)
+		for j, alarm := range f.Failures {
+			if j == 3 {
+				fmt.Printf("  … %d more alarms\n", len(f.Failures)-j)
+				break
+			}
+			fmt.Printf("  ALARM %v\n", alarm)
+		}
+		if !f.Reproducible {
+			fmt.Printf("  NOT reproducible on replay (%d-op trace kept unminimized)\n", f.Trace.Len())
+			continue
+		}
+		fmt.Printf("  minimized %d ops -> %d ops (%d replays):\n%s",
+			f.Trace.Len(), f.Min.Len(), f.ShrinkReplays, indent(f.Min.String()))
+		if len(f.Failures) > 0 && len(f.Failures[0].History) > 0 {
+			fmt.Printf("  flight recorder (%d trap events on failing CPU; newest is the failure)\n",
+				len(f.Failures[0].History))
+		}
+		if f.FromCorpus {
+			fmt.Printf("  repro: replay the minimized trace (run extended a corpus seed)\n")
+		} else {
+			fmt.Printf("  repro: ghost-fuzz -workers 1 -seed %d -steps %d%s\n",
+				f.Seed, cfg.StepsPerRun, bugArgs(cfg.Bugs))
+		}
+	}
+	return 1
+}
+
+// bugArgs renders the -bug flag needed to reproduce a buggy-build run.
+func bugArgs(bugs []faults.Bug) string {
+	if len(bugs) == 0 {
+		return ""
+	}
+	names := make([]string, len(bugs))
+	for i, b := range bugs {
+		names[i] = string(b)
+	}
+	return " -bug " + strings.Join(names, ",")
+}
+
+func runMatrix(base campaign.Config, skipFlag string) int {
+	skip := map[faults.Bug]string{}
+	if skipFlag != "" {
+		for _, pair := range strings.Split(skipFlag, ";") {
+			name, reason, ok := strings.Cut(pair, "=")
+			if !ok || reason == "" {
+				fmt.Fprintf(os.Stderr, "bad -skip entry %q (want bug=reason)\n", pair)
+				return 2
+			}
+			skip[faults.Bug(strings.TrimSpace(name))] = reason
+		}
+	}
+	fmt.Printf("ghost-fuzz: fault-sweep over %d bugs, budget %d execs each\n",
+		len(faults.All()), base.MaxExecs)
+	base.MaxFindings = 1
+	matrix := campaign.FaultSweep(base, faults.All(), skip)
+	fmt.Print(campaign.FormatMatrix(matrix))
+
+	missed := 0
+	for _, m := range matrix {
+		if !m.Skipped && (!m.Detected || m.Err != nil) {
+			missed++
+		}
+	}
+	if missed > 0 {
+		fmt.Printf("MISSED %d bugs\n", missed)
+		return 1
+	}
+	fmt.Println("all non-skip-listed bugs detected")
+	return 0
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "    " + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,339 @@
+// Package campaign is the parallel coverage-guided campaign engine.
+//
+// It scales the paper's §5 model-guided random testing out across
+// workers: each worker owns a private system instance (hypervisor,
+// ghost oracle, coverage tracker) and executes short generator runs,
+// folding every run's coverage into one shared aggregate. Runs whose
+// coverage adds novelty seed a shared corpus; mutation biases future
+// runs toward seeds that reached rare outcomes. When the oracle
+// alarms, a delta-debugging shrinker minimizes the recorded operation
+// trace to a near-1-minimal reproduction, carrying the flight-recorder
+// dump of the failing CPU. A fault-sweep mode iterates the entire
+// faults.All() matrix and asserts every planted bug is detected.
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/core/ghost"
+	"ghostspec/internal/coverage"
+	"ghostspec/internal/faults"
+	"ghostspec/internal/hyp"
+	"ghostspec/internal/proxy"
+	"ghostspec/internal/randtest"
+	"ghostspec/internal/telemetry"
+)
+
+// bigMemoryLayout is the large-physical-map configuration boot-layout
+// bugs need (same shape bugdemo uses): enough RAM that the linear map
+// reaches the IO window.
+var bigMemoryLayout = arch.MemLayout{RAMStart: 1 << 30, RAMSize: 4 << 30, MMIOSize: 16 << 20}
+
+// Config parameterises one campaign.
+type Config struct {
+	// Workers is the shard count; each worker boots private systems.
+	// Default GOMAXPROCS.
+	Workers int
+	// StepsPerRun is the generator-step length of one execution
+	// (default 400). Short runs keep shrinking cheap and reboot often
+	// enough that findings stay independent.
+	StepsPerRun int
+	// Seed fixes the whole campaign: worker w draws every run seed
+	// from randtest.WorkerSeed(Seed, w), so a single-worker campaign
+	// is fully deterministic. Default 1.
+	Seed int64
+	// Unguided selects the uniform-random ablation generator; the
+	// zero value is the model-guided default.
+	Unguided bool
+	// Bugs are injected into every booted system.
+	Bugs []faults.Bug
+	// BigMemory boots the large-physical-map layout (boot-layout bug
+	// class); otherwise the default layout.
+	BigMemory bool
+	// Duration bounds wall time; zero means no deadline.
+	Duration time.Duration
+	// MaxExecs bounds total executions; zero means unlimited.
+	MaxExecs int64
+	// MaxFindings stops the campaign after this many findings; zero
+	// means keep going.
+	MaxFindings int
+	// ShrinkReplays budgets replays per finding's minimization
+	// (default 400).
+	ShrinkReplays int
+	// CorpusCap bounds the seed corpus (default 128).
+	CorpusCap int
+	// Logf, when set, receives progress lines (findings, stop cause).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.StepsPerRun <= 0 {
+		c.StepsPerRun = 400
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.ShrinkReplays <= 0 {
+		c.ShrinkReplays = 400
+	}
+	if c.CorpusCap <= 0 {
+		c.CorpusCap = 128
+	}
+}
+
+// Finding is one oracle failure the campaign turned into a
+// minimized reproduction.
+type Finding struct {
+	// Worker and Exec locate the discovery (global execution index).
+	Worker int
+	Exec   int64
+	// Seed is the generator seed of the failing run; FromCorpus marks
+	// runs that extended a corpus parent (whose ops are part of Trace).
+	Seed       int64
+	FromCorpus bool
+	// Failures are the oracle alarms of the original run, each
+	// carrying the flight-recorder dump of its failing CPU.
+	Failures []ghost.Failure
+	// Trace is the full recorded reproduction; Min is the shrunk
+	// near-1-minimal version and MinFailures the alarms it raises.
+	Trace       *randtest.Trace
+	Min         *randtest.Trace
+	MinFailures []ghost.Failure
+	// ShrinkReplays counts replays the minimization spent;
+	// Reproducible reports whether the initial re-execution of Trace
+	// failed again (shrinking only proceeds when it does).
+	ShrinkReplays int
+	Reproducible  bool
+}
+
+// Report summarises a campaign.
+type Report struct {
+	Execs       int64
+	Elapsed     time.Duration
+	ExecsPerSec float64
+	NovelRuns   int64
+	CorpusSize  int
+	Findings    []Finding
+	Coverage    coverage.Report
+}
+
+type engine struct {
+	cfg      Config
+	agg      *coverage.Aggregator
+	corpus   *corpus
+	deadline time.Time
+
+	execs atomic.Int64
+	novel atomic.Int64
+	stop  atomic.Bool
+
+	mu       sync.Mutex
+	findings []Finding
+	bootErr  error
+}
+
+// Run executes a campaign to completion (deadline, exec budget, or
+// finding budget) and reports.
+func Run(cfg Config) (*Report, error) {
+	cfg.fill()
+	e := &engine{cfg: cfg, agg: coverage.NewAggregator(), corpus: newCorpus(cfg.CorpusCap)}
+
+	// Fail fast on unbootable configurations rather than from inside
+	// every worker.
+	if _, _, _, err := e.newSystem(); err != nil {
+		return nil, fmt.Errorf("campaign boot check: %w", err)
+	}
+	if cfg.Duration <= 0 && cfg.MaxExecs <= 0 && cfg.MaxFindings <= 0 {
+		return nil, fmt.Errorf("campaign needs a stop condition (Duration, MaxExecs, or MaxFindings)")
+	}
+	if cfg.Duration > 0 {
+		e.deadline = time.Now().Add(cfg.Duration)
+	}
+
+	start := time.Now()
+	meter := telemetry.NewMeter(telExecRate)
+	meter.Tick(start, telExecs.Value())
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(250 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-tick.C:
+				meter.Tick(now, telExecs.Value())
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e.worker(w)
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+
+	if e.bootErr != nil {
+		return nil, e.bootErr
+	}
+	elapsed := time.Since(start)
+	rep := &Report{
+		Execs:      e.execs.Load(),
+		Elapsed:    elapsed,
+		NovelRuns:  e.novel.Load(),
+		CorpusSize: e.corpus.size(),
+		Findings:   e.findings,
+		Coverage:   e.agg.Report(),
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		rep.ExecsPerSec = float64(rep.Execs) / s
+	}
+	return rep, nil
+}
+
+// newSystem boots one private system instance with the campaign's
+// instrumentation stack: oracle attached first (it checks the boot
+// layout), coverage wrapped over it.
+func (e *engine) newSystem() (*proxy.Driver, *ghost.Recorder, *coverage.Tracker, error) {
+	hcfg := hyp.Config{Inj: faults.NewInjector(e.cfg.Bugs...)}
+	if e.cfg.BigMemory {
+		hcfg.Layout = bigMemoryLayout
+	}
+	hv, err := hyp.New(hcfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rec := ghost.Attach(hv)
+	cov := coverage.Wrap(hv, rec)
+	hv.SetInstrumentation(cov)
+	return proxy.New(hv), rec, cov, nil
+}
+
+// factory adapts newSystem for the shrinker (which has no use for the
+// coverage tracker).
+func (e *engine) factory() Factory {
+	return func() (*proxy.Driver, *ghost.Recorder, error) {
+		d, rec, _, err := e.newSystem()
+		return d, rec, err
+	}
+}
+
+func (e *engine) stopped() bool {
+	if e.stop.Load() {
+		return true
+	}
+	if !e.deadline.IsZero() && !time.Now().Before(e.deadline) {
+		return true
+	}
+	if e.cfg.MaxExecs > 0 && e.execs.Load() >= e.cfg.MaxExecs {
+		return true
+	}
+	return false
+}
+
+func (e *engine) logf(format string, args ...any) {
+	if e.cfg.Logf != nil {
+		e.cfg.Logf(format, args...)
+	}
+}
+
+// input is one execution's recipe: a generator seed, plus optionally
+// a corpus parent whose trace is replayed before generation starts
+// (the extend mutation — the run continues from the parent's
+// neighbourhood instead of from a cold boot).
+type input struct {
+	seed   int64
+	steps  int
+	parent *randtest.Trace
+}
+
+// worker is one shard: a private rng derived from (campaign seed,
+// worker index) drives its input choices, so any worker's whole
+// sequence re-derives from those two numbers alone.
+func (e *engine) worker(w int) {
+	rng := rand.New(rand.NewSource(randtest.WorkerSeed(e.cfg.Seed, w)))
+	for !e.stopped() {
+		in := input{seed: rng.Int63(), steps: e.cfg.StepsPerRun}
+		// Half the runs extend a corpus seed once the corpus has
+		// content; the pick is score-weighted toward rare coverage.
+		if rng.Intn(2) == 0 {
+			if parent, ok := e.corpus.pick(rng); ok {
+				in.parent = parent
+			}
+		}
+		e.runOne(w, in)
+	}
+}
+
+// runOne executes one input on a fresh private system.
+func (e *engine) runOne(w int, in input) {
+	d, rec, cov, err := e.newSystem()
+	if err != nil {
+		e.mu.Lock()
+		if e.bootErr == nil {
+			e.bootErr = err
+		}
+		e.mu.Unlock()
+		e.stop.Store(true)
+		return
+	}
+	exec := e.execs.Add(1)
+	telExecs.Inc()
+
+	tr := &randtest.Trace{}
+	if in.parent != nil {
+		tr.Ops = append(tr.Ops, in.parent.Ops...)
+		randtest.Replay(d, in.parent)
+	}
+	// Boot-layout defects alarm the instant the oracle attaches; the
+	// finding then needs no hypercall traffic at all.
+	if len(rec.Failures()) == 0 {
+		t := randtest.NewFromSource(d, rec, rand.NewSource(in.seed), !e.cfg.Unguided)
+		t.Trace = tr
+		t.Run(in.steps)
+		tr = t.Trace
+	}
+
+	if novelty := e.agg.Absorb(cov); novelty > 0 {
+		e.novel.Add(1)
+		telNovel.Inc()
+		e.corpus.add(tr, float64(novelty)+e.agg.Rarity(cov))
+	}
+
+	failures := rec.Failures()
+	if len(failures) == 0 {
+		return
+	}
+	telFindings.Inc()
+	min, minFailures, replays, ok := Shrink(e.factory(), tr, e.cfg.ShrinkReplays)
+	f := Finding{
+		Worker: w, Exec: exec,
+		Seed: in.seed, FromCorpus: in.parent != nil,
+		Failures: failures,
+		Trace:    tr, Min: min, MinFailures: minFailures,
+		ShrinkReplays: replays, Reproducible: ok,
+	}
+	e.logf("finding: worker=%d exec=%d seed=%d alarms=%d trace=%d ops -> min=%d ops (%d replays)",
+		w, exec, in.seed, len(failures), tr.Len(), min.Len(), replays)
+	e.mu.Lock()
+	e.findings = append(e.findings, f)
+	hitCap := e.cfg.MaxFindings > 0 && len(e.findings) >= e.cfg.MaxFindings
+	e.mu.Unlock()
+	if hitCap {
+		e.stop.Store(true)
+	}
+}

@@ -1,0 +1,101 @@
+package campaign
+
+import (
+	"ghostspec/internal/core/ghost"
+	"ghostspec/internal/proxy"
+	"ghostspec/internal/randtest"
+)
+
+// Factory boots a fresh system configured identically to the one that
+// produced a finding (same injected bugs, same layout) with the oracle
+// attached. The shrinker boots one per replay — reproduction recipes
+// are trace-plus-boot-configuration, never warm state.
+type Factory func() (*proxy.Driver, *ghost.Recorder, error)
+
+// Shrink minimizes a failing trace by delta debugging: ddmin over
+// chunk complements down to single-op granularity, then a linear
+// polish pass removing ops one at a time, giving a near-1-minimal
+// reproduction (every remaining op is individually necessary up to
+// the replay budget). Each candidate replays deterministically on a
+// fresh system; a candidate is kept when the oracle still alarms.
+//
+// It returns the minimized trace, the alarms it raises, the number of
+// replays spent, and whether the original trace reproduced at all. A
+// passing trace is returned unchanged with ok=false — shrinking a
+// non-failure is a no-op. maxReplays bounds the work; on exhaustion
+// the best trace so far is returned.
+func Shrink(boot Factory, tr *randtest.Trace, maxReplays int) (*randtest.Trace, []ghost.Failure, int, bool) {
+	replays := 0
+	var lastFailures []ghost.Failure
+	fails := func(ops []randtest.Op) bool {
+		if replays >= maxReplays {
+			return false
+		}
+		replays++
+		telShrinkReplays.Inc()
+		d, rec, err := boot()
+		if err != nil {
+			return false
+		}
+		// Boot-layout alarms fire at attach; only replay on a clean boot.
+		if len(rec.Failures()) == 0 {
+			randtest.Replay(d, &randtest.Trace{Ops: ops})
+		}
+		if f := rec.Failures(); len(f) > 0 {
+			lastFailures = f
+			return true
+		}
+		return false
+	}
+
+	if !fails(tr.Ops) {
+		return tr, nil, replays, false
+	}
+	// A finding that needs no ops at all (boot-layout class) shrinks
+	// to the empty trace immediately.
+	if fails(nil) {
+		return &randtest.Trace{}, lastFailures, replays, true
+	}
+
+	cur := tr.Ops
+	curFailures := lastFailures
+
+	// ddmin: try dropping each of n chunks; on success restart with
+	// the reduced trace, otherwise refine the granularity.
+	n := 2
+	for len(cur) >= 2 && replays < maxReplays {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for lo := 0; lo < len(cur); lo += chunk {
+			hi := min(lo+chunk, len(cur))
+			cand := make([]randtest.Op, 0, len(cur)-(hi-lo))
+			cand = append(cand, cur[:lo]...)
+			cand = append(cand, cur[hi:]...)
+			if fails(cand) {
+				cur, curFailures = cand, lastFailures
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n = min(2*n, len(cur))
+		}
+	}
+
+	// Linear polish: back-to-front single-op removal catches ops ddmin
+	// left behind because their chunk-mates were load-bearing.
+	for i := len(cur) - 1; i >= 0 && len(cur) >= 2 && replays < maxReplays; i-- {
+		cand := make([]randtest.Op, 0, len(cur)-1)
+		cand = append(cand, cur[:i]...)
+		cand = append(cand, cur[i+1:]...)
+		if fails(cand) {
+			cur, curFailures = cand, lastFailures
+		}
+	}
+
+	return &randtest.Trace{Ops: cur}, curFailures, replays, true
+}

@@ -1,0 +1,124 @@
+package campaign
+
+import (
+	"math/rand"
+	"testing"
+
+	"ghostspec/internal/core/ghost"
+	"ghostspec/internal/coverage"
+	"ghostspec/internal/faults"
+	"ghostspec/internal/hyp"
+	"ghostspec/internal/proxy"
+	"ghostspec/internal/randtest"
+)
+
+// testFactory boots default-layout systems with the given bugs
+// injected, oracle attached.
+func testFactory(bugs ...faults.Bug) Factory {
+	return func() (*proxy.Driver, *ghost.Recorder, error) {
+		hv, err := hyp.New(hyp.Config{Inj: faults.NewInjector(bugs...)})
+		if err != nil {
+			return nil, nil, err
+		}
+		rec := ghost.Attach(hv)
+		cov := coverage.Wrap(hv, rec)
+		hv.SetInstrumentation(cov)
+		return proxy.New(hv), rec, nil
+	}
+}
+
+// failingTrace runs the guided generator against a buggy build in
+// short bursts until the oracle alarms, returning the recorded trace.
+// Bursts keep the trace short so shrinking stays cheap.
+func failingTrace(t *testing.T, bug faults.Bug) *randtest.Trace {
+	t.Helper()
+	for seed := int64(1); seed <= 10; seed++ {
+		d, rec, err := testFactory(bug)()
+		if err != nil {
+			t.Fatalf("boot: %v", err)
+		}
+		tester := randtest.NewFromSource(d, rec, rand.NewSource(seed), true)
+		tester.Trace = &randtest.Trace{}
+		for burst := 0; burst < 30; burst++ {
+			tester.Run(50)
+			if len(rec.Failures()) > 0 {
+				return tester.Trace
+			}
+		}
+	}
+	t.Fatalf("no failing trace found for %s", bug)
+	return nil
+}
+
+// checkShrink asserts the shrinker contract on one injected bug: the
+// minimized trace still fails the oracle on an independent fresh
+// system, and it is near-1-minimal (≤ 10 ops).
+func checkShrink(t *testing.T, bug faults.Bug) {
+	t.Helper()
+	tr := failingTrace(t, bug)
+	t.Logf("%s: failing trace has %d ops", bug, tr.Len())
+
+	min, minFailures, replays, ok := Shrink(testFactory(bug), tr, 4000)
+	if !ok {
+		t.Fatalf("%s: original failing trace did not reproduce", bug)
+	}
+	if len(minFailures) == 0 {
+		t.Fatalf("%s: minimized trace reported no failures", bug)
+	}
+	if min.Len() > 10 {
+		t.Errorf("%s: minimized trace has %d ops, want <= 10:\n%s", bug, min.Len(), min)
+	}
+	t.Logf("%s: minimized to %d ops in %d replays:\n%s", bug, min.Len(), replays, min)
+
+	// Independent confirmation: replay the minimized trace on a fresh
+	// system and require the oracle to alarm again.
+	d, rec, err := testFactory(bug)()
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	randtest.Replay(d, min)
+	if len(rec.Failures()) == 0 {
+		t.Errorf("%s: minimized trace does not fail on independent replay", bug)
+	}
+}
+
+// TestShrinkMemShareBug minimizes a memory-sharing defect.
+func TestShrinkMemShareBug(t *testing.T) {
+	checkShrink(t, faults.BugUnshareLeaveMapping)
+}
+
+// TestShrinkVMLifecycleBug minimizes a VM-lifecycle defect.
+func TestShrinkVMLifecycleBug(t *testing.T) {
+	checkShrink(t, faults.BugVCPULoadRace)
+}
+
+// TestShrinkPassingTraceNoOp pins the contract that shrinking a trace
+// that does not fail is a no-op: the trace comes back unchanged after
+// the single confirming replay.
+func TestShrinkPassingTraceNoOp(t *testing.T) {
+	d, rec, err := testFactory()()
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	tester := randtest.NewFromSource(d, rec, rand.NewSource(11), true)
+	tester.Trace = &randtest.Trace{}
+	tester.Run(300)
+	if got := rec.Failures(); len(got) > 0 {
+		t.Fatalf("clean build alarmed: %v", got[0])
+	}
+	tr := tester.Trace
+
+	min, minFailures, replays, ok := Shrink(testFactory(), tr, 4000)
+	if ok {
+		t.Error("Shrink reported a passing trace as reproducible")
+	}
+	if min != tr {
+		t.Error("Shrink did not return the passing trace unchanged")
+	}
+	if len(minFailures) != 0 {
+		t.Errorf("Shrink of a passing trace reported failures: %v", minFailures)
+	}
+	if replays != 1 {
+		t.Errorf("Shrink of a passing trace used %d replays, want exactly 1", replays)
+	}
+}

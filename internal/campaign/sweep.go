@@ -1,0 +1,94 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ghostspec/internal/faults"
+)
+
+// MatrixEntry is one row of the fault-detection matrix: did a
+// campaign against a build with exactly this bug injected raise an
+// oracle alarm within its budget?
+type MatrixEntry struct {
+	Bug      faults.Bug
+	Class    faults.Class
+	Skipped  bool
+	Reason   string // written justification, skip-listed bugs only
+	Detected bool
+	// Execs and Elapsed are the cost to first detection (or the full
+	// budget when undetected); MinOps is the minimized repro length.
+	Execs   int64
+	Elapsed time.Duration
+	MinOps  int
+	// Alarm is the first oracle alarm, for the report.
+	Alarm string
+	// Err reports a campaign that failed to run at all.
+	Err error
+}
+
+// FaultSweep runs one bounded campaign per bug, inheriting budget and
+// shape from base (its Bugs/BigMemory/MaxFindings are overridden per
+// bug). Boot-layout-class bugs get the large-memory layout — they are
+// unreachable on the default map. skip maps bugs to a written
+// justification; skipped bugs appear in the matrix but run nothing.
+func FaultSweep(base Config, bugs []faults.Bug, skip map[faults.Bug]string) []MatrixEntry {
+	out := make([]MatrixEntry, 0, len(bugs))
+	for _, bug := range bugs {
+		entry := MatrixEntry{Bug: bug, Class: faults.ClassOf(bug)}
+		if reason, ok := skip[bug]; ok {
+			entry.Skipped, entry.Reason = true, reason
+			out = append(out, entry)
+			continue
+		}
+		cfg := base
+		cfg.Bugs = []faults.Bug{bug}
+		cfg.BigMemory = entry.Class == faults.ClassBootLayout
+		cfg.MaxFindings = 1
+		rep, err := Run(cfg)
+		if err != nil {
+			entry.Err = err
+			out = append(out, entry)
+			continue
+		}
+		entry.Execs, entry.Elapsed = rep.Execs, rep.Elapsed
+		if len(rep.Findings) > 0 {
+			f := rep.Findings[0]
+			entry.Detected = true
+			entry.MinOps = f.Min.Len()
+			if len(f.Failures) > 0 {
+				entry.Alarm = f.Failures[0].String()
+			}
+		}
+		out = append(out, entry)
+	}
+	return out
+}
+
+// FormatMatrix renders the detection matrix as a fixed-width table.
+func FormatMatrix(matrix []MatrixEntry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %-12s %-9s %7s %9s %6s\n",
+		"bug", "class", "detected", "execs", "elapsed", "minops")
+	for _, m := range matrix {
+		status := "no"
+		switch {
+		case m.Skipped:
+			status = "skipped"
+		case m.Err != nil:
+			status = "error"
+		case m.Detected:
+			status = "yes"
+		}
+		fmt.Fprintf(&b, "%-26s %-12s %-9s %7d %9s %6d\n",
+			m.Bug, m.Class, status, m.Execs, m.Elapsed.Round(time.Millisecond), m.MinOps)
+		if m.Skipped {
+			fmt.Fprintf(&b, "    reason: %s\n", m.Reason)
+		}
+		if m.Err != nil {
+			fmt.Fprintf(&b, "    error: %v\n", m.Err)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package campaign
+
+import (
+	"testing"
+
+	"ghostspec/internal/faults"
+)
+
+// sweepSkip is the written skip-list for the tier-1 detection matrix.
+// Empty: every injectable bug must be detected by the campaign
+// engine. Any future entry must carry a justification string, which
+// the matrix report prints.
+var sweepSkip = map[faults.Bug]string{}
+
+// TestFaultDetectionMatrix is the tier-1 acceptance test: one bounded
+// campaign per bug in faults.All(), each of which must raise an
+// oracle alarm. Per-bug execution counts are logged so regressions in
+// detection latency are visible in test output.
+func TestFaultDetectionMatrix(t *testing.T) {
+	base := Config{
+		Workers:       2,
+		StepsPerRun:   250,
+		Seed:          3,
+		MaxExecs:      400,
+		ShrinkReplays: 2000,
+	}
+	matrix := FaultSweep(base, faults.All(), sweepSkip)
+	if len(matrix) != len(faults.All()) {
+		t.Fatalf("matrix has %d rows, want %d", len(matrix), len(faults.All()))
+	}
+	t.Logf("detection matrix:\n%s", FormatMatrix(matrix))
+	for _, m := range matrix {
+		if m.Skipped {
+			if m.Reason == "" {
+				t.Errorf("%s: skip-listed without a written justification", m.Bug)
+			}
+			continue
+		}
+		if m.Err != nil {
+			t.Errorf("%s: campaign error: %v", m.Bug, m.Err)
+			continue
+		}
+		if !m.Detected {
+			t.Errorf("%s (%s): not detected within %d execs", m.Bug, m.Class, m.Execs)
+			continue
+		}
+		t.Logf("%s (%s): detected after %d execs in %v, minimized to %d ops",
+			m.Bug, m.Class, m.Execs, m.Elapsed, m.MinOps)
+	}
+}

@@ -2,6 +2,7 @@ package coverage
 
 import (
 	"sort"
+	"sync"
 
 	"ghostspec/internal/hyp"
 )
@@ -9,8 +10,11 @@ import (
 // Aggregator merges the raw observations of several trackers — the
 // handwritten suite boots a fresh system per test, so its coverage is
 // the union across all of them (the paper's per-run coverage data
-// moved out of EL2 and merged in user space).
+// moved out of EL2 and merged in user space). The campaign engine's
+// workers absorb into one shared aggregate concurrently; all methods
+// are safe for concurrent use.
 type Aggregator struct {
+	mu       sync.Mutex
 	outcomes map[Outcome]int
 	aborts   map[abortOutcome]int
 	guestOps map[hyp.GuestOpKind]int
@@ -26,24 +30,63 @@ func NewAggregator() *Aggregator {
 	}
 }
 
-// Absorb folds one tracker's observations into the aggregate.
-func (a *Aggregator) Absorb(t *Tracker) {
+// Absorb folds one tracker's observations into the aggregate and
+// returns the run's novelty: the number of coverage keys (handler
+// outcomes, abort outcomes, guest-op kinds) this tracker observed
+// that the aggregate had never seen. The campaign engine keeps a
+// seed in its corpus exactly when its run's novelty is non-zero.
+func (a *Aggregator) Absorb(t *Tracker) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	novelty := 0
 	for k, v := range t.outcomes {
+		if a.outcomes[k] == 0 && v > 0 {
+			novelty++
+		}
 		a.outcomes[k] += v
 	}
 	for k, v := range t.aborts {
+		if a.aborts[k] == 0 && v > 0 {
+			novelty++
+		}
 		a.aborts[k] += v
 	}
 	for k, v := range t.guestOps {
+		if a.guestOps[k] == 0 && v > 0 {
+			novelty++
+		}
 		a.guestOps[k] += v
 	}
 	a.traps += t.traps
+	return novelty
+}
+
+// Rarity scores how unusual a tracker's observations are relative to
+// the aggregate: the sum over the tracker's outcome keys of the
+// inverse global frequency. A run that hit outcomes the rest of the
+// campaign rarely reaches scores high; a run re-treading the common
+// paths scores near zero. Call after Absorb (so every key has a
+// non-zero global count).
+func (a *Aggregator) Rarity(t *Tracker) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	score := 0.0
+	for k, v := range t.outcomes {
+		if v > 0 && a.outcomes[k] > 0 {
+			score += 1 / float64(a.outcomes[k])
+		}
+	}
+	return score
 }
 
 // Report computes the merged coverage report.
 func (a *Aggregator) Report() Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	return buildReport(a.outcomes, a.aborts, a.guestOps, a.traps)
 }
 

@@ -1,0 +1,90 @@
+package coverage
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"ghostspec/internal/hyp"
+)
+
+// syntheticTracker builds a tracker pre-loaded with a deterministic
+// spread of observations, distinct per index so the merged result is
+// order-independent but content-sensitive.
+func syntheticTracker(i int) *Tracker {
+	t := &Tracker{
+		outcomes: make(map[Outcome]int),
+		aborts:   make(map[abortOutcome]int),
+		guestOps: make(map[hyp.GuestOpKind]int),
+	}
+	hcs := []hyp.HC{hyp.HCHostShareHyp, hyp.HCHostUnshareHyp, hyp.HCInitVM, hyp.HCVCPURun}
+	rets := []hyp.Errno{hyp.OK, hyp.EPERM, hyp.EINVAL}
+	for j, hc := range hcs {
+		t.outcomes[Outcome{HC: hc, Ret: rets[(i+j)%len(rets)]}] = i + j + 1
+	}
+	t.aborts[abortOutcome(i%2)] = i + 1
+	t.guestOps[hyp.GuestOpKind(i%4)] = 2*i + 1
+	t.traps = 10*i + 3
+	return t
+}
+
+// TestAggregatorConcurrentAbsorb hammers one aggregate from 8
+// goroutines (run under -race in CI) and asserts the merged counts
+// equal the serial sum — the property the campaign engine's shared
+// coverage state depends on.
+func TestAggregatorConcurrentAbsorb(t *testing.T) {
+	const workers = 8
+	const perWorker = 50
+
+	serial := NewAggregator()
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			serial.Absorb(syntheticTracker(w*perWorker + i))
+		}
+	}
+
+	concurrent := NewAggregator()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				concurrent.Absorb(syntheticTracker(w*perWorker + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	got, want := concurrent.Report(), serial.Report()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("concurrent merge diverges from serial sum:\nconcurrent: %+v\nserial:     %+v", got, want)
+	}
+	if got.Traps != want.Traps || got.Traps == 0 {
+		t.Errorf("trap totals: concurrent %d, serial %d", got.Traps, want.Traps)
+	}
+}
+
+// TestAbsorbNovelty pins the novelty contract: first sight of a key
+// counts once, repeats count zero.
+func TestAbsorbNovelty(t *testing.T) {
+	agg := NewAggregator()
+	tr := syntheticTracker(3)
+	first := agg.Absorb(tr)
+	// 4 outcomes + 1 abort kind + 1 guest-op kind, all fresh.
+	if first != 6 {
+		t.Errorf("first absorb novelty = %d, want 6", first)
+	}
+	if again := agg.Absorb(syntheticTracker(3)); again != 0 {
+		t.Errorf("repeat absorb novelty = %d, want 0", again)
+	}
+	// A tracker with one extra unseen key scores exactly 1.
+	tr2 := syntheticTracker(3)
+	tr2.outcomes[Outcome{HC: hyp.HCTeardownVM, Ret: hyp.EBUSY}] = 1
+	if n := agg.Absorb(tr2); n != 1 {
+		t.Errorf("one-new-key absorb novelty = %d, want 1", n)
+	}
+	if r := agg.Rarity(tr2); r <= 0 {
+		t.Errorf("rarity of live tracker = %v, want > 0", r)
+	}
+}

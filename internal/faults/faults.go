@@ -98,6 +98,55 @@ func All() []Bug {
 	return bugs
 }
 
+// Class groups bugs by the kind of workload that can reach them. The
+// campaign engine's fault sweep uses it to pick boot configuration and
+// to report the detection matrix by category; test skip-lists key off
+// it when a class is out of scope for a particular harness.
+type Class uint8
+
+const (
+	// ClassMemShare: defects in the host⇄hyp⇄guest memory-transition
+	// paths (share, unshare, donate, reclaim, demand-map).
+	ClassMemShare Class = iota
+	// ClassVMLifecycle: defects in VM/vCPU creation, loading, and the
+	// memcache donation protocol.
+	ClassVMLifecycle
+	// ClassHostFault: defects in the host stage 2 abort handler.
+	ClassHostFault
+	// ClassBootLayout: boot-time layout defects, reachable only on a
+	// large-physical-memory configuration and visible the moment the
+	// oracle attaches — no hypercall traffic needed.
+	ClassBootLayout
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassMemShare:
+		return "mem-share"
+	case ClassVMLifecycle:
+		return "vm-lifecycle"
+	case ClassHostFault:
+		return "host-fault"
+	case ClassBootLayout:
+		return "boot-layout"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// ClassOf classifies a bug.
+func ClassOf(b Bug) Class {
+	switch b {
+	case BugMemcacheAlignment, BugMemcacheSize, BugVCPULoadRace:
+		return ClassVMLifecycle
+	case BugHostFaultRetry:
+		return ClassHostFault
+	case BugLinearMapOverlap:
+		return ClassBootLayout
+	default:
+		return ClassMemShare
+	}
+}
+
 // Injector is a set of enabled bugs. The zero value injects nothing
 // and is what a production configuration uses. Injectors are safe for
 // concurrent use.

@@ -91,6 +91,19 @@ func (d *Driver) Access(cpu int, ipa arch.IPA, write bool) (bool, error) {
 	return fault == nil, nil
 }
 
+// FaultAgain delivers a stage 2 fault for ipa to the hypervisor
+// without first checking the host's translation — modelling the
+// spurious fault a concurrent host CPU causes when it races another
+// CPU's demand-mapping of the same page, or a hardware retry of a
+// fault the hypervisor already resolved. A robust hypervisor treats
+// an already-valid entry as spurious and returns; the paper's §6
+// bug 4 panicked here. The returned error is the hypervisor panic,
+// if one occurred.
+func (d *Driver) FaultAgain(cpu int, ipa arch.IPA, write bool) error {
+	d.HV.CPUs[cpu].Fault = arch.FaultInfo{Addr: ipa, Write: write}
+	return d.HV.HandleTrap(cpu, arch.ExitMemAbort)
+}
+
 // Write64 writes host memory through the host's translation, faulting
 // in the page on demand. It fails if the host does not own the page.
 func (d *Driver) Write64(cpu int, ipa arch.IPA, v uint64) error {

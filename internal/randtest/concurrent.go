@@ -1,11 +1,25 @@
 package randtest
 
 import (
+	"math/rand"
 	"sync"
 
 	"ghostspec/internal/core/ghost"
 	"ghostspec/internal/proxy"
 )
+
+// WorkerSeed derives the generation seed for one worker of a
+// multi-worker campaign from the campaign seed. The SplitMix64
+// finaliser decorrelates the streams: neighbouring campaign seeds and
+// worker indices land in unrelated parts of the seed space instead of
+// the correlated offsets simple arithmetic would give.
+func WorkerSeed(campaign int64, worker int) int64 {
+	z := uint64(campaign) + 0x9e3779b97f4a7c15*uint64(worker+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z &^ (1 << 63)) // keep printable seeds positive
+}
 
 // ConcurrentCampaign drives one tester per hardware thread over a
 // single shared system: each tester is pinned to its CPU and works
@@ -18,7 +32,10 @@ func ConcurrentCampaign(d *proxy.Driver, rec *ghost.Recorder, seed int64, stepsP
 	n := d.HV.Globals().NrCPUs
 	testers := make([]*Tester, n)
 	for cpu := 0; cpu < n; cpu++ {
-		t := New(d, rec, seed+int64(cpu)*7919, true)
+		// Each tester owns an explicit private source — no shared or
+		// global rand state anywhere — so any single worker's stream
+		// can be re-created in isolation from (seed, cpu) alone.
+		t := NewFromSource(d, rec, rand.NewSource(WorkerSeed(seed, cpu)), true)
 		t.pinCPU = cpu
 		testers[cpu] = t
 	}

@@ -44,6 +44,12 @@ type Tester struct {
 	// values (the ablation baseline).
 	Guided bool
 
+	// Trace, when non-nil, records every driver action the tester
+	// performs as a concrete Op. A full recording replays
+	// byte-identically under the same seed (the shrinker depends on
+	// this), and Replay can execute any subset of it.
+	Trace *Trace
+
 	// pinCPU, when >= 0, restricts all activity to one hardware
 	// thread; used by ConcurrentCampaign to run one tester per CPU.
 	pinCPU int
@@ -55,13 +61,30 @@ type Tester struct {
 // New builds a tester over a driver. Seed fixes the generation
 // sequence.
 func New(d *proxy.Driver, rec *ghost.Recorder, seed int64, guided bool) *Tester {
+	return NewFromSource(d, rec, rand.NewSource(seed), guided)
+}
+
+// NewFromSource is New with an explicit random source. Every random
+// draw the tester makes comes from this source and nowhere else — no
+// global math/rand state — so concurrent workers each threading their
+// own source replay identically under identical seeds.
+func NewFromSource(d *proxy.Driver, rec *ghost.Recorder, src rand.Source, guided bool) *Tester {
 	return &Tester{
 		D:      d,
 		Rec:    rec,
-		rng:    rand.New(rand.NewSource(seed)),
+		rng:    rand.New(src),
 		Guided: guided,
 		pinCPU: -1,
 		m:      newModel(d.HV.Globals().NrCPUs),
+	}
+}
+
+// record appends one concrete op to the trace, if recording is on. It
+// must be called exactly once per driver action, at the point the
+// action is issued.
+func (t *Tester) record(op Op) {
+	if t.Trace != nil {
+		t.Trace.Ops = append(t.Trace.Ops, op)
 	}
 }
 
@@ -133,14 +156,18 @@ func (t *Tester) stepUnguided() {
 		// memory the host gave away — a host kernel panic in the real
 		// setup.
 		pfn := arch.PFN(hostBase + uint64(t.rng.Intn(1024)))
-		ok, err := t.D.Access(cpu, arch.IPA(pfn.Phys()), t.rng.Intn(2) == 0)
+		write := t.rng.Intn(2) == 0
+		t.record(Op{Kind: OpTouch, CPU: cpu, PFN: pfn, Write: write})
+		ok, err := t.D.Access(cpu, arch.IPA(pfn.Phys()), write)
 		if err == nil && !ok {
 			t.stats.HostCrashes++
 		}
 		return
 	}
 	id := hyp.HC(t.rng.Intn(int(hyp.HCTopupVCPUMemcache) + 2))
-	ret, err := t.D.HVC(cpu, id, arb(), arb(), arb(), arb())
+	args := [4]uint64{arb(), arb(), arb(), arb()}
+	t.record(Op{Kind: OpHVCRaw, CPU: cpu, HC: id, Args: args})
+	ret, err := t.D.HVC(cpu, id, args[0], args[1], args[2], args[3])
 	if err == nil && ret < 0 {
 		err = hyp.Errno(ret)
 	}
@@ -175,6 +202,7 @@ func (t *Tester) stepGuided() {
 		{2, t.opTeardown},
 		{5, t.opReclaim},
 		{3, t.opErrorProbe},
+		{4, t.opBugProbe},
 	}
 	total := 0
 	for _, o := range ops {
@@ -192,6 +220,12 @@ func (t *Tester) stepGuided() {
 			}
 		}
 	}
+}
+
+// queueGuestOp scripts a guest event, recording it.
+func (t *Tester) queueGuestOp(h hyp.Handle, idx int, op hyp.GuestOp) {
+	t.record(Op{Kind: OpQueueGuest, H: h, VCPU: idx, Guest: op})
+	t.D.QueueGuestOp(h, idx, op)
 }
 
 func (t *Tester) cpu() int {
@@ -220,8 +254,47 @@ func pickRand[T any](rng *rand.Rand, xs []T) (T, bool) {
 	return xs[rng.Intn(len(xs))], true
 }
 
-func (t *Tester) opAllocPage() bool {
+// allocPage is AllocPage plus recording; every allocation the tester
+// makes goes through here so the trace binds each frame to its alloc.
+func (t *Tester) allocPage() (arch.PFN, error) {
 	pfn, err := t.D.AllocPage()
+	if err == nil {
+		t.record(Op{Kind: OpAlloc, PFN: pfn})
+	}
+	return pfn, err
+}
+
+func (t *Tester) freePage(pfn arch.PFN) {
+	t.record(Op{Kind: OpFree, PFN: pfn})
+	t.D.FreePage(pfn)
+}
+
+// allocContiguous allocates until it holds nr physically contiguous
+// fresh frames. Non-contiguous spill stays allocated and is kept in
+// the model as plain host-owned pages.
+func (t *Tester) allocContiguous(nr uint64) ([]arch.PFN, bool) {
+	run := make([]arch.PFN, 0, nr)
+	for uint64(len(run)) < nr {
+		pfn, err := t.allocPage()
+		if err != nil {
+			for _, p := range run {
+				t.freePage(p)
+			}
+			return nil, false
+		}
+		if len(run) > 0 && pfn != run[len(run)-1]+1 {
+			for _, p := range run {
+				t.m.pages[p] = pageHostOwned // keep, just not contiguous
+			}
+			run = run[:0]
+		}
+		run = append(run, pfn)
+	}
+	return run, true
+}
+
+func (t *Tester) opAllocPage() bool {
+	pfn, err := t.allocPage()
 	if err != nil {
 		return false
 	}
@@ -238,7 +311,9 @@ func (t *Tester) opTouch() bool {
 		t.stats.Rejected++
 		return false
 	}
-	okAcc, err := t.D.Access(t.cpu(), arch.IPA(pfn.Phys()), t.rng.Intn(2) == 0)
+	cpu, write := t.cpu(), t.rng.Intn(2) == 0
+	t.record(Op{Kind: OpTouch, CPU: cpu, PFN: pfn, Write: write})
+	okAcc, err := t.D.Access(cpu, arch.IPA(pfn.Phys()), write)
 	if err == nil && !okAcc {
 		t.stats.HostCrashes++
 	}
@@ -250,7 +325,9 @@ func (t *Tester) opShare() bool {
 	if !ok {
 		return false
 	}
-	err := t.D.ShareHyp(t.cpu(), pfn)
+	cpu := t.cpu()
+	t.record(Op{Kind: OpShare, CPU: cpu, PFN: pfn})
+	err := t.D.ShareHyp(cpu, pfn)
 	t.count(hyp.HCHostShareHyp, err)
 	if err == nil {
 		t.m.pages[pfn] = pageSharedHyp
@@ -262,24 +339,13 @@ func (t *Tester) opShare() bool {
 // fresh pages (per-page lock phases, checked transactionally).
 func (t *Tester) opShareRange() bool {
 	nr := uint64(t.rng.Intn(4) + 2)
-	run := make([]arch.PFN, 0, nr)
-	for uint64(len(run)) < nr {
-		pfn, err := t.D.AllocPage()
-		if err != nil {
-			for _, p := range run {
-				t.D.FreePage(p)
-			}
-			return false
-		}
-		if len(run) > 0 && pfn != run[len(run)-1]+1 {
-			for _, p := range run {
-				t.m.pages[p] = pageHostOwned // keep, just not contiguous
-			}
-			run = run[:0]
-		}
-		run = append(run, pfn)
+	run, ok := t.allocContiguous(nr)
+	if !ok {
+		return false
 	}
-	err := t.D.ShareHypRange(t.cpu(), run[0], nr)
+	cpu := t.cpu()
+	t.record(Op{Kind: OpShareRange, CPU: cpu, PFN: run[0], Nr: nr})
+	err := t.D.ShareHypRange(cpu, run[0], nr)
 	t.count(hyp.HCHostShareHypRange, err)
 	if err == nil {
 		for _, p := range run {
@@ -298,7 +364,9 @@ func (t *Tester) opUnshare() bool {
 	if !ok {
 		return false
 	}
-	err := t.D.UnshareHyp(t.cpu(), pfn)
+	cpu := t.cpu()
+	t.record(Op{Kind: OpUnshare, CPU: cpu, PFN: pfn})
+	err := t.D.UnshareHyp(cpu, pfn)
 	t.count(hyp.HCHostUnshareHyp, err)
 	if err == nil {
 		t.m.pages[pfn] = pageHostOwned
@@ -307,11 +375,13 @@ func (t *Tester) opUnshare() bool {
 }
 
 func (t *Tester) opDonate() bool {
-	pfn, err := t.D.AllocPage()
+	pfn, err := t.allocPage()
 	if err != nil {
 		return false
 	}
-	err = t.D.DonateHyp(t.cpu(), pfn, 1)
+	cpu := t.cpu()
+	t.record(Op{Kind: OpDonate, CPU: cpu, PFN: pfn, Nr: 1})
+	err = t.D.DonateHyp(cpu, pfn, 1)
 	t.count(hyp.HCHostDonateHyp, err)
 	if err == nil {
 		t.m.pages[pfn] = pageDonatedHyp
@@ -324,7 +394,9 @@ func (t *Tester) opInitVM() bool {
 		return false
 	}
 	nrVCPUs := t.rng.Intn(3) + 1
-	h, donated, err := t.D.InitVM(t.cpu(), nrVCPUs)
+	cpu := t.cpu()
+	h, donated, err := t.D.InitVM(cpu, nrVCPUs)
+	t.record(Op{Kind: OpInitVM, CPU: cpu, Nr: uint64(nrVCPUs), H: h})
 	if err != nil {
 		t.count(hyp.HCInitVM, err)
 		return true
@@ -349,7 +421,9 @@ func (t *Tester) opInitVCPU() bool {
 	}
 	vm := t.m.vms[h]
 	idx := t.rng.Intn(len(vm.vcpus))
-	err := t.D.InitVCPU(t.cpu(), h, idx)
+	cpu := t.cpu()
+	t.record(Op{Kind: OpInitVCPU, CPU: cpu, H: h, VCPU: idx})
+	err := t.D.InitVCPU(cpu, h, idx)
 	t.count(hyp.HCInitVCPU, err)
 	if err == nil {
 		vm.vcpus[idx].initialized = true
@@ -368,7 +442,9 @@ func (t *Tester) opTopup() bool {
 		return false
 	}
 	nr := uint64(t.rng.Intn(4) + 2)
-	pfns, err := t.D.Topup(t.cpu(), h, idx, nr)
+	cpu := t.cpu()
+	t.record(Op{Kind: OpTopup, CPU: cpu, H: h, VCPU: idx, Nr: nr})
+	pfns, err := t.D.Topup(cpu, h, idx, nr)
 	t.count(hyp.HCTopupVCPUMemcache, err)
 	if err == nil {
 		vm.vcpus[idx].topups += len(pfns)
@@ -394,6 +470,7 @@ func (t *Tester) opLoad() bool {
 	if !vc.initialized || vc.loadedOn >= 0 {
 		return false
 	}
+	t.record(Op{Kind: OpLoad, CPU: cpu, H: h, VCPU: idx})
 	err := t.D.VCPULoad(cpu, h, idx)
 	t.count(hyp.HCVCPULoad, err)
 	if err == nil {
@@ -411,6 +488,7 @@ func (t *Tester) opPut() bool {
 	}
 	h := t.m.loadedVM[cpu]
 	idx := t.m.loadedVCPU[cpu]
+	t.record(Op{Kind: OpPut, CPU: cpu})
 	err := t.D.VCPUPut(cpu)
 	t.count(hyp.HCVCPUPut, err)
 	if err == nil {
@@ -437,7 +515,7 @@ func (t *Tester) opRun() bool {
 		switch t.rng.Intn(4) {
 		case 0: // access a mapped gfn (succeeds) or unmapped (fault exit)
 			gfn := uint64(t.rng.Intn(64))
-			t.D.QueueGuestOp(h, idx, hyp.GuestOp{
+			t.queueGuestOp(h, idx, hyp.GuestOp{
 				Kind: hyp.GuestAccess, IPA: arch.IPA(gfn << arch.PageShift),
 				Write: t.rng.Intn(2) == 0, Value: t.rng.Uint64(),
 			})
@@ -445,18 +523,19 @@ func (t *Tester) opRun() bool {
 			if gfns := sortedKeys(vm.mapped); len(gfns) > 0 {
 				gfn := gfns[t.rng.Intn(len(gfns))]
 				if _, already := vm.shared[gfn]; !already {
-					t.D.QueueGuestOp(h, idx, hyp.GuestOp{Kind: hyp.GuestShareHost, IPA: arch.IPA(gfn << arch.PageShift)})
+					t.queueGuestOp(h, idx, hyp.GuestOp{Kind: hyp.GuestShareHost, IPA: arch.IPA(gfn << arch.PageShift)})
 					vm.shared[gfn] = vm.mapped[gfn]
 				}
 			}
 		case 2: // unshare
 			if gfns := sortedKeys(vm.shared); len(gfns) > 0 {
 				gfn := gfns[t.rng.Intn(len(gfns))]
-				t.D.QueueGuestOp(h, idx, hyp.GuestOp{Kind: hyp.GuestUnshareHost, IPA: arch.IPA(gfn << arch.PageShift)})
+				t.queueGuestOp(h, idx, hyp.GuestOp{Kind: hyp.GuestUnshareHost, IPA: arch.IPA(gfn << arch.PageShift)})
 				delete(vm.shared, gfn)
 			}
 		}
 	}
+	t.record(Op{Kind: OpRun, CPU: cpu})
 	_, err := t.D.VCPURun(cpu)
 	t.count(hyp.HCVCPURun, err)
 	t.stats.GuestRuns++
@@ -503,6 +582,7 @@ func (t *Tester) opLoadProgram() bool {
 		}
 	}
 	prog = append(prog, hyp.Insn{Op: hyp.OpHalt})
+	t.record(Op{Kind: OpLoadProgram, H: h, VCPU: idx, Prog: prog})
 	return t.D.HV.LoadGuestProgram(h, idx, prog)
 }
 
@@ -520,15 +600,16 @@ func (t *Tester) opMapGuest() bool {
 	if vc.topups < 3 {
 		return false // predictor: would just churn -ENOMEM
 	}
-	pfn, err := t.D.AllocPage()
+	pfn, err := t.allocPage()
 	if err != nil {
 		return false
 	}
 	gfn := uint64(t.rng.Intn(64))
 	if _, taken := vm.mapped[gfn]; taken {
-		t.D.FreePage(pfn)
+		t.freePage(pfn)
 		return false
 	}
+	t.record(Op{Kind: OpMapGuest, CPU: cpu, PFN: pfn, GFN: gfn})
 	err = t.D.MapGuest(cpu, pfn, gfn)
 	t.count(hyp.HCHostMapGuest, err)
 	if err == nil {
@@ -553,7 +634,9 @@ func (t *Tester) opTeardown() bool {
 			return false // predictor: EBUSY, not interesting every time
 		}
 	}
-	err := t.D.TeardownVM(t.cpu(), h)
+	cpu := t.cpu()
+	t.record(Op{Kind: OpTeardown, CPU: cpu, H: h})
+	err := t.D.TeardownVM(cpu, h)
 	t.count(hyp.HCTeardownVM, err)
 	if err == nil {
 		t.stats.VMsDestroyed++
@@ -576,7 +659,9 @@ func (t *Tester) opReclaim() bool {
 	if !found {
 		return false
 	}
-	err := t.D.ReclaimPage(t.cpu(), pfn)
+	cpu := t.cpu()
+	t.record(Op{Kind: OpReclaim, CPU: cpu, PFN: pfn})
+	err := t.D.ReclaimPage(cpu, pfn)
 	t.count(hyp.HCHostReclaimPage, err)
 	delete(t.m.reclaim, pfn)
 	if err == nil {
@@ -591,20 +676,26 @@ func (t *Tester) opErrorProbe() bool {
 	cpu := t.cpu()
 	switch t.rng.Intn(6) {
 	case 0: // share MMIO
-		err := t.D.ShareHyp(cpu, arch.PhysToPFN(hyp.UARTPhys))
+		pfn := arch.PhysToPFN(hyp.UARTPhys)
+		t.record(Op{Kind: OpShare, CPU: cpu, PFN: pfn})
+		err := t.D.ShareHyp(cpu, pfn)
 		t.count(hyp.HCHostShareHyp, err)
 	case 1: // unshare something never shared
 		pfn, ok := pickRand(t.rng, t.m.pagesIn(pageHostOwned))
 		if !ok {
 			return false
 		}
+		t.record(Op{Kind: OpUnshare, CPU: cpu, PFN: pfn})
 		err := t.D.UnshareHyp(cpu, pfn)
 		t.count(hyp.HCHostUnshareHyp, err)
 	case 2: // bad handle
+		t.record(Op{Kind: OpLoad, CPU: cpu, H: hyp.Handle(0xbeef), VCPU: 0})
 		err := t.D.VCPULoad(cpu, hyp.Handle(0xbeef), 0)
 		t.count(hyp.HCVCPULoad, err)
 	case 3: // unknown hypercall
-		_, err := t.D.HVC(cpu, hyp.HC(0x7fff), t.rng.Uint64())
+		args := [4]uint64{t.rng.Uint64()}
+		t.record(Op{Kind: OpHVCRaw, CPU: cpu, HC: hyp.HC(0x7fff), Args: args})
+		_, err := t.D.HVC(cpu, hyp.HC(0x7fff), args[0])
 		if err != nil {
 			var pe *hyp.PanicError
 			if errors.As(err, &pe) {
@@ -613,14 +704,138 @@ func (t *Tester) opErrorProbe() bool {
 		}
 		t.stats.Calls++
 	case 4: // reclaim garbage
-		err := t.D.ReclaimPage(cpu, arch.PFN(t.rng.Intn(1<<20)))
+		pfn := arch.PFN(t.rng.Intn(1 << 20))
+		t.record(Op{Kind: OpReclaim, CPU: cpu, PFN: pfn})
+		err := t.D.ReclaimPage(cpu, pfn)
 		t.count(hyp.HCHostReclaimPage, err)
 	case 5: // run with nothing loaded
 		if t.m.loadedVM[cpu] != 0 {
 			return false
 		}
+		t.record(Op{Kind: OpRun, CPU: cpu})
 		_, err := t.D.VCPURun(cpu)
 		t.count(hyp.HCVCPURun, err)
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------
+// Bug probes: deliberately malicious-host sequences aimed at the exact
+// code points where the paper's §5/§6 bugs live. On a correct build
+// every probe lands on a safe error path (an errno or a tolerated
+// spurious event); on a buggy build the oracle alarms. They exist so a
+// short campaign reaches every entry of the faults.All() detection
+// matrix, not just the bugs that sit on the mainline state machine.
+
+// topupTarget finds an initialised, unloaded vCPU (the preconditions a
+// topup must meet before the memcache code paths are even reached).
+func (t *Tester) topupTarget() (hyp.Handle, int, bool) {
+	for _, h := range t.m.anyVM() {
+		for idx, vc := range t.m.vms[h].vcpus {
+			if vc.initialized && vc.loadedOn < 0 {
+				return h, idx, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// uninitVCPU finds a vCPU that was never initialised.
+func (t *Tester) uninitVCPU() (hyp.Handle, int, bool) {
+	for _, h := range t.m.anyVM() {
+		for idx, vc := range t.m.vms[h].vcpus {
+			if !vc.initialized {
+				return h, idx, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+func (t *Tester) opBugProbe() bool {
+	cpu := t.cpu()
+	switch t.rng.Intn(6) {
+	case 0: // misaligned memcache head (§6 bug 1's trigger)
+		h, idx, ok := t.topupTarget()
+		if !ok {
+			return false
+		}
+		pfn, ok := pickRand(t.rng, t.m.pagesIn(pageHostOwned))
+		if !ok {
+			return false
+		}
+		// Fault the page in so its state is host-owned-mapped; the
+		// word at the misaligned head then reads as a nil next link.
+		t.record(Op{Kind: OpTouch, CPU: cpu, PFN: pfn, Write: true})
+		t.D.Access(cpu, arch.IPA(pfn.Phys()), true)
+		t.record(Op{Kind: OpTopupRaw, CPU: cpu, H: h, VCPU: idx, PFN: pfn, Off: 0x800, Nr: 1})
+		head := uint64(pfn.Phys()) + 0x800
+		ret, err := t.D.HVC(cpu, hyp.HCTopupVCPUMemcache, uint64(h), uint64(idx), head, 1)
+		if err == nil && ret < 0 {
+			err = hyp.Errno(ret)
+		}
+		t.count(hyp.HCTopupVCPUMemcache, err)
+	case 1: // huge memcache count (§6 bug 2's trigger)
+		h, idx, ok := t.topupTarget()
+		if !ok {
+			return false
+		}
+		pfn, ok := pickRand(t.rng, t.m.pagesIn(pageHostOwned))
+		if !ok {
+			return false
+		}
+		t.record(Op{Kind: OpTopupRaw, CPU: cpu, H: h, VCPU: idx, PFN: pfn, Off: 0, Nr: 0x10000})
+		ret, err := t.D.HVC(cpu, hyp.HCTopupVCPUMemcache, uint64(h), uint64(idx), uint64(pfn.Phys()), 0x10000)
+		if err == nil && ret < 0 {
+			err = hyp.Errno(ret)
+		}
+		t.count(hyp.HCTopupVCPUMemcache, err)
+	case 2: // load an uninitialised vCPU (§6 bug 3's trigger)
+		h, idx, ok := t.uninitVCPU()
+		if !ok {
+			return false
+		}
+		t.record(Op{Kind: OpLoad, CPU: cpu, H: h, VCPU: idx})
+		err := t.D.VCPULoad(cpu, h, idx)
+		t.count(hyp.HCVCPULoad, err)
+	case 3: // spurious stage 2 fault re-delivery (§6 bug 4's trigger)
+		pfn, ok := pickRand(t.rng, t.m.pagesIn(pageHostOwned))
+		if !ok {
+			return false
+		}
+		t.record(Op{Kind: OpTouch, CPU: cpu, PFN: pfn, Write: true})
+		t.D.Access(cpu, arch.IPA(pfn.Phys()), true)
+		t.record(Op{Kind: OpFaultAgain, CPU: cpu, PFN: pfn, Write: true})
+		if err := t.D.FaultAgain(cpu, arch.IPA(pfn.Phys()), true); err != nil {
+			var pe *hyp.PanicError
+			if errors.As(err, &pe) {
+				t.stats.HypPanics++
+			}
+		}
+	case 4: // share an already-shared page (share-state / return-value bugs)
+		pfn, ok := pickRand(t.rng, t.m.pagesIn(pageSharedHyp))
+		if !ok {
+			return false
+		}
+		t.record(Op{Kind: OpShare, CPU: cpu, PFN: pfn})
+		err := t.D.ShareHyp(cpu, pfn)
+		t.count(hyp.HCHostShareHyp, err)
+	case 5: // share-range across a pre-shared page (bad-stop bug)
+		run, ok := t.allocContiguous(3)
+		if !ok {
+			return false
+		}
+		t.record(Op{Kind: OpShare, CPU: cpu, PFN: run[1]})
+		err := t.D.ShareHyp(cpu, run[1])
+		t.count(hyp.HCHostShareHyp, err)
+		t.record(Op{Kind: OpShareRange, CPU: cpu, PFN: run[0], Nr: 3})
+		err = t.D.ShareHypRange(cpu, run[0], 3)
+		t.count(hyp.HCHostShareHypRange, err)
+		// Phased semantics: pages before the failing phase stay
+		// shared regardless of the reported result.
+		t.m.pages[run[0]] = pageSharedHyp
+		t.m.pages[run[1]] = pageSharedHyp
+		t.m.pages[run[2]] = pageHostOwned
 	}
 	return true
 }

@@ -1,0 +1,27 @@
+package suite
+
+import (
+	"ghostspec/internal/coverage"
+)
+
+// CoverageBaseline runs the full handwritten suite with the oracle
+// attached and a coverage tracker wrapped around every booted system,
+// returning the merged aggregate and the per-test results. This is
+// the suite's coverage yardstick: benchreport's E2 experiment reports
+// it, and campaign reports compare fuzzing coverage against it.
+func CoverageBaseline() (*coverage.Aggregator, []Result) {
+	agg := coverage.NewAggregator()
+	var trackers []*coverage.Tracker
+	results := Run(Options{
+		Ghost: true,
+		Instrument: func(c *Ctx) {
+			tr := coverage.Wrap(c.HV, c.Rec)
+			c.HV.SetInstrumentation(tr)
+			trackers = append(trackers, tr)
+		},
+	})
+	for _, tr := range trackers {
+		agg.Absorb(tr)
+	}
+	return agg, results
+}

@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Meter converts a monotonically increasing event count into a rate
+// gauge (events per second since the previous tick). The campaign
+// engine feeds it its exec counter so dashboards and the flight
+// recorder see execs/sec without every worker touching a shared
+// timestamp. Safe for concurrent use; only one caller should Tick.
+type Meter struct {
+	g *Gauge
+
+	mu        sync.Mutex
+	lastCount uint64
+	lastTime  time.Time
+}
+
+// NewMeter wraps a gauge. The first Tick only establishes the
+// baseline; rates appear from the second Tick on.
+func NewMeter(g *Gauge) *Meter {
+	return &Meter{g: g}
+}
+
+// Tick records the count observed at now and sets the gauge to the
+// rate over the interval since the previous tick. Out-of-order or
+// zero-length intervals leave the gauge unchanged. It returns the
+// rate it computed (0 on the baseline tick).
+func (m *Meter) Tick(now time.Time, count uint64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.lastTime.IsZero() {
+		m.lastTime, m.lastCount = now, count
+		return 0
+	}
+	dt := now.Sub(m.lastTime).Seconds()
+	if dt <= 0 || count < m.lastCount {
+		return 0
+	}
+	rate := float64(count-m.lastCount) / dt
+	m.lastTime, m.lastCount = now, count
+	if m.g != nil {
+		m.g.Set(int64(rate))
+	}
+	return rate
+}

@@ -1,0 +1,30 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeterRate(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_rate")
+	m := NewMeter(g)
+
+	t0 := time.Unix(1000, 0)
+	if rate := m.Tick(t0, 100); rate != 0 {
+		t.Errorf("baseline tick rate = %v, want 0", rate)
+	}
+	if rate := m.Tick(t0.Add(2*time.Second), 300); rate != 100 {
+		t.Errorf("rate = %v, want 100", rate)
+	}
+	if g.Value() != 100 {
+		t.Errorf("gauge = %d, want 100", g.Value())
+	}
+	// Counter reset (count goes backwards) leaves the gauge alone.
+	if rate := m.Tick(t0.Add(3*time.Second), 50); rate != 0 {
+		t.Errorf("rate after reset = %v, want 0", rate)
+	}
+	if g.Value() != 100 {
+		t.Errorf("gauge after reset = %d, want 100", g.Value())
+	}
+}
