@@ -7,6 +7,7 @@
 //	benchreport -telemetry snap.json   # summarise a pkvm-sim -metrics dump
 //	benchreport -ghost-bench out.json  # benchmark smoke run -> JSON artifact
 //	benchreport -campaign out.json     # campaign engine serial vs 8 workers -> JSON artifact
+//	benchreport -tlb out.json          # software TLB vs full walks -> JSON artifact
 package main
 
 import (
@@ -34,7 +35,16 @@ func main() {
 	ghostBench := flag.String("ghost-bench", "", "run the ghost benchmark smoke set and write results to this JSON file")
 	campaignBench := flag.String("campaign", "", "benchmark the campaign engine (serial vs 8 workers) and write results to this JSON file")
 	campaignExecs := flag.Int64("campaign-execs", 64, "executions per campaign benchmark leg")
+	tlbBench := flag.String("tlb", "", "benchmark the software TLB (hit path vs full walks) and write results to this JSON file")
 	flag.Parse()
+
+	if *tlbBench != "" {
+		if err := runTLBBench(*tlbBench); err != nil {
+			fmt.Fprintln(os.Stderr, "tlb-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *ghostBench != "" {
 		if err := runGhostBench(*ghostBench); err != nil {

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/campaign"
+	"ghostspec/internal/hyp"
+	"ghostspec/internal/proxy"
+	"ghostspec/internal/telemetry"
+)
+
+// The tlb-bench mode measures the software TLB on its hot path: the
+// same repeated host translations with the TLB enabled (hits) and with
+// NoTLB (every translation is a full 4-level walk), plus whole-campaign
+// throughput both ways. The microbenchmark speedup is the headline
+// claim; the campaign legs show how much of it survives amid all the
+// other per-trap work.
+
+type tlbMicro struct {
+	Pages       int     `json:"pages"`
+	Iters       int     `json:"iters"`
+	TLBNsPerOp  float64 `json:"tlb_ns_per_op"`
+	WalkNsPerOp float64 `json:"walk_ns_per_op"`
+	Speedup     float64 `json:"speedup"`
+	TLBHits     uint64  `json:"tlb_hits"`
+	TLBMisses   uint64  `json:"tlb_misses"`
+}
+
+type tlbBenchReport struct {
+	GOOS            string      `json:"goos"`
+	GOARCH          string      `json:"goarch"`
+	NumCPU          int         `json:"num_cpu"`
+	GOMAXPROCS      int         `json:"gomaxprocs"`
+	Micro           tlbMicro    `json:"micro"`
+	CampaignTLB     campaignLeg `json:"campaign_tlb"`
+	CampaignWalk    campaignLeg `json:"campaign_walk"`
+	CampaignSpeedup float64     `json:"campaign_speedup"`
+}
+
+// timeTranslate boots a bare system (no oracle: the MMU hot path is
+// the subject), demand-maps a working set, then times repeated read
+// translations over it.
+func timeTranslate(noTLB bool, pages, iters int) (float64, error) {
+	hv, err := hyp.New(hyp.Config{NoTLB: noTLB})
+	if err != nil {
+		return 0, err
+	}
+	d := proxy.New(hv)
+	ipas := make([]arch.IPA, 0, pages)
+	for i := 0; i < pages; i++ {
+		pfn, err := d.AllocPage()
+		if err != nil {
+			return 0, err
+		}
+		ipa := arch.IPA(pfn.Phys())
+		if ok, err := d.Access(0, ipa, true); err != nil || !ok {
+			return 0, fmt.Errorf("pre-fault of %#x: ok=%v err=%v", uint64(ipa), ok, err)
+		}
+		// Demand mapping installs a whole block; a share/unshare round
+		// trip splits it to page granularity, so the walk leg measures
+		// the real 4-level page walk the campaign workload sees.
+		if err := d.ShareHyp(0, pfn); err != nil {
+			return 0, fmt.Errorf("share of %#x: %v", uint64(ipa), err)
+		}
+		if err := d.UnshareHyp(0, pfn); err != nil {
+			return 0, fmt.Errorf("unshare of %#x: %v", uint64(ipa), err)
+		}
+		ipas = append(ipas, ipa)
+	}
+	acc := arch.Access{}
+	// Warm pass: fills the TLB leg; a free extra lap for the walk leg.
+	for _, ipa := range ipas {
+		if _, fault := hv.TranslateHost(0, ipa, acc); fault != nil {
+			return 0, fmt.Errorf("warm translation of %#x faulted: %v", uint64(ipa), fault)
+		}
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, fault := hv.TranslateHost(0, ipas[i%len(ipas)], acc); fault != nil {
+			return 0, fmt.Errorf("timed translation faulted: %v", fault)
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters), nil
+}
+
+func runTLBBench(path string) error {
+	fmt.Println("==================== software TLB benchmark ====================")
+	report := tlbBenchReport{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Micro:      tlbMicro{Pages: 64, Iters: 500000},
+	}
+
+	hits0, _ := telemetry.Snapshot().Counter("tlb_hits_total")
+	misses0, _ := telemetry.Snapshot().Counter("tlb_misses_total")
+	var err error
+	if report.Micro.TLBNsPerOp, err = timeTranslate(false, report.Micro.Pages, report.Micro.Iters); err != nil {
+		return err
+	}
+	hits1, _ := telemetry.Snapshot().Counter("tlb_hits_total")
+	misses1, _ := telemetry.Snapshot().Counter("tlb_misses_total")
+	report.Micro.TLBHits, report.Micro.TLBMisses = hits1-hits0, misses1-misses0
+
+	if report.Micro.WalkNsPerOp, err = timeTranslate(true, report.Micro.Pages, report.Micro.Iters); err != nil {
+		return err
+	}
+	if report.Micro.TLBNsPerOp > 0 {
+		report.Micro.Speedup = report.Micro.WalkNsPerOp / report.Micro.TLBNsPerOp
+	}
+	fmt.Printf("  micro: %d pages, %d iters: tlb %.1fns/op (hits %d, misses %d), walk %.1fns/op, speedup %.2fx\n",
+		report.Micro.Pages, report.Micro.Iters, report.Micro.TLBNsPerOp,
+		report.Micro.TLBHits, report.Micro.TLBMisses, report.Micro.WalkNsPerOp, report.Micro.Speedup)
+
+	leg := func(noTLB bool) (campaignLeg, error) {
+		rep, err := campaign.Run(campaign.Config{
+			Workers:     1,
+			StepsPerRun: 300,
+			Seed:        1,
+			MaxExecs:    64,
+			NoTLB:       noTLB,
+		})
+		if err != nil {
+			return campaignLeg{}, err
+		}
+		if len(rep.Findings) > 0 {
+			return campaignLeg{}, fmt.Errorf("clean build produced findings: %v",
+				rep.Findings[0].Failures[0])
+		}
+		label := "tlb"
+		if noTLB {
+			label = "walk"
+		}
+		fmt.Printf("  campaign (%s): %d execs in %v = %.1f execs/s\n",
+			label, rep.Execs, rep.Elapsed.Round(time.Millisecond), rep.ExecsPerSec)
+		return campaignLeg{
+			Workers:     1,
+			Execs:       rep.Execs,
+			ElapsedMS:   float64(rep.Elapsed) / float64(time.Millisecond),
+			ExecsPerSec: rep.ExecsPerSec,
+			NovelRuns:   rep.NovelRuns,
+			CorpusSize:  rep.CorpusSize,
+			Findings:    len(rep.Findings),
+		}, nil
+	}
+	if report.CampaignTLB, err = leg(false); err != nil {
+		return err
+	}
+	if report.CampaignWalk, err = leg(true); err != nil {
+		return err
+	}
+	if report.CampaignWalk.ExecsPerSec > 0 {
+		report.CampaignSpeedup = report.CampaignTLB.ExecsPerSec / report.CampaignWalk.ExecsPerSec
+	}
+	fmt.Printf("  campaign speedup tlb/walk: %.2fx\n", report.CampaignSpeedup)
+
+	if report.Micro.Speedup < 3 {
+		return fmt.Errorf("microbenchmark speedup %.2fx below the 3x bar", report.Micro.Speedup)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", path)
+	return nil
+}

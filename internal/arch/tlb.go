@@ -1,0 +1,408 @@
+package arch
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ghostspec/internal/telemetry"
+)
+
+// This file is the software TLB: a model of the hardware translation
+// caches whose maintenance pKVM is responsible for. Successful walks
+// are cached keyed by (root, stage, VMID, IA page) and served without
+// re-walking — deliberately including after the tables changed, because
+// that is what hardware does: a translation stays live until a TLBI
+// covering it is issued. Forgetting that TLBI (the break-before-make
+// discipline) is the canonical hypervisor bug class, and modelling the
+// cache faithfully is what lets the ghost oracle observe it
+// (Recorder.FailStaleTLB) instead of the bug staying invisible in a
+// walk-always model.
+//
+// Entries are immutable once published: each slot is an atomic pointer,
+// so the translation hot path (Walk hits) is lock-free, while the shard
+// mutex serializes the writers — fills, invalidations and coherence
+// checks. A translation racing an invalidation may still be served from
+// the pointer it loaded first; the architecture permits exactly that
+// (the TLBI has not completed), and once the invalidation's store is
+// done no later lookup can reach the entry.
+//
+// What keeps the cache itself sound — as opposed to the system under
+// test — is the per-frame write-generation protocol against
+// arch.Memory (the memory model's counters, bumped after every store):
+//
+//   - The miss path records, for every table page it reads, the page's
+//     generation loaded BEFORE the descriptor read.
+//   - The fill publishes under the shard mutex only after re-checking
+//     every recorded generation.
+//   - Invalidations scan under the same shard mutexes.
+//
+// A mutator orders its writes as store < generation bump < TLBI. If a
+// fill's publish precedes the TLBI's shard scan, the scan removes the
+// entry; if the scan precedes the publish, the mutex ordering makes the
+// generation bump visible to the revalidation, which aborts the fill.
+// Either way no entry that predates a TLBI survives it — stale entries
+// exist if and only if a required TLBI was never issued.
+
+// VMID tags a translation regime: which (virtual) machine's tables a
+// cached walk came from. Mirrors the VMID field hardware tags stage 2
+// TLB entries with; the hypervisor's own EL2 stage 1 regime gets a
+// reserved sentinel value so its entries are tagged too.
+type VMID uint16
+
+const (
+	tlbShardBits  = 3
+	tlbShardCount = 1 << tlbShardBits // shards, each with its own writer mutex
+	tlbShardSlots = 128               // direct-mapped sets per shard
+	tlbMaxDeps    = LastLevel - StartLevel + 1
+)
+
+// TLB traffic. Hits and misses count hardware-path translations
+// (TLB.Walk); lookup hits are the verified software-path hits serving
+// pgtable.GetLeaf; fill aborts are walks whose tables changed before
+// the result could be published (the revalidation protocol above).
+var (
+	telTLBHits        = telemetry.NewCounter("tlb_hits_total")
+	telTLBMisses      = telemetry.NewCounter("tlb_misses_total")
+	telTLBInvalidates = telemetry.NewCounter("tlb_invalidations_total")
+	telTLBLookupHits  = telemetry.NewCounter("tlb_lookup_hits_total")
+	telTLBFillAborts  = telemetry.NewCounter("tlb_fill_aborts_total")
+)
+
+type tlbKey struct {
+	root  PhysAddr
+	page  uint64 // ia >> PageShift
+	vmid  VMID
+	stage Stage
+}
+
+func (k tlbKey) hash() uint64 {
+	h := uint64(k.root)>>PageShift ^ k.page ^ uint64(k.vmid)<<40 ^ uint64(k.stage)<<56
+	// SplitMix64 finalizer: decorrelates the low bits used for shard
+	// selection from the structured key fields.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// tlbDep is one table page the cached walk read: the page's generation
+// cell and the value it held before the read. While the generation is
+// unchanged the page is byte-identical to what the walk saw.
+type tlbDep struct {
+	ref *atomic.Uint64
+	gen uint64
+}
+
+// tlbEntry is one cached translation. Immutable after publication:
+// updates replace the whole entry through the slot's atomic pointer.
+type tlbEntry struct {
+	key   tlbKey
+	pte   PTE // the terminal valid leaf descriptor
+	level int
+	cpu   int // CPU whose walk filled the entry (diagnostics)
+	deps  [tlbMaxDeps]tlbDep
+	ndeps int
+}
+
+// depsFresh reports whether every table page the cached walk read is
+// still unchanged — in which case a fresh walk provably returns the
+// same descriptor.
+func (e *tlbEntry) depsFresh() bool {
+	for i := 0; i < e.ndeps; i++ {
+		if e.deps[i].ref.Load() != e.deps[i].gen {
+			return false
+		}
+	}
+	return true
+}
+
+type tlbShard struct {
+	mu    sync.Mutex // serializes writers; the read path is lock-free
+	live  int        // occupied slots, maintained under mu: sweeps skip empty shards
+	slots [tlbShardSlots]atomic.Pointer[tlbEntry]
+}
+
+// set publishes e (or nil) into slot i, keeping the shard's live count.
+// Caller holds sh.mu.
+func (sh *tlbShard) set(i int, e *tlbEntry) {
+	old := sh.slots[i].Load()
+	switch {
+	case old == nil && e != nil:
+		sh.live++
+	case old != nil && e == nil:
+		sh.live--
+	}
+	sh.slots[i].Store(e)
+}
+
+// TLB is the software translation cache. One instance serves all CPUs
+// of a system: entries record their filling CPU, and every modelled
+// invalidation is the broadcast (inner-shareable) form, which is the
+// only kind this hypervisor issues — so a single coherence domain with
+// hash-distributed shard mutexes models per-CPU TLBs plus broadcast
+// maintenance without a per-CPU search on the software lookup path.
+type TLB struct {
+	mem    *Memory
+	shards [tlbShardCount]tlbShard
+}
+
+// NewTLB builds a TLB over the given memory. A nil *TLB is a valid
+// disabled cache: lookups miss and maintenance is a no-op, so callers
+// thread one pointer regardless of configuration.
+func NewTLB(m *Memory) *TLB {
+	return &TLB{mem: m}
+}
+
+func (t *TLB) locate(key tlbKey) (*tlbShard, int) {
+	// The set index comes straight from the page bits, so consecutive
+	// pages occupy consecutive sets — hardware TLBs are VA-indexed the
+	// same way, and it keeps a small working set free of conflict
+	// evictions. The shard (= writer lock) choice takes the mixed hash
+	// so the other key fields still spread contention.
+	return &t.shards[key.hash()&(tlbShardCount-1)], int(key.page % tlbShardSlots)
+}
+
+// Walk is the hardware translation path: consult the cache, walk and
+// fill on a miss. A hit is served without looking at the tables — the
+// architectural behaviour that makes a skipped TLBI observable. The
+// fill protocol above guarantees hits are stale only when maintenance
+// was actually missing, never because of a fill/invalidate race.
+func (t *TLB) Walk(cpu int, root PhysAddr, stage Stage, vmid VMID, ia uint64, acc Access) (WalkResult, *Fault) {
+	if t == nil {
+		panic("arch: Walk on a nil TLB (disabled systems walk directly)")
+	}
+	if !CanonicalIA(ia) {
+		return WalkResult{}, &Fault{Kind: FaultAddressSize, Level: StartLevel, Addr: ia}
+	}
+	key := tlbKey{root: root, page: ia >> PageShift, vmid: vmid, stage: stage}
+	sh, slot := t.locate(key)
+	if e := sh.slots[slot].Load(); e != nil && e.key == key {
+		if !telemetry.Disabled() {
+			telTLBHits.Inc()
+		}
+		return leafResult(e.pte, e.level, ia, acc)
+	}
+	if !telemetry.Disabled() {
+		telTLBMisses.Inc()
+	}
+
+	pte, level, deps, ndeps := t.walkLeafDeps(root, ia)
+	if k := pte.Kind(level); k == EKBlock || k == EKPage {
+		// Valid translations are cacheable even when this particular
+		// access kind permission-faults: the TLB caches the walk, the
+		// permission check happens per access.
+		t.fill(cpu, key, sh, slot, pte, level, deps, ndeps)
+	}
+	return leafResult(pte, level, ia, acc)
+}
+
+// walkLeafDeps is WalkLeaf with dependency recording: each table
+// page's generation is loaded before its descriptor so an unchanged
+// generation later proves the read is still current.
+func (t *TLB) walkLeafDeps(root PhysAddr, ia uint64) (PTE, int, [tlbMaxDeps]tlbDep, int) {
+	var deps [tlbMaxDeps]tlbDep
+	table := root
+	for level := StartLevel; level <= LastLevel; level++ {
+		ref := t.mem.FrameGenRef(table)
+		deps[level-StartLevel] = tlbDep{ref: ref, gen: ref.Load()}
+		pte := t.mem.ReadPTE(table, IndexAt(ia, level))
+		if pte.Kind(level) != EKTable {
+			return pte, level, deps, level - StartLevel + 1
+		}
+		table = pte.TableAddr()
+	}
+	panic("arch: walk ran past the last level")
+}
+
+func (t *TLB) fill(cpu int, key tlbKey, sh *tlbShard, slot int, pte PTE, level int, deps [tlbMaxDeps]tlbDep, ndeps int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i := 0; i < ndeps; i++ {
+		if deps[i].ref.Load() != deps[i].gen {
+			// A table page this walk read was rewritten since: the result
+			// may predate a TLBI that already scanned this shard, so
+			// publishing it could resurrect an invalidated translation.
+			if !telemetry.Disabled() {
+				telTLBFillAborts.Inc()
+			}
+			return
+		}
+	}
+	sh.set(slot, &tlbEntry{key: key, pte: pte, level: level, cpu: cpu, deps: deps, ndeps: ndeps})
+}
+
+// LookupLeaf is the software lookup path serving pgtable.GetLeaf: the
+// hypervisor reads its own tables with ordinary loads, not through the
+// hardware TLB, so unlike Walk a cached entry is only served after
+// revalidating its dependency generations — a software read must never
+// observe a stale descriptor, even when a TLBI was (buggily) skipped.
+// Misses do not fill; entries come from hardware walks.
+func (t *TLB) LookupLeaf(root PhysAddr, stage Stage, vmid VMID, ia uint64) (PTE, int, bool) {
+	if t == nil {
+		return 0, 0, false
+	}
+	key := tlbKey{root: root, page: ia >> PageShift, vmid: vmid, stage: stage}
+	sh, slot := t.locate(key)
+	e := sh.slots[slot].Load()
+	if e == nil || e.key != key || !e.depsFresh() {
+		return 0, 0, false
+	}
+	if !telemetry.Disabled() {
+		telTLBLookupHits.Inc()
+	}
+	return e.pte, e.level, true
+}
+
+// InvalidateRange drops every cached translation tagged vmid whose
+// leaf coverage intersects [ia, ia+size) — Arm's TLBI IPAS2E1IS /
+// VAE2IS by-address forms. An entry cached from a block leaf matches
+// any address the block covers, not just the page that filled it.
+func (t *TLB) InvalidateRange(vmid VMID, ia, size uint64) {
+	if t == nil {
+		return
+	}
+	if !telemetry.Disabled() {
+		telTLBInvalidates.Inc()
+	}
+	end := ia + size
+	t.sweep(func(e *tlbEntry) bool {
+		if e.key.vmid != vmid {
+			return false
+		}
+		base := (e.key.page << PageShift) &^ (LevelSize(e.level) - 1)
+		return base < end && ia < base+LevelSize(e.level)
+	})
+}
+
+// InvalidateIPA drops the cached translations of one page — the
+// page-granule TLBI.
+func (t *TLB) InvalidateIPA(vmid VMID, ia uint64) {
+	t.InvalidateRange(vmid, ia, PageSize)
+}
+
+// InvalidateVMID drops every cached translation tagged vmid — Arm's
+// TLBI VMALLS12E1IS, issued when a VM's stage 2 is torn down.
+func (t *TLB) InvalidateVMID(vmid VMID) {
+	if t == nil {
+		return
+	}
+	if !telemetry.Disabled() {
+		telTLBInvalidates.Inc()
+	}
+	t.sweep(func(e *tlbEntry) bool { return e.key.vmid == vmid })
+}
+
+// InvalidateAll drops everything — TLBI ALLE1IS.
+func (t *TLB) InvalidateAll() {
+	if t == nil {
+		return
+	}
+	if !telemetry.Disabled() {
+		telTLBInvalidates.Inc()
+	}
+	t.sweep(func(*tlbEntry) bool { return true })
+}
+
+func (t *TLB) sweep(drop func(*tlbEntry) bool) {
+	for si := range t.shards {
+		sh := &t.shards[si]
+		sh.mu.Lock()
+		if sh.live > 0 {
+			for i := range sh.slots {
+				if e := sh.slots[i].Load(); e != nil && drop(e) {
+					sh.set(i, nil)
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Len returns the number of live entries (testing and diagnostics).
+func (t *TLB) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	t.sweepRead(func(*tlbEntry) { n++ })
+	return n
+}
+
+func (t *TLB) sweepRead(visit func(*tlbEntry)) {
+	for si := range t.shards {
+		sh := &t.shards[si]
+		sh.mu.Lock()
+		if sh.live > 0 {
+			for i := range sh.slots {
+				if e := sh.slots[i].Load(); e != nil {
+					visit(e)
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// CheckCoherence re-walks every live entry tagged vmid against the
+// current tables and returns a description of each whose cached
+// translation disagrees — the evidence behind the ghost oracle's
+// FailStaleTLB alarm. Entries whose dependency generations are
+// unchanged are provably coherent and skipped without re-walking; a
+// re-walk that still yields the same translation (possibly through a
+// split, at a different level) refreshes the entry in place. Stale
+// entries are reported once and dropped.
+//
+// The caller must hold the lock of the component owning vmid's tables
+// so they are quiescent during the re-walks; the ghost oracle runs
+// this from its LockReleasing hook, which the hypervisor calls with
+// the component lock still held.
+//
+//ghost:requires lock=dynamic
+func (t *TLB) CheckCoherence(vmid VMID) []string {
+	if t == nil {
+		return nil
+	}
+	var out []string
+	for si := range t.shards {
+		sh := &t.shards[si]
+		sh.mu.Lock()
+		if sh.live == 0 {
+			sh.mu.Unlock()
+			continue
+		}
+		for i := range sh.slots {
+			e := sh.slots[i].Load()
+			if e == nil || e.key.vmid != vmid {
+				continue
+			}
+			if e.depsFresh() {
+				continue
+			}
+			ia := e.key.page << PageShift
+			pte, level, deps, ndeps := t.walkLeafDeps(e.key.root, ia)
+			cachedOA := e.pte.OutputAddr(e.level) + PhysAddr(ia&(LevelSize(e.level)-1))
+			if k := pte.Kind(level); k == EKBlock || k == EKPage {
+				freshOA := pte.OutputAddr(level) + PhysAddr(ia&(LevelSize(level)-1))
+				if freshOA == cachedOA && pte.Attrs() == e.pte.Attrs() {
+					sh.set(i, &tlbEntry{
+						key: e.key, pte: pte, level: level, cpu: e.cpu, deps: deps, ndeps: ndeps})
+					continue
+				}
+				out = append(out, fmt.Sprintf(
+					"vmid %d ia %#x: TLB holds pa=%#x [%v] (level %d, filled by cpu %d) but the tables now give pa=%#x [%v] (level %d) — a required TLBI was not issued",
+					vmid, ia, uint64(cachedOA), e.pte.Attrs(), e.level, e.cpu,
+					uint64(freshOA), pte.Attrs(), level))
+			} else {
+				out = append(out, fmt.Sprintf(
+					"vmid %d ia %#x: TLB holds pa=%#x [%v] (level %d, filled by cpu %d) but a fresh walk finds a %v entry — a required TLBI was not issued",
+					vmid, ia, uint64(cachedOA), e.pte.Attrs(), e.level, e.cpu, k))
+			}
+			sh.set(i, nil)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+// tlbWalk is the test shorthand: a stage 2 hardware read walk for vmid
+// through t over the table built by buildTestTable.
+func tlbWalk(t *TLB, root PhysAddr, vmid VMID, ia uint64) (WalkResult, *Fault) {
+	return t.Walk(0, root, Stage2, vmid, ia, Access{})
+}
+
+func TestTLBHitServesStaleTranslation(t *testing.T) {
+	m := NewMemory(DefaultLayout())
+	root := buildTestTable(m)
+	tlb := NewTLB(m)
+
+	res, f := tlbWalk(tlb, root, 1, 0x0)
+	if f != nil || res.OutputAddr != 0x4000_0000 {
+		t.Fatalf("first walk: %#x, fault %v", uint64(res.OutputAddr), f)
+	}
+	if tlb.Len() != 1 {
+		t.Fatalf("Len = %d after one fill", tlb.Len())
+	}
+
+	// Rewrite the leaf without a TLBI: the hardware path must keep
+	// serving the cached (now stale) translation — that is the modelled
+	// bug class, not a cache defect.
+	l3 := PhysAddr(0x9000_3000)
+	m.WritePTE(l3, 0, MakeLeaf(3, 0x4000_5000, Attrs{Perms: PermRWX, Mem: MemNormal}))
+	res, f = tlbWalk(tlb, root, 1, 0x0)
+	if f != nil || res.OutputAddr != 0x4000_0000 {
+		t.Errorf("post-rewrite hit: %#x, fault %v, want stale 0x4000_0000", uint64(res.OutputAddr), f)
+	}
+
+	// After the TLBI the next walk misses and sees the new leaf.
+	tlb.InvalidateIPA(1, 0x0)
+	if tlb.Len() != 0 {
+		t.Errorf("Len = %d after invalidate", tlb.Len())
+	}
+	res, f = tlbWalk(tlb, root, 1, 0x0)
+	if f != nil || res.OutputAddr != 0x4000_5000 {
+		t.Errorf("post-TLBI walk: %#x, fault %v", uint64(res.OutputAddr), f)
+	}
+}
+
+func TestTLBLookupLeafRevalidates(t *testing.T) {
+	m := NewMemory(DefaultLayout())
+	root := buildTestTable(m)
+	tlb := NewTLB(m)
+
+	if _, f := tlbWalk(tlb, root, 1, 0x1000); f != nil {
+		t.Fatalf("walk faulted: %v", f)
+	}
+	if pte, level, ok := tlb.LookupLeaf(root, Stage2, 1, 0x1000); !ok || level != 3 || pte.OutputAddr(3) != 0x4000_1000 {
+		t.Fatalf("fresh LookupLeaf = %#x level %d ok %v", uint64(pte.OutputAddr(3)), level, ok)
+	}
+	// Any store to a dependency page makes the software path refuse the
+	// entry, TLBI or not: the hypervisor reads its tables with ordinary
+	// loads and must never see a stale descriptor.
+	l3 := PhysAddr(0x9000_3000)
+	m.WritePTE(l3, 1, MakeLeaf(3, 0x4000_6000, Attrs{Perms: PermRW, Mem: MemNormal}))
+	if _, _, ok := tlb.LookupLeaf(root, Stage2, 1, 0x1000); ok {
+		t.Error("LookupLeaf served a stale entry after a table store")
+	}
+	// Misses (wrong vmid, uncached page) return false too.
+	if _, _, ok := tlb.LookupLeaf(root, Stage2, 2, 0x1000); ok {
+		t.Error("LookupLeaf hit across VMIDs")
+	}
+	if _, _, ok := tlb.LookupLeaf(root, Stage2, 1, 0x5000); ok {
+		t.Error("LookupLeaf hit an uncached page")
+	}
+}
+
+func TestTLBInvalidateRangeCoversBlocks(t *testing.T) {
+	m := NewMemory(DefaultLayout())
+	root := buildTestTable(m)
+	tlb := NewTLB(m)
+
+	// Fill from the 2MB block via one page inside it.
+	if _, f := tlbWalk(tlb, root, 1, 0x20_0000); f != nil {
+		t.Fatalf("block walk faulted: %v", f)
+	}
+	// A page-granule TLBI for a *different* page the block covers must
+	// still drop the entry: invalidation matches leaf coverage, not the
+	// filling address.
+	tlb.InvalidateIPA(1, 0x20_0000+17*PageSize)
+	if tlb.Len() != 0 {
+		t.Errorf("block entry survived a TLBI inside its range (Len %d)", tlb.Len())
+	}
+
+	// And one just outside the block leaves it alone.
+	if _, f := tlbWalk(tlb, root, 1, 0x20_0000); f != nil {
+		t.Fatalf("refill walk faulted: %v", f)
+	}
+	tlb.InvalidateIPA(1, 0x20_0000+LevelSize(2))
+	if tlb.Len() != 1 {
+		t.Errorf("TLBI outside the block dropped it (Len %d)", tlb.Len())
+	}
+}
+
+func TestTLBInvalidateVMIDAndAll(t *testing.T) {
+	m := NewMemory(DefaultLayout())
+	root := buildTestTable(m)
+	tlb := NewTLB(m)
+
+	for _, vmid := range []VMID{1, 2} {
+		if _, f := tlbWalk(tlb, root, vmid, 0x0); f != nil {
+			t.Fatalf("walk vmid %d faulted: %v", vmid, f)
+		}
+		if _, f := tlbWalk(tlb, root, vmid, 0x1000); f != nil {
+			t.Fatalf("walk vmid %d faulted: %v", vmid, f)
+		}
+	}
+	if tlb.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tlb.Len())
+	}
+	tlb.InvalidateVMID(1)
+	if tlb.Len() != 2 {
+		t.Errorf("Len = %d after InvalidateVMID(1), want 2", tlb.Len())
+	}
+	if _, _, ok := tlb.LookupLeaf(root, Stage2, 2, 0x0); !ok {
+		t.Error("vmid 2 entry lost to vmid 1's TLBI")
+	}
+	tlb.InvalidateAll()
+	if tlb.Len() != 0 {
+		t.Errorf("Len = %d after InvalidateAll", tlb.Len())
+	}
+}
+
+func TestTLBPermissionFaultStillCaches(t *testing.T) {
+	m := NewMemory(DefaultLayout())
+	root := buildTestTable(m)
+	tlb := NewTLB(m)
+
+	// Page 1 is RW-: an exec walk faults but the translation itself is
+	// valid and cacheable; the permission check is per access.
+	if _, f := tlb.Walk(0, root, Stage2, 1, 0x1000, Access{Exec: true}); f == nil || f.Kind != FaultPermission {
+		t.Fatalf("exec fault = %+v", f)
+	}
+	if tlb.Len() != 1 {
+		t.Fatalf("Len = %d, want the faulting walk cached", tlb.Len())
+	}
+	// The cached entry serves a read hit and still exec-faults.
+	if res, f := tlbWalk(tlb, root, 1, 0x1000); f != nil || res.OutputAddr != 0x4000_1000 {
+		t.Errorf("read after exec fault: %#x, fault %v", uint64(res.OutputAddr), f)
+	}
+	if _, f := tlb.Walk(0, root, Stage2, 1, 0x1000, Access{Exec: true}); f == nil || f.Kind != FaultPermission {
+		t.Errorf("cached exec fault = %+v", f)
+	}
+	// Faulting (invalid) walks are not cached.
+	tlb.InvalidateAll()
+	if _, f := tlbWalk(tlb, root, 1, 0x5000); f == nil {
+		t.Fatal("translation fault expected")
+	}
+	if tlb.Len() != 0 {
+		t.Errorf("Len = %d, invalid walk was cached", tlb.Len())
+	}
+}
+
+func TestTLBFillAbortsOnConcurrentWrite(t *testing.T) {
+	m := NewMemory(DefaultLayout())
+	root := buildTestTable(m)
+	tlb := NewTLB(m)
+
+	// Reproduce the fill-vs-mutate race deterministically with the
+	// in-package pieces: record the walk, mutate a dependency page (as a
+	// racing CPU would between walk and publish), then attempt the fill.
+	key := tlbKey{root: root, page: 0, vmid: 1, stage: Stage2}
+	sh, slot := tlb.locate(key)
+	pte, level, deps, ndeps := tlb.walkLeafDeps(root, 0x0)
+	l3 := PhysAddr(0x9000_3000)
+	m.WritePTE(l3, 0, MakeLeaf(3, 0x4000_7000, Attrs{Perms: PermRWX, Mem: MemNormal}))
+	tlb.fill(0, key, sh, slot, pte, level, deps, ndeps)
+	if tlb.Len() != 0 {
+		t.Errorf("Len = %d: fill published a result whose tables changed", tlb.Len())
+	}
+}
+
+func TestTLBCheckCoherence(t *testing.T) {
+	m := NewMemory(DefaultLayout())
+	root := buildTestTable(m)
+	tlb := NewTLB(m)
+
+	if _, f := tlbWalk(tlb, root, 1, 0x0); f != nil {
+		t.Fatalf("walk faulted: %v", f)
+	}
+	// Fresh entry: coherent, nothing reported.
+	if stale := tlb.CheckCoherence(1); len(stale) != 0 {
+		t.Fatalf("fresh entry reported stale: %v", stale)
+	}
+
+	// A generation bump that does not change the translation (rewriting
+	// the same descriptor) refreshes the entry instead of reporting it.
+	l3 := PhysAddr(0x9000_3000)
+	m.WritePTE(l3, 0, MakeLeaf(3, 0x4000_0000, Attrs{Perms: PermRWX, Mem: MemNormal}))
+	if stale := tlb.CheckCoherence(1); len(stale) != 0 {
+		t.Fatalf("equal re-walk reported stale: %v", stale)
+	}
+	if tlb.Len() != 1 {
+		t.Fatalf("Len = %d after refresh", tlb.Len())
+	}
+
+	// Now genuinely change the translation without a TLBI.
+	m.WritePTE(l3, 0, MakeLeaf(3, 0x4000_8000, Attrs{Perms: PermRWX, Mem: MemNormal}))
+	stale := tlb.CheckCoherence(1)
+	if len(stale) != 1 || !strings.Contains(stale[0], "TLBI was not issued") {
+		t.Fatalf("stale report = %v", stale)
+	}
+	// Reported once, then dropped.
+	if tlb.Len() != 0 {
+		t.Errorf("Len = %d after stale report", tlb.Len())
+	}
+	if again := tlb.CheckCoherence(1); len(again) != 0 {
+		t.Errorf("stale entry reported twice: %v", again)
+	}
+
+	// Unmapping underneath a cached entry is the other report shape.
+	if _, f := tlbWalk(tlb, root, 1, 0x1000); f != nil {
+		t.Fatalf("walk faulted: %v", f)
+	}
+	m.WritePTE(l3, 1, 0)
+	stale = tlb.CheckCoherence(1)
+	if len(stale) != 1 || !strings.Contains(stale[0], "fresh walk finds") {
+		t.Errorf("unmapped-entry report = %v", stale)
+	}
+
+	// Other VMIDs' entries are out of scope for the check.
+	if _, f := tlbWalk(tlb, root, 2, 0x0); f != nil {
+		t.Fatalf("walk faulted: %v", f)
+	}
+	m.WritePTE(l3, 0, MakeLeaf(3, 0x4000_9000, Attrs{Perms: PermRWX, Mem: MemNormal}))
+	if stale := tlb.CheckCoherence(1); len(stale) != 0 {
+		t.Errorf("vmid 1 check reported vmid 2's entry: %v", stale)
+	}
+}
+
+func TestTLBNilIsDisabled(t *testing.T) {
+	var tlb *TLB
+	if _, _, ok := tlb.LookupLeaf(0x9000_0000, Stage2, 1, 0x0); ok {
+		t.Error("nil TLB reported a hit")
+	}
+	tlb.InvalidateIPA(1, 0x0)
+	tlb.InvalidateRange(1, 0x0, PageSize)
+	tlb.InvalidateVMID(1)
+	tlb.InvalidateAll()
+	if tlb.Len() != 0 {
+		t.Error("nil TLB has entries")
+	}
+	if stale := tlb.CheckCoherence(1); stale != nil {
+		t.Errorf("nil TLB reported stale entries: %v", stale)
+	}
+}

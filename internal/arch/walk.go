@@ -75,6 +75,49 @@ type WalkResult struct {
 	Level      int
 }
 
+// WalkLeaf descends the table rooted at root to the terminal
+// descriptor covering ia and returns it with its level. The result is
+// a block, page, invalid, annotated, or reserved descriptor — never a
+// table. This is the one descent loop shared by Walk, the software
+// TLB's miss path, and pgtable.GetLeaf.
+func WalkLeaf(m *Memory, root PhysAddr, ia uint64) (PTE, int) {
+	table := root
+	for level := StartLevel; level <= LastLevel; level++ {
+		pte := m.ReadPTE(table, IndexAt(ia, level))
+		if pte.Kind(level) != EKTable {
+			return pte, level
+		}
+		table = pte.TableAddr()
+	}
+	panic("arch: walk ran past the last level")
+}
+
+// leafResult decodes a terminal descriptor into the walk's outcome
+// for ia under acc: the permission-checked output address for a valid
+// leaf, or the architectural fault for the other encodings. pte must
+// not be a table descriptor.
+func leafResult(pte PTE, level int, ia uint64, acc Access) (WalkResult, *Fault) {
+	switch pte.Kind(level) {
+	case EKBlock, EKPage:
+		a := pte.Attrs()
+		if (acc.Write && a.Perms&PermW == 0) ||
+			(acc.Exec && a.Perms&PermX == 0) ||
+			(!acc.Write && !acc.Exec && a.Perms&PermR == 0) {
+			return WalkResult{}, &Fault{Kind: FaultPermission, Level: level, Addr: ia}
+		}
+		offset := ia & (LevelSize(level) - 1)
+		return WalkResult{
+			OutputAddr: pte.OutputAddr(level) + PhysAddr(offset),
+			Attrs:      a,
+			Level:      level,
+		}, nil
+	case EKReserved:
+		return WalkResult{}, &Fault{Kind: FaultAddressSize, Level: level, Addr: ia}
+	default: // EKInvalid, EKAnnotated
+		return WalkResult{}, &Fault{Kind: FaultTranslation, Level: level, Addr: ia}
+	}
+}
+
 // Walk performs the architecture's translation-table walk for input
 // address ia through the table rooted at root, checking acc against
 // the leaf permissions. It is the hardware's view of a page table: the
@@ -84,32 +127,8 @@ func Walk(m *Memory, root PhysAddr, ia uint64, acc Access) (WalkResult, *Fault) 
 	if !CanonicalIA(ia) {
 		return WalkResult{}, &Fault{Kind: FaultAddressSize, Level: StartLevel, Addr: ia}
 	}
-	table := root
-	for level := StartLevel; level <= LastLevel; level++ {
-		pte := m.ReadPTE(table, IndexAt(ia, level))
-		switch pte.Kind(level) {
-		case EKTable:
-			table = pte.TableAddr()
-		case EKBlock, EKPage:
-			a := pte.Attrs()
-			if (acc.Write && a.Perms&PermW == 0) ||
-				(acc.Exec && a.Perms&PermX == 0) ||
-				(!acc.Write && !acc.Exec && a.Perms&PermR == 0) {
-				return WalkResult{}, &Fault{Kind: FaultPermission, Level: level, Addr: ia}
-			}
-			offset := ia & (LevelSize(level) - 1)
-			return WalkResult{
-				OutputAddr: pte.OutputAddr(level) + PhysAddr(offset),
-				Attrs:      a,
-				Level:      level,
-			}, nil
-		case EKInvalid, EKAnnotated:
-			return WalkResult{}, &Fault{Kind: FaultTranslation, Level: level, Addr: ia}
-		case EKReserved:
-			return WalkResult{}, &Fault{Kind: FaultAddressSize, Level: level, Addr: ia}
-		}
-	}
-	panic("arch: walk ran past the last level")
+	pte, level := WalkLeaf(m, root, ia)
+	return leafResult(pte, level, ia, acc)
 }
 
 // WalkRead translates ia for a read access.

@@ -114,6 +114,61 @@ func TestWalkNonCanonical(t *testing.T) {
 	}
 }
 
+func TestWalkBlockLevel1(t *testing.T) {
+	m := NewMemory(DefaultLayout())
+	root := buildTestTable(m)
+	// A 1GB block at l1 index 1: ia [1GB, 2GB) -> pa 0x4000_0000.
+	l1 := PhysAddr(0x9000_1000)
+	m.WritePTE(l1, 1, MakeLeaf(1, 0x4000_0000, Attrs{Perms: PermRWX, Mem: MemNormal}))
+
+	ia := uint64(1)<<LevelShift(1) + 0x123_4567
+	res, f := WalkRead(m, root, ia)
+	if f != nil {
+		t.Fatalf("level-1 block walk faulted: %v", f)
+	}
+	if res.Level != 1 || res.OutputAddr != 0x4000_0000+0x123_4567 {
+		t.Errorf("level-1 block walk = %#x level %d", uint64(res.OutputAddr), res.Level)
+	}
+}
+
+func TestWalkReservedEncoding(t *testing.T) {
+	m := NewMemory(DefaultLayout())
+	root := buildTestTable(m)
+	// A valid descriptor with the type bit clear is a block — but block
+	// encodings are architecturally reserved at level 0, and the walk
+	// must report an address-size fault, not a mapping.
+	m.WritePTE(root, 1, pteValid|pteAF)
+	if _, f := WalkRead(m, root, 1<<LevelShift(0)); f == nil || f.Kind != FaultAddressSize || f.Level != 0 {
+		t.Errorf("reserved level-0 encoding: fault = %+v, want address-size at level 0", f)
+	}
+	// Same bit pattern at level 3 (page slot without the type bit).
+	l3 := PhysAddr(0x9000_3000)
+	m.WritePTE(l3, 2, pteValid|pteAF)
+	if _, f := WalkRead(m, root, 0x2000); f == nil || f.Kind != FaultAddressSize || f.Level != 3 {
+		t.Errorf("reserved level-3 encoding: fault = %+v, want address-size at level 3", f)
+	}
+}
+
+func TestWalkExecPermissions(t *testing.T) {
+	m := NewMemory(DefaultLayout())
+	root := buildTestTable(m)
+
+	// Page 0 is RWX: exec succeeds.
+	if _, f := Walk(m, root, 0x0, Access{Exec: true}); f != nil {
+		t.Errorf("exec on RWX page faulted: %v", f)
+	}
+	// The level-2 block is RWX too; exec through a block leaf.
+	if _, f := Walk(m, root, 0x20_0000, Access{Exec: true}); f != nil {
+		t.Errorf("exec on RWX block faulted: %v", f)
+	}
+	// A write-only page is not readable: plain reads permission-fault.
+	l3 := PhysAddr(0x9000_3000)
+	m.WritePTE(l3, 3, MakeLeaf(3, 0x4000_3000, Attrs{Perms: PermW, Mem: MemNormal}))
+	if _, f := WalkRead(m, root, 0x3000); f == nil || f.Kind != FaultPermission {
+		t.Errorf("read on W-only page: fault = %+v, want permission", f)
+	}
+}
+
 func TestWalkRacesAreAtomic(t *testing.T) {
 	// Hardware walks racing with descriptor updates must observe whole
 	// descriptors. Run under -race: this is the legitimate concurrency

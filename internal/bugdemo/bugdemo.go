@@ -209,6 +209,26 @@ func Demos() []Demo {
 			},
 		},
 		{
+			Bug:         faults.BugUnshareSkipTLBI,
+			Description: "the unshare paths rewrite the host stage 2 entry without the break-before-make TLB invalidation, leaving a stale cached translation (synthetic, software-TLB extension)",
+			drive: func(d *proxy.Driver) error {
+				pfn, err := d.AllocPage()
+				if err != nil {
+					return err
+				}
+				if err := d.ShareHyp(0, pfn); err != nil {
+					return err
+				}
+				// The access caches the shared-owned translation in the
+				// software TLB; the buggy unshare then skips the TLBI
+				// that should evict it.
+				if ok, err := d.Access(0, arch.IPA(pfn.Phys()), true); err != nil || !ok {
+					return fmt.Errorf("touch of shared page: ok=%v err=%v", ok, err)
+				}
+				return ignoreErrno(d.UnshareHyp(0, pfn))
+			},
+		},
+		{
 			Bug:         faults.BugMapDemandWrongState,
 			Description: "mapping-on-demand installs host pages with a shared page state instead of owned (synthetic)",
 			drive: func(d *proxy.Driver) error {

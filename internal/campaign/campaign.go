@@ -56,6 +56,10 @@ type Config struct {
 	// BigMemory boots the large-physical-map layout (boot-layout bug
 	// class); otherwise the default layout.
 	BigMemory bool
+	// NoTLB boots the systems without the software TLB (every
+	// translation is a full walk) — the before leg of the TLB
+	// benchmark, and an ablation for the stale-TLB checks.
+	NoTLB bool
 	// Duration bounds wall time; zero means no deadline.
 	Duration time.Duration
 	// MaxExecs bounds total executions; zero means unlimited.
@@ -209,7 +213,7 @@ func Run(cfg Config) (*Report, error) {
 // instrumentation stack: oracle attached first (it checks the boot
 // layout), coverage wrapped over it.
 func (e *engine) newSystem() (*proxy.Driver, *ghost.Recorder, *coverage.Tracker, error) {
-	hcfg := hyp.Config{Inj: faults.NewInjector(e.cfg.Bugs...)}
+	hcfg := hyp.Config{Inj: faults.NewInjector(e.cfg.Bugs...), NoTLB: e.cfg.NoTLB}
 	if e.cfg.BigMemory {
 		hcfg.Layout = bigMemoryLayout
 	}

@@ -41,6 +41,10 @@ const (
 	// This is a bug in the ghost machinery itself, never in the
 	// hypervisor under test.
 	FailCacheDivergence
+	// FailStaleTLB: a software-TLB entry disagrees with the page table
+	// it was filled from — the mutation that changed the translation
+	// never issued the break-before-make TLB invalidation.
+	FailStaleTLB
 )
 
 func (k FailureKind) String() string {
@@ -61,6 +65,8 @@ func (k FailureKind) String() string {
 		return "spec-incomplete"
 	case FailCacheDivergence:
 		return "cache-divergence"
+	case FailStaleTLB:
+		return "stale-tlb"
 	}
 	return fmt.Sprintf("FailureKind(%d)", uint8(k))
 }
@@ -399,6 +405,38 @@ func (r *Recorder) LockReleasing(cpu int, c hyp.Component) {
 	snap := r.recordComponent(rec.post, c, false)
 	if ses := rec.sessions[c]; len(ses) > 0 && ses[len(ses)-1].Post == nil {
 		ses[len(ses)-1].Post = snap
+	}
+	r.checkTLB(cpu, c)
+}
+
+// checkTLB runs the software-TLB coherence check for the component
+// whose lock is about to be released: every cached translation tagged
+// with the component's VMID must still agree with the component's page
+// table. A disagreement means a mutation skipped its break-before-make
+// TLB invalidation — real hardware would keep serving the old
+// translation. Running inside LockReleasing makes the table quiescent
+// for the re-walk.
+//
+//ghost:requires lock=dynamic
+func (r *Recorder) checkTLB(cpu int, c hyp.Component) {
+	tlb := r.hv.TLB()
+	if tlb == nil {
+		return
+	}
+	var vmid arch.VMID
+	switch c.Kind {
+	case hyp.CompHost:
+		vmid = hyp.VMIDHost
+	case hyp.CompHyp:
+		vmid = hyp.VMIDHyp
+	case hyp.CompGuest:
+		vmid = hyp.VMIDForHandle(c.Handle)
+	default:
+		return // the VM table owns no translations
+	}
+	if stale := tlb.CheckCoherence(vmid); len(stale) > 0 {
+		r.fail(Failure{Kind: FailStaleTLB, CPU: cpu, Call: r.cpus[cpu].call,
+			Detail: strings.Join(stale, "\n")})
 	}
 }
 

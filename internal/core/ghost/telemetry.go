@@ -24,7 +24,7 @@ var (
 
 	// ghostFailures counts alarms per FailureKind; one counter per kind,
 	// registered up front so the hot path never builds names.
-	ghostFailures [int(FailCacheDivergence) + 1]*telemetry.Counter
+	ghostFailures [int(FailStaleTLB) + 1]*telemetry.Counter
 
 	// Offline replay keeps its own counters so a live run and its
 	// replay can be compared side by side.

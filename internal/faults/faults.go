@@ -82,6 +82,14 @@ const (
 	// partially shared while claiming otherwise (synthetic, for the
 	// transactional-instrumentation extension).
 	BugShareRangeBadStop Bug = "share-range-bad-stop"
+
+	// BugUnshareSkipTLBI: the unshare paths (host_unshare_hyp,
+	// guest_unshare) rewrite the host stage 2 entry without issuing
+	// the break-before-make TLB invalidation, leaving any cached
+	// translation of the page stale — the canonical missing-TLBI
+	// hypervisor bug class (synthetic, for the software-TLB
+	// extension; detectable only when the TLB model is enabled).
+	BugUnshareSkipTLBI Bug = "unshare-skip-tlbi"
 )
 
 // All lists every injectable bug, in a stable order.
@@ -93,6 +101,7 @@ func All() []Bug {
 		BugUnshareLeaveMapping, BugDonateKeepHostMapping,
 		BugReclaimSkipOwnerClear, BugWrongReturnValue,
 		BugMapDemandWrongState, BugShareRangeBadStop,
+		BugUnshareSkipTLBI,
 	}
 	sort.Slice(bugs, func(i, j int) bool { return bugs[i] < bugs[j] })
 	return bugs

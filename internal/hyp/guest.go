@@ -21,6 +21,8 @@ func newTableFromDonation(hv *Hypervisor, vm *VM) (*pgtable.Table, error) {
 	// One aggregate gauge across all guests: per-handle labels would
 	// grow the registry without bound as VMs come and go.
 	pgt.SetOnTablePage(liveTableGauge(telGuestTablesLive))
+	pgt.SetTLBI(hv.guestTLBI(vm.VMID))
+	pgt.SetTLB(hv.tlb, vm.VMID)
 	return pgt, nil
 }
 

@@ -129,7 +129,7 @@ func (hv *Hypervisor) runProgram(cpu int, vm *VM, vcpu *VCPU) int64 {
 		case OpLoad, OpStore:
 			ipa := arch.IPA(regs[in.Src] + in.Imm)
 			write := in.Op == OpStore
-			res, fault := arch.Walk(hv.Mem, vm.PGT.Root(), uint64(ipa), arch.Access{Write: write})
+			res, fault := hv.translateGuest(cpu, vm, ipa, arch.Access{Write: write})
 			if fault != nil {
 				// Stage 2 abort: exit to the host, PC unchanged so
 				// the retried run restarts this instruction.

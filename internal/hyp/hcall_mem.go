@@ -100,7 +100,16 @@ func (hv *Hypervisor) doUnshareHyp(cpu int, ipa arch.IPA, hypVA arch.VirtAddr) E
 		// broken internal invariant, not a host error.
 		hv.hypPanic(cpu, "unshare: host/hyp share state mismatch at %#x", uint64(ipa))
 	}
-	if ret := hv.hostIDMap(ipa, arch.PageSize, arch.StateOwned); ret != OK {
+	// The host entry flips SharedOwned→Owned: a live translation
+	// changes, so the mutation's break-before-make must invalidate any
+	// cached walk of it. The injected bug suppresses exactly that TLBI
+	// (both flags run under the host lock, like the callback).
+	if hv.Inj.Enabled(faults.BugUnshareSkipTLBI) {
+		hv.hostTLBIOff = true
+	}
+	ret := hv.hostIDMap(ipa, arch.PageSize, arch.StateOwned)
+	hv.hostTLBIOff = false
+	if ret != OK {
 		return ret
 	}
 	if !hv.Inj.Enabled(faults.BugUnshareLeaveMapping) {

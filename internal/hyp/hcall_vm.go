@@ -81,6 +81,7 @@ func (hv *Hypervisor) initVM(cpu int, nrVCPUs int, donPFN arch.PFN, donNr uint64
 	handle := HandleOffset + Handle(slot)
 	vm := &VM{
 		Handle:    handle,
+		VMID:      VMIDForSlot(slot),
 		State:     VMActive,
 		Protected: true,
 		NrVCPUs:   nrVCPUs,
@@ -150,6 +151,11 @@ func (hv *Hypervisor) teardownVM(cpu int, handle Handle) Errno {
 	vm.PGT.Alloc = collect
 	vm.PGT.Destroy()
 	vm.PGT = nil
+	// Destroy tears the stage 2 down without per-entry unmaps, so no
+	// break-before-make TLBIs fired: the whole regime is invalidated
+	// by VMID instead (TLBI VMALLS12E1IS), still under the guest lock
+	// so no new walk of the dead table can refill behind it.
+	hv.tlb.InvalidateVMID(vm.VMID)
 	hv.unlockGuest(cpu, vm)
 
 	for _, vcpu := range vm.VCPUs {

@@ -33,6 +33,21 @@ const (
 	IDGuestBase uint8 = 16
 )
 
+// VMIDs tag TLB entries with their translation regime, mirroring the
+// hardware's VMID field (plus a sentinel for the EL2 stage 1 regime,
+// which hardware distinguishes by translation context rather than
+// VMID). The host runs on VMID 0, as KVM configures it; guest slot s
+// uses 1+s, matching its hardware VMID allocation order.
+const (
+	// VMIDHost tags the host's stage 2 translations.
+	VMIDHost arch.VMID = 0
+	// VMIDHyp tags the hypervisor's own stage 1 translations.
+	VMIDHyp arch.VMID = 0xffff
+)
+
+// VMIDForSlot returns the VMID of the guest in VM slot s.
+func VMIDForSlot(slot int) arch.VMID { return arch.VMID(1 + slot) }
+
 // GuestOwner returns the host-S2 annotation owner ID for a VM slot.
 func GuestOwner(slot int) uint8 { return IDGuestBase + uint8(slot) }
 
@@ -64,6 +79,10 @@ type Config struct {
 	HypPoolPages uint64
 	// Inj selects injected bugs; nil injects nothing.
 	Inj *faults.Injector
+	// NoTLB disables the software TLB: every translation re-walks the
+	// tables, the pre-TLB behaviour. Used by the benchmark legs and by
+	// tests that want walk-always semantics.
+	NoTLB bool
 }
 
 func (c *Config) fill() {
@@ -127,6 +146,17 @@ type Hypervisor struct {
 
 	percpu []*PerCPU
 
+	// tlb is the software TLB modelling the hardware translation
+	// caches; nil when Config.NoTLB disabled it (a nil TLB is a valid
+	// no-op for maintenance, and the translate helpers fall back to
+	// direct walks).
+	tlb *arch.TLB
+	// hostTLBIOff suppresses the host stage 2 TLBI notifications while
+	// set — the injection window of BugUnshareSkipTLBI. Written and
+	// read only under the host lock (the TLBI callback fires inside
+	// host table mutations, which hold it).
+	hostTLBIOff bool
+
 	globals Globals
 	instr   Instrumentation
 	// flight is the per-CPU ring of recent traps; oracle failure
@@ -161,6 +191,9 @@ func New(cfg Config) (*Hypervisor, error) {
 	}
 	for i := range hv.percpu {
 		hv.percpu[i] = &PerCPU{LoadedVCPU: -1}
+	}
+	if !cfg.NoTLB {
+		hv.tlb = arch.NewTLB(m)
 	}
 
 	hv.globals = Globals{
@@ -199,6 +232,8 @@ func (hv *Hypervisor) initHypS1() error {
 		return err
 	}
 	pgt.SetOnTablePage(liveTableGauge(telHypTablesLive))
+	pgt.SetTLBI(hv.hypTLBI)
+	pgt.SetTLB(hv.tlb, VMIDHyp)
 	hv.hypPGT = pgt
 
 	g := &hv.globals
@@ -240,6 +275,8 @@ func (hv *Hypervisor) initHostS2() error {
 		return err
 	}
 	pgt.SetOnTablePage(liveTableGauge(telHostTablesLive))
+	pgt.SetTLBI(hv.hostTLBI)
+	pgt.SetTLB(hv.tlb, VMIDHost)
 	hv.hostPGT = pgt
 	g := &hv.globals
 	if err := pgt.Annotate(uint64(g.CarveStart), g.CarveSize, IDHyp); err != nil {

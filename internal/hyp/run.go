@@ -2,6 +2,7 @@ package hyp
 
 import (
 	"ghostspec/internal/arch"
+	"ghostspec/internal/faults"
 )
 
 // QueueGuestOp scripts the next behaviour of a vCPU — the simulation's
@@ -59,7 +60,7 @@ func (hv *Hypervisor) vcpuRun(cpu int) int64 {
 		return RunExitYield
 
 	case GuestAccess:
-		res, fault := arch.Walk(hv.Mem, vm.PGT.Root(), uint64(op.IPA), arch.Access{Write: op.Write})
+		res, fault := hv.translateGuest(cpu, vm, op.IPA, arch.Access{Write: op.Write})
 		if fault != nil {
 			// Guest stage 2 abort: exit to the host with the fault
 			// information (the virtio notification path).
@@ -160,7 +161,15 @@ func (hv *Hypervisor) guestUnshareHost(cpu int, vm *VM, ipa arch.IPA) Errno {
 		return errnoOf(err)
 	}
 	slot := vm.Handle.slot(MaxVMs)
-	if ret := hv.hostSetOwner(arch.IPA(phys), arch.PageSize, GuestOwner(slot)); ret != OK {
+	// The host's borrowed mapping becomes an annotation: a live
+	// translation disappears, the other unshare path whose
+	// break-before-make TLBI the injected bug suppresses.
+	if hv.Inj.Enabled(faults.BugUnshareSkipTLBI) {
+		hv.hostTLBIOff = true
+	}
+	ret := hv.hostSetOwner(arch.IPA(phys), arch.PageSize, GuestOwner(slot))
+	hv.hostTLBIOff = false
+	if ret != OK {
 		return ret
 	}
 	return OK

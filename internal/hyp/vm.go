@@ -89,6 +89,11 @@ type VM struct {
 	Handle Handle
 	State  VMState
 
+	// VMID tags this VM's stage 2 translations in the software TLB;
+	// fixed at init_vm from the slot, like the hardware VMID KVM
+	// assigns.
+	VMID arch.VMID
+
 	// Protected is the pKVM "protected VM" flag; all VMs here are
 	// protected (the interesting case for the isolation spec).
 	Protected bool

@@ -74,6 +74,15 @@ type Table struct {
 	// onTablePage, when set, observes every table-page allocation and
 	// free; see SetOnTablePage.
 	onTablePage func(pfn arch.PFN, alloc bool)
+
+	// tlbi, when set, receives one TLB-invalidate notification per
+	// break-before-make sequence; see SetTLBI.
+	tlbi func(ia, size uint64)
+
+	// tlb, when set, is the system's software TLB, consulted by
+	// GetLeaf as a generation-verified walk cache; see SetTLB.
+	tlb     *arch.TLB
+	tlbVMID arch.VMID
 }
 
 // SetOnTablePage installs a callback notified after every table-page
@@ -96,6 +105,33 @@ func (t *Table) notifyTablePage(pfn arch.PFN, alloc bool) {
 	if t.onTablePage != nil {
 		t.onTablePage(pfn, alloc)
 	}
+}
+
+// SetTLBI installs the TLB-invalidate callback. The mutation paths
+// call it once per broken entry, between unmaking the old descriptor
+// and making its replacement visible (break-before-make), covering the
+// broken entry's whole input range. The hypervisor bridges it to the
+// system TLB tagged with the component's VMID; because mutations run
+// under the owning component's lock, the callback fires under that
+// lock too.
+func (t *Table) SetTLBI(fn func(ia, size uint64)) { t.tlbi = fn }
+
+// notifyTLBI reports one break-before-make invalidation.
+func (t *Table) notifyTLBI(ia, size uint64) {
+	if t.tlbi != nil {
+		t.tlbi(ia, size)
+	}
+}
+
+// SetTLB attaches the system's software TLB so GetLeaf can serve
+// lookups from still-fresh cached walks under the component's VMID
+// tag. Unlike the hardware hit path, GetLeaf's hits are revalidated
+// against the per-frame write generations before use: the hypervisor
+// reads its own tables with ordinary loads, so a software lookup must
+// never observe a stale descriptor even when a TLBI was (buggily)
+// skipped.
+func (t *Table) SetTLB(tlb *arch.TLB, vmid arch.VMID) {
+	t.tlb, t.tlbVMID = tlb, vmid
 }
 
 // New allocates a root table page and returns the handle.
@@ -256,17 +292,14 @@ func (t *Table) walkLevel(table arch.PhysAddr, level int, ia, end uint64, v *Vis
 //
 //ghost:requires lock=owner
 func (t *Table) GetLeaf(ia uint64) (arch.PTE, int) {
-	table := t.root
-	for level := arch.StartLevel; ; level++ {
-		pte := t.Mem.ReadPTE(table, arch.IndexAt(ia, level))
-		if pte.Kind(level) != arch.EKTable {
-			if !telemetry.Disabled() {
-				telWalkDepth.Observe(uint64(level))
-			}
-			return pte, level
-		}
-		table = pte.TableAddr()
+	pte, level, ok := t.tlb.LookupLeaf(t.root, t.Stage, t.tlbVMID, ia)
+	if !ok {
+		pte, level = arch.WalkLeaf(t.Mem, t.root, ia)
 	}
+	if !telemetry.Disabled() {
+		telWalkDepth.Observe(uint64(level))
+	}
+	return pte, level
 }
 
 // ---------------------------------------------------------------------
@@ -376,7 +409,8 @@ func (t *Table) mutateRange(table arch.PhysAddr, level int, ia, end uint64, opts
 			// Replace the entire entry.
 			switch kind {
 			case arch.EKInvalid:
-				// Always replaceable.
+				// Always replaceable: invalid encodings never enter the
+				// TLB, so no maintenance either.
 			case arch.EKAnnotated, arch.EKBlock, arch.EKPage:
 				if !opts.force {
 					return fmt.Errorf("%s ia %#x level %d (%s): %w", t.Name, ia, level, kind, ErrExists)
@@ -385,9 +419,19 @@ func (t *Table) mutateRange(table arch.PhysAddr, level int, ia, end uint64, opts
 				if !opts.force {
 					return fmt.Errorf("%s ia %#x level %d (subtree): %w", t.Name, ia, level, ErrExists)
 				}
-				t.freeSubtree(pte, level)
 			case arch.EKReserved:
 				return fmt.Errorf("%s ia %#x level %d: reserved descriptor %#x", t.Name, ia, level, uint64(pte))
+			}
+			if kind == arch.EKBlock || kind == arch.EKPage || kind == arch.EKTable {
+				// Break-before-make: a live translation (or a subtree
+				// that may contain some) is first broken to invalid and
+				// invalidated from the TLB; only then may its table
+				// pages be reused and the replacement made visible.
+				t.Mem.WritePTE(table, idx, 0)
+				t.notifyTLBI(ia, arch.LevelSize(level))
+				if kind == arch.EKTable {
+					t.freeSubtree(pte, level)
+				}
 			}
 			t.Mem.WritePTE(table, idx, makeEntry(level, ia))
 			ia = chunkEnd
@@ -413,6 +457,13 @@ func (t *Table) mutateRange(table arch.PhysAddr, level int, ia, end uint64, opts
 		case arch.EKAnnotated, arch.EKBlock, arch.EKPage:
 			if !opts.force {
 				return fmt.Errorf("%s ia %#x level %d (split %s): %w", t.Name, ia, level, kind, ErrExists)
+			}
+			if kind != arch.EKAnnotated {
+				// Break-before-make across the split: the live block
+				// leaves the table and the TLB before the replicated
+				// finer-grained copy is built and installed.
+				t.Mem.WritePTE(table, idx, 0)
+				t.notifyTLBI(base, arch.LevelSize(level))
 			}
 			np, err := t.newTable(table, idx, pte, level)
 			if err != nil {

@@ -505,3 +505,119 @@ func TestBlockPageEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// tlbiRecorder captures break-before-make notifications and asserts
+// the ordering contract at callback time: the broken entry must
+// already be invalid (a hardware walk faults) when the TLBI fires, or
+// break-before-make is violated.
+type tlbiRecorder struct {
+	t   *testing.T
+	tbl *Table
+	got []tlbiEvent
+}
+
+type tlbiEvent struct{ ia, size uint64 }
+
+func recordTLBI(t *testing.T, tbl *Table) *tlbiRecorder {
+	r := &tlbiRecorder{t: t, tbl: tbl}
+	tbl.SetTLBI(func(ia, size uint64) {
+		if _, f := arch.WalkRead(tbl.Mem, tbl.Root(), ia); f == nil {
+			t.Errorf("TLBI for ia %#x fired while the entry still translates (make before break)", ia)
+		}
+		r.got = append(r.got, tlbiEvent{ia, size})
+	})
+	return r
+}
+
+func (r *tlbiRecorder) take() []tlbiEvent {
+	g := r.got
+	r.got = nil
+	return g
+}
+
+func TestTLBIOnlyForLiveEntries(t *testing.T) {
+	tbl, _ := newTestTable(t, 2)
+	rec := recordTLBI(t, tbl)
+
+	// invalid -> valid (the demand-map path): nothing was cached, no TLBI.
+	if err := tbl.Map(0x4000_0000, arch.PageSize, 0x4000_0000, normRWX, false); err != nil {
+		t.Fatal(err)
+	}
+	if g := rec.take(); len(g) != 0 {
+		t.Errorf("demand map notified %v", g)
+	}
+
+	// valid -> valid replacement (force): one TLBI for the broken page.
+	if err := tbl.Map(0x4000_0000, arch.PageSize, 0x4000_5000, normRWX, true); err != nil {
+		t.Fatal(err)
+	}
+	if g := rec.take(); len(g) != 1 || g[0] != (tlbiEvent{0x4000_0000, arch.PageSize}) {
+		t.Errorf("forced remap notified %v", g)
+	}
+
+	// valid -> invalid (unmap): one TLBI; unmapping nothing: none.
+	if err := tbl.Unmap(0x4000_0000, arch.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if g := rec.take(); len(g) != 1 || g[0] != (tlbiEvent{0x4000_0000, arch.PageSize}) {
+		t.Errorf("unmap notified %v", g)
+	}
+	if err := tbl.Unmap(0x4000_0000, arch.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if g := rec.take(); len(g) != 0 {
+		t.Errorf("unmap of nothing notified %v", g)
+	}
+
+	// Annotations never enter the TLB: annotating invalid entries and
+	// mapping over an annotation are both maintenance-free.
+	if err := tbl.Annotate(0x4000_0000, arch.PageSize, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Map(0x4000_0000, arch.PageSize, 0x4000_0000, normRWX, true); err != nil {
+		t.Fatal(err)
+	}
+	if g := rec.take(); len(g) != 0 {
+		t.Errorf("annotation paths notified %v", g)
+	}
+	// But annotating over a live mapping breaks it: one TLBI.
+	if err := tbl.Annotate(0x4000_0000, arch.PageSize, 3); err != nil {
+		t.Fatal(err)
+	}
+	if g := rec.take(); len(g) != 1 {
+		t.Errorf("annotate over mapping notified %v", g)
+	}
+}
+
+func TestTLBICoversBrokenBlock(t *testing.T) {
+	tbl, _ := newTestTable(t, 2)
+	rec := recordTLBI(t, tbl)
+	if err := tbl.Map(0x4020_0000, 2<<20, 0x4020_0000, normRWX, false); err != nil {
+		t.Fatal(err)
+	}
+	if g := rec.take(); len(g) != 0 {
+		t.Fatalf("block map notified %v", g)
+	}
+
+	// Unmapping one page splits the block: first a TLBI covering the
+	// whole 2MB entry being broken (not just the page), then the
+	// page-granule TLBI for the replicated page the unmap breaks.
+	if err := tbl.Unmap(0x4020_3000, arch.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	g := rec.take()
+	want := []tlbiEvent{{0x4020_0000, arch.LevelSize(2)}, {0x4020_3000, arch.PageSize}}
+	if len(g) != 2 || g[0] != want[0] || g[1] != want[1] {
+		t.Errorf("block split notified %v, want %v", g, want)
+	}
+
+	// Whole-entry unmap of a region now holding a subtree: one TLBI
+	// covering the subtree's range.
+	if err := tbl.Unmap(0x4020_0000, 2<<20); err != nil {
+		t.Fatal(err)
+	}
+	g = rec.take()
+	if len(g) != 1 || g[0] != (tlbiEvent{0x4020_0000, arch.LevelSize(2)}) {
+		t.Errorf("subtree unmap notified %v", g)
+	}
+}

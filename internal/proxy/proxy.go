@@ -79,15 +79,18 @@ func errnoOf(ret int64) error {
 // succeeded (false means the hypervisor injected the fault back — the
 // host would have taken an exception).
 func (d *Driver) Access(cpu int, ipa arch.IPA, write bool) (bool, error) {
+	// Both translation attempts go through the software TLB: that is
+	// what the MMU would do, and it is what makes stale entries after a
+	// skipped TLBI observable.
 	acc := arch.Access{Write: write}
-	if _, fault := arch.Walk(d.HV.Mem, d.HV.HostPGTRoot(), uint64(ipa), acc); fault == nil {
+	if _, fault := d.HV.TranslateHost(cpu, ipa, acc); fault == nil {
 		return true, nil
 	}
 	d.HV.CPUs[cpu].Fault = arch.FaultInfo{Addr: ipa, Write: write}
 	if err := d.HV.HandleTrap(cpu, arch.ExitMemAbort); err != nil {
 		return false, err
 	}
-	_, fault := arch.Walk(d.HV.Mem, d.HV.HostPGTRoot(), uint64(ipa), acc)
+	_, fault := d.HV.TranslateHost(cpu, ipa, acc)
 	return fault == nil, nil
 }
 

@@ -754,7 +754,7 @@ func (t *Tester) uninitVCPU() (hyp.Handle, int, bool) {
 
 func (t *Tester) opBugProbe() bool {
 	cpu := t.cpu()
-	switch t.rng.Intn(6) {
+	switch t.rng.Intn(7) {
 	case 0: // misaligned memcache head (§6 bug 1's trigger)
 		h, idx, ok := t.topupTarget()
 		if !ok {
@@ -836,6 +836,35 @@ func (t *Tester) opBugProbe() bool {
 		t.m.pages[run[0]] = pageSharedHyp
 		t.m.pages[run[1]] = pageSharedHyp
 		t.m.pages[run[2]] = pageHostOwned
+	case 6: // stale TLB after unshare (skipped-TLBI bug's trigger)
+		pfn, ok := pickRand(t.rng, t.m.pagesIn(pageHostOwned))
+		if !ok {
+			return false
+		}
+		if t.m.wouldCrashHost(pfn) {
+			t.stats.Rejected++
+			return false
+		}
+		// Share, touch (the access caches the shared-owned translation
+		// in the software TLB), then unshare: the unshare's entry
+		// rewrite must TLBI that cached walk. On a correct build the
+		// sequence is silent; with the skipped-TLBI bug the coherence
+		// check alarms at the unshare's host-lock release.
+		t.record(Op{Kind: OpShare, CPU: cpu, PFN: pfn})
+		if err := t.D.ShareHyp(cpu, pfn); err != nil {
+			t.count(hyp.HCHostShareHyp, err)
+			return true
+		}
+		t.count(hyp.HCHostShareHyp, nil)
+		t.m.pages[pfn] = pageSharedHyp
+		t.record(Op{Kind: OpTouch, CPU: cpu, PFN: pfn, Write: true})
+		t.D.Access(cpu, arch.IPA(pfn.Phys()), true)
+		t.record(Op{Kind: OpUnshare, CPU: cpu, PFN: pfn})
+		err := t.D.UnshareHyp(cpu, pfn)
+		t.count(hyp.HCHostUnshareHyp, err)
+		if err == nil {
+			t.m.pages[pfn] = pageHostOwned
+		}
 	}
 	return true
 }
