@@ -18,6 +18,7 @@ import (
 	"ghostspec/internal/randtest"
 	"ghostspec/internal/suite"
 	"ghostspec/internal/telemetry"
+	"ghostspec/internal/telemetry/trace"
 )
 
 // ---------------------------------------------------------------------
@@ -146,6 +147,59 @@ func benchTelemetryToggle(b *testing.B, disabled bool) {
 
 func BenchmarkHypercallTelemetryOn(b *testing.B)  { benchTelemetryToggle(b, false) }
 func BenchmarkHypercallTelemetryOff(b *testing.B) { benchTelemetryToggle(b, true) }
+
+// ---------------------------------------------------------------------
+// Span-tracing overhead on the hypercall hot path, mirroring the
+// telemetry pair above: the same share/unshare loop with a tracer
+// attached, recording on vs. globally disabled. The Off variant is the
+// configuration every instrumented binary ships with — tracer wired,
+// switch off — and must stay within 5% of the no-tracer numbers:
+// every Begin/End on the path reduces to one atomic load and a
+// branch. benchreport -profile enforces that bound in CI; this pair
+// is the local microscope.
+
+func benchTraceToggle(b *testing.B, on bool) {
+	prev := trace.Enabled()
+	trace.SetEnabled(on)
+	defer trace.SetEnabled(prev)
+	tr := trace.NewTracer(1, 1<<12)
+	hv, err := hyp.New(hyp.Config{Tracer: tr})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := proxy.New(hv)
+	pfn, _ := d.AllocPage()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.ShareHyp(0, pfn); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.UnshareHyp(0, pfn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHypercallTraceOn(b *testing.B)  { benchTraceToggle(b, true) }
+func BenchmarkHypercallTraceOff(b *testing.B) { benchTraceToggle(b, false) }
+
+// TestTraceDisabledPathAllocationFree pins the disabled-path contract
+// the benchmarks measure: with the global switch off, a Begin/End
+// pair must not allocate at all.
+func TestTraceDisabledPathAllocationFree(t *testing.T) {
+	prev := trace.Enabled()
+	trace.SetEnabled(false)
+	defer trace.SetEnabled(prev)
+	tr := trace.NewTracer(1, 64)
+	name := trace.NewName("bench.alloc-probe")
+	if allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Begin(0, name)
+		sp.End()
+	}); allocs != 0 {
+		t.Errorf("disabled Begin/End pair allocates: %g allocs/op, want 0", allocs)
+	}
+}
 
 func benchDemandFault(b *testing.B, withGhost bool) {
 	newSys := func() (*proxy.Driver, arch.PFN, int) {

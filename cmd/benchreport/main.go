@@ -8,6 +8,7 @@
 //	benchreport -ghost-bench out.json  # benchmark smoke run -> JSON artifact
 //	benchreport -campaign out.json     # campaign engine serial vs 8 workers -> JSON artifact
 //	benchreport -tlb out.json          # software TLB vs full walks -> JSON artifact
+//	benchreport -profile out.json      # traced campaign -> per-exec phase attribution + overhead gates
 package main
 
 import (
@@ -36,7 +37,17 @@ func main() {
 	campaignBench := flag.String("campaign", "", "benchmark the campaign engine (serial vs 8 workers) and write results to this JSON file")
 	campaignExecs := flag.Int64("campaign-execs", 64, "executions per campaign benchmark leg")
 	tlbBench := flag.String("tlb", "", "benchmark the software TLB (hit path vs full walks) and write results to this JSON file")
+	profile := flag.String("profile", "", "run a traced campaign, write the per-exec phase-attribution profile to this JSON file, and enforce the attribution/overhead gates")
+	profileTrace := flag.String("profile-trace", "", "with -profile: also write the campaign's span dump as Chrome trace-event JSON to this file")
 	flag.Parse()
+
+	if *profile != "" {
+		if err := runProfile(*profile, *profileTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "profile:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *tlbBench != "" {
 		if err := runTLBBench(*tlbBench); err != nil {

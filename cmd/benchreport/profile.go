@@ -1,0 +1,350 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ghostspec/internal/campaign"
+	"ghostspec/internal/hyp"
+	"ghostspec/internal/proxy"
+	"ghostspec/internal/telemetry/trace"
+)
+
+// The profile mode answers the attribution question behind ROADMAP
+// Open item 1: where does one execution's wall time actually go? It
+// runs a single-worker traced campaign with rings sized to retain
+// every span, folds the span dump into a per-phase breakdown, and
+// enforces two regression gates with a non-zero exit:
+//
+//   - attribution: the top-level phase spans (boot / replay / run /
+//     corpus / shrink) must account for at least attributionFloorPct
+//     of the exec spans' wall time — if they don't, someone added an
+//     expensive un-instrumented stage and the profile went blind;
+//   - overhead: with a tracer attached but tracing disabled, the
+//     share/unshare hypercall pair must stay within overheadLimitPct
+//     (plus a fixed per-call epsilon for timer noise) of the
+//     tracer-free baseline, and the disabled Begin/End pair must not
+//     allocate — the "compile-out cheap" requirement, enforced the
+//     same way BenchmarkHypercallTelemetryOff enforces it for
+//     counters.
+
+const (
+	attributionFloorPct = 80.0
+	overheadLimitPct    = 5.0
+	// overheadEpsilonNs absorbs clock granularity on a ~μs-scale
+	// hypercall: 5% of a short call is smaller than one timer tick.
+	overheadEpsilonNs = 10.0
+
+	profileExecs    = 32
+	profileSteps    = 200
+	profileRingSize = 1 << 18
+)
+
+// profilePhase is one named slice of the execution wall time.
+type profilePhase struct {
+	Phase     string  `json:"phase"`
+	Count     uint64  `json:"count"`
+	TotalMS   float64 `json:"total_ms"`
+	PctOfExec float64 `json:"pct_of_exec"`
+}
+
+// profileOverhead is the tracing-disabled hot-path cost comparison.
+type profileOverhead struct {
+	BaselineNsPerCall float64 `json:"baseline_ns_per_call"`
+	GatedNsPerCall    float64 `json:"gated_ns_per_call"`
+	OverheadPct       float64 `json:"overhead_pct"`
+	LimitPct          float64 `json:"limit_pct"`
+	EpsilonNs         float64 `json:"epsilon_ns"`
+	AllocsPerPair     float64 `json:"allocs_per_disabled_begin_end"`
+}
+
+type profileReport struct {
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Execs       int64  `json:"execs"`
+	StepsPerRun int    `json:"steps_per_run"`
+
+	ExecWallMS float64 `json:"exec_wall_ms"`
+	// Phases are the disjoint direct children of the exec span; their
+	// sum is the attributed time.
+	Phases []profilePhase `json:"phases"`
+	// Nested phases live inside the top-level ones (hypercalls inside
+	// run/replay, pgtable/tlb/oracle inside hypercalls) and therefore
+	// do not add into the attribution sum.
+	Nested []profilePhase `json:"nested"`
+
+	AttributedPct       float64 `json:"attributed_pct"`
+	AttributionFloorPct float64 `json:"attribution_floor_pct"`
+	DroppedSpans        uint64  `json:"dropped_spans"`
+
+	Overhead profileOverhead `json:"overhead"`
+	Pass     bool            `json:"pass"`
+}
+
+func runProfile(path, traceOut string) error {
+	fmt.Println("==================== execution profile ====================")
+	rep := profileReport{
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Execs:       profileExecs,
+		StepsPerRun: profileSteps,
+	}
+
+	// --- traced campaign leg -----------------------------------------
+	tr := trace.NewTracer(1, profileRingSize)
+	trace.SetEnabled(true)
+	crep, err := campaign.Run(campaign.Config{
+		Workers:     1,
+		StepsPerRun: profileSteps,
+		Seed:        1,
+		MaxExecs:    profileExecs,
+		Tracer:      tr,
+	})
+	trace.SetEnabled(false)
+	if err != nil {
+		return err
+	}
+	if len(crep.Findings) > 0 {
+		// Findings on the fixed build would skew the shrink phase and
+		// mean a real regression besides; surface them loudly.
+		return fmt.Errorf("profile campaign produced %d findings on the fixed build", len(crep.Findings))
+	}
+	rep.DroppedSpans = tr.Dropped()
+
+	spans := tr.Spans()
+	totals := map[string]*profilePhase{}
+	for _, s := range spans {
+		name := s.NameString()
+		p, ok := totals[name]
+		if !ok {
+			p = &profilePhase{Phase: name}
+			totals[name] = p
+		}
+		p.Count++
+		p.TotalMS += float64(s.Dur) / float64(time.Millisecond)
+	}
+	sum := func(label string, names ...string) profilePhase {
+		out := profilePhase{Phase: label}
+		for _, n := range names {
+			if p, ok := totals[n]; ok {
+				out.Count += p.Count
+				out.TotalMS += p.TotalMS
+			}
+		}
+		return out
+	}
+	var trapNames []string
+	for name := range totals {
+		if strings.HasPrefix(name, "hyp.trap:") {
+			trapNames = append(trapNames, name)
+		}
+	}
+
+	exec := sum("exec", "exec")
+	rep.ExecWallMS = exec.TotalMS
+	rep.Phases = []profilePhase{
+		sum("boot", "exec.boot"),
+		sum("replay", "exec.replay"),
+		sum("run", "exec.run"),
+		sum("corpus", "exec.corpus"),
+		sum("shrink", "exec.shrink"),
+	}
+	rep.Nested = []profilePhase{
+		sum("hypercall", trapNames...),
+		sum("pgtable", "pgtable.mutate"),
+		sum("tlb", "tlb.fill", "tlb.invalidate"),
+		sum("oracle", "ghost.check", "ghost.verify"),
+	}
+
+	var attributed float64
+	for i := range rep.Phases {
+		attributed += rep.Phases[i].TotalMS
+		if exec.TotalMS > 0 {
+			rep.Phases[i].PctOfExec = 100 * rep.Phases[i].TotalMS / exec.TotalMS
+		}
+	}
+	for i := range rep.Nested {
+		if exec.TotalMS > 0 {
+			rep.Nested[i].PctOfExec = 100 * rep.Nested[i].TotalMS / exec.TotalMS
+		}
+	}
+	if exec.TotalMS > 0 {
+		rep.AttributedPct = 100 * attributed / exec.TotalMS
+	}
+	rep.AttributionFloorPct = attributionFloorPct
+
+	fmt.Printf("campaign: %d execs in %v (%.1f execs/s), %d spans retained, %d dropped\n",
+		crep.Execs, crep.Elapsed.Round(time.Millisecond), crep.ExecsPerSec, len(spans), rep.DroppedSpans)
+	fmt.Printf("exec wall time %.1fms; phase breakdown:\n", rep.ExecWallMS)
+	for _, p := range rep.Phases {
+		fmt.Printf("  %-10s %6d spans  %8.1fms  %5.1f%%\n", p.Phase, p.Count, p.TotalMS, p.PctOfExec)
+	}
+	fmt.Println("  nested within the above:")
+	for _, p := range rep.Nested {
+		fmt.Printf("  %-10s %6d spans  %8.1fms  %5.1f%%\n", p.Phase, p.Count, p.TotalMS, p.PctOfExec)
+	}
+	fmt.Printf("attributed: %.1f%% of exec time (floor %.0f%%)\n", rep.AttributedPct, attributionFloorPct)
+
+	// --- tracing-disabled overhead leg -------------------------------
+	if err := measureOverhead(&rep.Overhead); err != nil {
+		return err
+	}
+	fmt.Printf("gated hypercall: %.0fns/call vs %.0fns/call baseline (%+.2f%%, limit %.0f%% + %.0fns; %g allocs/pair)\n",
+		rep.Overhead.GatedNsPerCall, rep.Overhead.BaselineNsPerCall, rep.Overhead.OverheadPct,
+		overheadLimitPct, overheadEpsilonNs, rep.Overhead.AllocsPerPair)
+
+	// --- verdict + artifacts ------------------------------------------
+	var violations []string
+	if rep.AttributedPct < attributionFloorPct {
+		violations = append(violations, fmt.Sprintf(
+			"attribution %.1f%% below floor %.0f%%", rep.AttributedPct, attributionFloorPct))
+	}
+	if rep.DroppedSpans > 0 {
+		violations = append(violations, fmt.Sprintf(
+			"%d spans dropped at the rings (attribution is partial; grow profileRingSize)", rep.DroppedSpans))
+	}
+	limit := rep.Overhead.BaselineNsPerCall*(1+overheadLimitPct/100) + overheadEpsilonNs
+	if rep.Overhead.GatedNsPerCall > limit {
+		violations = append(violations, fmt.Sprintf(
+			"gated hypercall %.0fns/call exceeds %.0fns/call (baseline %.0f +%.0f%% +%.0fns)",
+			rep.Overhead.GatedNsPerCall, limit, rep.Overhead.BaselineNsPerCall, overheadLimitPct, overheadEpsilonNs))
+	}
+	if rep.Overhead.AllocsPerPair != 0 {
+		violations = append(violations, fmt.Sprintf(
+			"disabled Begin/End allocates (%g allocs/pair, want 0)", rep.Overhead.AllocsPerPair))
+	}
+	rep.Pass = len(violations) == 0
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("profile written to %s\n", path)
+
+	if traceOut != "" {
+		tf, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChrome(tf); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("span dump written to %s (load in Perfetto or chrome://tracing)\n", traceOut)
+	}
+
+	if len(violations) > 0 {
+		return fmt.Errorf("profile regression: %s", strings.Join(violations, "; "))
+	}
+	fmt.Println("PASS")
+	return nil
+}
+
+// measureOverhead times the share/unshare hypercall pair on a system
+// without a tracer (baseline) and on one with a tracer attached but
+// tracing disabled (gated). The legs are interleaved with alternating
+// order — so clock drift over the measurement window hits both legs'
+// minima equally — and the minimum over the repetitions kept, the
+// usual defence against one leg eating a scheduling hiccup the other
+// didn't.
+func measureOverhead(o *profileOverhead) error {
+	const (
+		reps  = 11
+		iters = 2000
+	)
+	leg := func(cfg hyp.Config) (time.Duration, error) {
+		hv, err := hyp.New(cfg)
+		if err != nil {
+			return 0, err
+		}
+		d := proxy.New(hv)
+		pfn, err := d.AllocPage()
+		if err != nil {
+			return 0, err
+		}
+		// Warm the path before timing.
+		for i := 0; i < 32; i++ {
+			if err := d.ShareHyp(0, pfn); err != nil {
+				return 0, err
+			}
+			if err := d.UnshareHyp(0, pfn); err != nil {
+				return 0, err
+			}
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := d.ShareHyp(0, pfn); err != nil {
+				return 0, err
+			}
+			if err := d.UnshareHyp(0, pfn); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	gatedTracer := trace.NewTracer(1, 1024)
+	trace.SetEnabled(false)
+	baseMin, gatedMin := time.Duration(1<<62), time.Duration(1<<62)
+	for r := 0; r < reps; r++ {
+		var base, gated time.Duration
+		var err error
+		if r%2 == 0 {
+			base, err = leg(hyp.Config{})
+			if err == nil {
+				gated, err = leg(hyp.Config{Tracer: gatedTracer})
+			}
+		} else {
+			gated, err = leg(hyp.Config{Tracer: gatedTracer})
+			if err == nil {
+				base, err = leg(hyp.Config{})
+			}
+		}
+		if err != nil {
+			return err
+		}
+		baseMin = min(baseMin, base)
+		gatedMin = min(gatedMin, gated)
+	}
+	const callsPerIter = 2 // share + unshare
+	o.BaselineNsPerCall = float64(baseMin.Nanoseconds()) / (iters * callsPerIter)
+	o.GatedNsPerCall = float64(gatedMin.Nanoseconds()) / (iters * callsPerIter)
+	if o.BaselineNsPerCall > 0 {
+		o.OverheadPct = 100 * (o.GatedNsPerCall - o.BaselineNsPerCall) / o.BaselineNsPerCall
+	}
+	o.LimitPct = overheadLimitPct
+	o.EpsilonNs = overheadEpsilonNs
+
+	// The disabled Begin/End pair must be allocation-free: one atomic
+	// load and a branch, nothing for the garbage collector.
+	o.AllocsPerPair = testing.AllocsPerRun(1000, func() {
+		sp := gatedTracer.Begin(0, spanAllocProbe)
+		sp.End()
+	})
+	return nil
+}
+
+// spanAllocProbe names the span the allocation probe opens and closes;
+// registered here because NewName is init/constructor-scope only.
+var spanAllocProbe = trace.NewName("profile.alloc-probe")

@@ -18,13 +18,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"ghostspec/internal/campaign"
 	"ghostspec/internal/coverage"
 	"ghostspec/internal/faults"
 	"ghostspec/internal/spinlock"
+	"ghostspec/internal/telemetry/trace"
 )
 
 func main() {
@@ -42,6 +45,8 @@ func main() {
 	skipFlag := flag.String("skip", "", "matrix skip-list: bug=reason;bug=reason")
 	rankCheck := flag.Bool("rankcheck", false, "enable the runtime lock-rank validator")
 	quiet := flag.Bool("quiet", false, "suppress per-finding progress lines")
+	httpAddr := flag.String("http", "", "serve live introspection on this address (/metrics, /debug/pprof/, /spans, /campaign)")
+	traceOut := flag.String("trace-out", "", "write the campaign's span dump as Chrome trace-event JSON to this file")
 	flag.Parse()
 
 	if *rankCheck {
@@ -86,7 +91,7 @@ func main() {
 	if cfg.Duration <= 0 && cfg.MaxExecs <= 0 && cfg.MaxFindings <= 0 {
 		cfg.Duration = 10 * time.Second
 	}
-	os.Exit(runFuzz(cfg))
+	os.Exit(runFuzz(cfg, *httpAddr, *traceOut))
 }
 
 func parseBugs(s string) ([]faults.Bug, error) {
@@ -108,7 +113,7 @@ func parseBugs(s string) ([]faults.Bug, error) {
 	return bugs, nil
 }
 
-func runFuzz(cfg campaign.Config) int {
+func runFuzz(cfg campaign.Config, httpAddr, traceOut string) int {
 	mode := "guided"
 	if cfg.Unguided {
 		mode = "unguided"
@@ -116,10 +121,43 @@ func runFuzz(cfg campaign.Config) int {
 	fmt.Printf("ghost-fuzz: %s campaign, seed=%d steps=%d shrink-budget=%d\n",
 		mode, cfg.Seed, cfg.StepsPerRun, cfg.ShrinkReplays)
 
-	rep, err := campaign.Run(cfg)
+	// Span tracing is opt-in: only pay for it when someone will read
+	// the spans (the /spans endpoint or a trace dump).
+	var tr *trace.Tracer
+	if httpAddr != "" || traceOut != "" {
+		lanes := cfg.Workers
+		if lanes <= 0 {
+			lanes = runtime.GOMAXPROCS(0)
+		}
+		tr = trace.NewTracer(lanes, 1<<14)
+		trace.SetEnabled(true)
+		cfg.Tracer = tr
+	}
+
+	var engPtr atomic.Pointer[campaign.Engine]
+	if httpAddr != "" {
+		serveIntrospection(httpAddr, engPtr.Load, tr)
+		fmt.Printf("ghost-fuzz: introspection on %s (/metrics /debug/pprof/ /spans /campaign)\n", httpAddr)
+	}
+
+	eng, err := campaign.Start(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "campaign:", err)
 		return 2
+	}
+	engPtr.Store(eng)
+	rep, err := eng.Wait()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		return 2
+	}
+	if traceOut != "" {
+		if werr := writeChromeTrace(tr, traceOut); werr != nil {
+			fmt.Fprintln(os.Stderr, "trace-out:", werr)
+			return 2
+		}
+		fmt.Printf("span dump: %s (load in Perfetto or chrome://tracing; %d spans dropped at the rings)\n",
+			traceOut, tr.Dropped())
 	}
 
 	fmt.Printf("\n%d execs in %v = %.1f execs/s across %d workers\n",
@@ -162,6 +200,20 @@ func runFuzz(cfg campaign.Config) int {
 		}
 	}
 	return 1
+}
+
+// writeChromeTrace dumps the tracer's spans as Chrome trace-event
+// JSON.
+func writeChromeTrace(tr *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // bugArgs renders the -bug flag needed to reproduce a buggy-build run.

@@ -21,6 +21,7 @@ import (
 	"ghostspec/internal/randtest"
 	"ghostspec/internal/suite"
 	"ghostspec/internal/telemetry"
+	spantrace "ghostspec/internal/telemetry/trace"
 )
 
 func main() {
@@ -30,11 +31,12 @@ func main() {
 	steps := flag.Int("steps", 5000, "random-scenario steps")
 	seed := flag.Int64("seed", 1, "random-scenario seed")
 	bugFlag := flag.String("bug", "", "inject a named bug while recording")
+	spans := flag.String("spans", "", "also write an execution-span dump (Chrome trace-event JSON) to this file; random scenario only")
 	flag.Parse()
 
 	switch {
 	case *record != "":
-		if err := doRecord(*record, *scenario, *steps, *seed, *bugFlag); err != nil {
+		if err := doRecord(*record, *scenario, *steps, *seed, *bugFlag, *spans); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -49,10 +51,15 @@ func main() {
 	}
 }
 
-func doRecord(path, scenario string, steps int, seed int64, bug string) error {
+func doRecord(path, scenario string, steps int, seed int64, bug, spansOut string) error {
 	var inj *faults.Injector
 	if bug != "" {
 		inj = faults.NewInjector(faults.Bug(bug))
+	}
+	if spansOut != "" && scenario != "random" {
+		// The suite boots dozens of systems; one flat span timeline
+		// would interleave them meaninglessly.
+		return fmt.Errorf("-spans is only supported with -scenario random")
 	}
 
 	var trace *ghost.Trace
@@ -70,7 +77,14 @@ func doRecord(path, scenario string, steps int, seed int64, bug string) error {
 		s := suite.Summarise(results)
 		fmt.Printf("suite: %d/%d passed, %d alarms\n", s.Passed, s.Total, s.AlarmCount)
 	case "random":
-		hv, err := hyp.New(hyp.Config{Inj: inj})
+		hcfg := hyp.Config{Inj: inj}
+		var spanTr *spantrace.Tracer
+		if spansOut != "" {
+			spanTr = spantrace.NewTracer(1, 1<<16)
+			spantrace.SetEnabled(true)
+			hcfg.Tracer = spanTr
+		}
+		hv, err := hyp.New(hcfg)
 		if err != nil {
 			return err
 		}
@@ -79,6 +93,21 @@ func doRecord(path, scenario string, steps int, seed int64, bug string) error {
 		tr := randtest.New(proxy.New(hv), rec, seed, true)
 		tr.Run(steps)
 		fmt.Printf("random: %v, %d alarms\n", tr.Stats(), len(rec.Failures()))
+		if spansOut != "" {
+			sf, err := os.Create(spansOut)
+			if err != nil {
+				return err
+			}
+			if err := spanTr.WriteChrome(sf); err != nil {
+				sf.Close()
+				return err
+			}
+			if err := sf.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("span dump: %s (load in Perfetto or chrome://tracing; %d spans dropped)\n",
+				spansOut, spanTr.Dropped())
+		}
 	default:
 		return fmt.Errorf("unknown scenario %q", scenario)
 	}

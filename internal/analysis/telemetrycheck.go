@@ -19,20 +19,36 @@ import (
 // Anything else is a finding. Genuinely cold registration sites (e.g.
 // the per-errno error counters, minted only on first failure) carry
 // an explicit //ghostlint:ignore with the justification.
+//
+// The trace package's span-name interning (trace.NewName) has the
+// same cost profile and gets the same rule, and span handles get a
+// pairing discipline on top: every Begin must reach End on every path
+// (see spancheck.go for the walker).
 type TelemetryCheck struct{}
 
 func (*TelemetryCheck) Name() string { return "telemetrycheck" }
 
-// registrationFuncs are the allocating registry entry points.
-var registrationFuncs = map[string]bool{
-	"NewCounter":   true,
-	"NewGauge":     true,
-	"NewHistogram": true,
+// registrationFuncs maps the allocating registry entry points to the
+// import-path suffix of the package that defines them.
+var registrationFuncs = map[string]string{
+	"NewCounter":   "internal/telemetry",
+	"NewGauge":     "internal/telemetry",
+	"NewHistogram": "internal/telemetry",
+	"NewName":      "internal/telemetry/trace",
+}
+
+// registrationQualifiers are the package qualifiers trusted when type
+// info is unavailable (stubbed imports).
+var registrationQualifiers = map[string]bool{
+	"telemetry": true,
+	"trace":     true,
 }
 
 func (tc *TelemetryCheck) Run(u *Universe, pkg *Package) []Finding {
-	// The telemetry package itself is the registry implementation.
-	if strings.HasSuffix(pkg.Path, "internal/telemetry") {
+	// The telemetry registry and the span tracer are the
+	// implementations themselves.
+	if strings.HasSuffix(pkg.Path, "internal/telemetry") ||
+		strings.HasSuffix(pkg.Path, "internal/telemetry/trace") {
 		return nil
 	}
 	var out []Finding
@@ -42,6 +58,12 @@ func (tc *TelemetryCheck) Run(u *Universe, pkg *Package) []Finding {
 			if !ok || fd.Body == nil {
 				continue
 			}
+			// Span pairing applies to every function, constructors
+			// included — a leaked span corrupts the lane stack no
+			// matter where it was begun.
+			sa := &spanAnalysis{u: u, pkg: pkg, out: &out, fname: fd.Name.Name}
+			sa.analyzeFuncDecl(fd)
+
 			// Package-level var blocks (GenDecl) are allowed
 			// wholesale, as are init and constructors.
 			name := fd.Name.Name
@@ -58,7 +80,7 @@ func (tc *TelemetryCheck) Run(u *Universe, pkg *Package) []Finding {
 						Pos:      u.Fset.Position(call.Pos()),
 						Analyzer: "telemetrycheck",
 						Message: fmt.Sprintf(
-							"%s: telemetry.%s outside init/constructor scope; metric registration allocates and locks the registry — hoist it, or justify with //ghostlint:ignore if the path is provably cold",
+							"%s: %s outside init/constructor scope; registration allocates and locks the registry/intern table — hoist it, or justify with //ghostlint:ignore if the path is provably cold",
 							name, reg),
 					})
 				}
@@ -69,23 +91,28 @@ func (tc *TelemetryCheck) Run(u *Universe, pkg *Package) []Finding {
 	return out
 }
 
-// registrationCall returns the registration function name if call is
-// telemetry.New{Counter,Gauge,Histogram}, else "".
+// registrationCall returns the qualified registration function name if
+// call is telemetry.New{Counter,Gauge,Histogram} or trace.NewName,
+// else "".
 func registrationCall(pkg *Package, call *ast.CallExpr) string {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok || !registrationFuncs[sel.Sel.Name] {
+	if !ok {
 		return ""
 	}
-	// Confirm the qualifier is the telemetry package (by type info
-	// when available, by name otherwise).
+	wantPkg, ok := registrationFuncs[sel.Sel.Name]
+	if !ok {
+		return ""
+	}
+	// Confirm the qualifier is the defining package (by type info when
+	// available, by name otherwise).
 	if callee := resolveCallee(pkg, call); callee != nil {
-		if callee.Pkg() == nil || !strings.HasSuffix(callee.Pkg().Path(), "internal/telemetry") {
+		if callee.Pkg() == nil || !strings.HasSuffix(callee.Pkg().Path(), wantPkg) {
 			return ""
 		}
-		return sel.Sel.Name
+		return callee.Pkg().Name() + "." + sel.Sel.Name
 	}
-	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && id.Name == "telemetry" {
-		return sel.Sel.Name
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && registrationQualifiers[id.Name] {
+		return id.Name + "." + sel.Sel.Name
 	}
 	return ""
 }

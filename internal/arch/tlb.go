@@ -6,6 +6,16 @@ import (
 	"sync/atomic"
 
 	"ghostspec/internal/telemetry"
+	"ghostspec/internal/telemetry/trace"
+)
+
+// Span names for the TLB maintenance paths: fills (miss-path walks
+// publishing a translation) and invalidation sweeps. Both run under
+// shard mutexes, so on a timeline they explain where translation time
+// goes when the cache churns.
+var (
+	spanTLBFill       = trace.NewName("tlb.fill")
+	spanTLBInvalidate = trace.NewName("tlb.invalidate")
 )
 
 // This file is the software TLB: a model of the hardware translation
@@ -147,6 +157,11 @@ func (sh *tlbShard) set(i int, e *tlbEntry) {
 type TLB struct {
 	mem    *Memory
 	shards [tlbShardCount]tlbShard
+
+	// tracer, when attached, receives fill and invalidation spans on
+	// lane; see SetTracer.
+	tracer *trace.Tracer
+	lane   int
 }
 
 // NewTLB builds a TLB over the given memory. A nil *TLB is a valid
@@ -154,6 +169,15 @@ type TLB struct {
 // thread one pointer regardless of configuration.
 func NewTLB(m *Memory) *TLB {
 	return &TLB{mem: m}
+}
+
+// SetTracer attaches a span tracer covering fills and invalidations.
+// Install once at boot; a nil receiver or tracer stays untraced.
+func (t *TLB) SetTracer(tr *trace.Tracer, lane int) {
+	if t == nil {
+		return
+	}
+	t.tracer, t.lane = tr, lane
 }
 
 func (t *TLB) locate(key tlbKey) (*tlbShard, int) {
@@ -218,6 +242,8 @@ func (t *TLB) walkLeafDeps(root PhysAddr, ia uint64) (PTE, int, [tlbMaxDeps]tlbD
 }
 
 func (t *TLB) fill(cpu int, key tlbKey, sh *tlbShard, slot int, pte PTE, level int, deps [tlbMaxDeps]tlbDep, ndeps int) {
+	sp := t.tracer.Begin(t.lane, spanTLBFill)
+	defer sp.End()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for i := 0; i < ndeps; i++ {
@@ -307,6 +333,8 @@ func (t *TLB) InvalidateAll() {
 }
 
 func (t *TLB) sweep(drop func(*tlbEntry) bool) {
+	sp := t.tracer.Begin(t.lane, spanTLBInvalidate)
+	defer sp.End()
 	for si := range t.shards {
 		sh := &t.shards[si]
 		sh.mu.Lock()

@@ -28,6 +28,21 @@ import (
 	"ghostspec/internal/proxy"
 	"ghostspec/internal/randtest"
 	"ghostspec/internal/telemetry"
+	"ghostspec/internal/telemetry/trace"
+)
+
+// Execution phase spans. Each worker is one tracer lane, so one exec's
+// phases nest under its exec span and never interleave with another
+// worker's. The phase set is the disjoint cover benchreport -profile
+// attributes exec wall time against: boot, parent replay, generation,
+// coverage accounting, shrinking.
+var (
+	spanExec       = trace.NewName("exec")
+	spanExecBoot   = trace.NewName("exec.boot")
+	spanExecReplay = trace.NewName("exec.replay")
+	spanExecRun    = trace.NewName("exec.run")
+	spanExecCorpus = trace.NewName("exec.corpus")
+	spanExecShrink = trace.NewName("exec.shrink")
 )
 
 // bigMemoryLayout is the large-physical-map configuration boot-layout
@@ -74,6 +89,12 @@ type Config struct {
 	CorpusCap int
 	// Logf, when set, receives progress lines (findings, stop cause).
 	Logf func(format string, args ...any)
+	// Tracer, when set, receives execution spans: worker w records on
+	// lane w, so the tracer must have at least Workers lanes. Each
+	// worker's system (hypervisor, locks, TLB, oracle) is wired to the
+	// same tracer/lane, putting an exec's full cost breakdown on one
+	// timeline.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) fill() {
@@ -130,30 +151,93 @@ type Report struct {
 	Coverage    coverage.Report
 }
 
-type engine struct {
+// workerState is one worker's liveness record, read lock-free by
+// Status while the worker runs.
+type workerState struct {
+	execs      atomic.Int64
+	lastActive atomic.Int64 // unix nanos of the last exec start
+}
+
+// Engine is a running campaign. Build one with Start, observe it with
+// Status while it runs, and collect the final Report with Wait; Run
+// bundles Start+Wait for callers with no introspection needs.
+type Engine struct {
 	cfg      Config
+	tracer   *trace.Tracer
 	agg      *coverage.Aggregator
 	corpus   *corpus
 	deadline time.Time
+	start    time.Time
 
 	execs atomic.Int64
 	novel atomic.Int64
 	stop  atomic.Bool
+
+	workers []workerState
+	wg      sync.WaitGroup
+	done    chan struct{}
 
 	mu       sync.Mutex
 	findings []Finding
 	bootErr  error
 }
 
+// WorkerStatus is one worker's live health snapshot.
+type WorkerStatus struct {
+	Worker     int       `json:"worker"`
+	Execs      int64     `json:"execs"`
+	LastActive time.Time `json:"last_active"`
+	// Healthy reports recent progress: the worker started an exec
+	// within the health window (or the campaign just started).
+	Healthy bool `json:"healthy"`
+}
+
+// Status is a live campaign snapshot, safe to take from any goroutine
+// while the campaign runs — the /campaign endpoint's payload.
+type Status struct {
+	Execs       int64           `json:"execs"`
+	Elapsed     time.Duration   `json:"elapsed_ns"`
+	ExecsPerSec float64         `json:"execs_per_sec"`
+	NovelRuns   int64           `json:"novel_runs"`
+	CorpusSize  int             `json:"corpus_size"`
+	Findings    int             `json:"findings"`
+	Coverage    coverage.Report `json:"coverage"`
+	Workers     []WorkerStatus  `json:"workers"`
+}
+
+// healthWindow is how long a worker may go without starting an exec
+// before Status flags it unhealthy. Generously above any legitimate
+// exec time (boot + steps + shrinking stays well under a second); a
+// worker quiet for this long is wedged or starved.
+const healthWindow = 5 * time.Second
+
 // Run executes a campaign to completion (deadline, exec budget, or
 // finding budget) and reports.
 func Run(cfg Config) (*Report, error) {
+	e, err := Start(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Wait()
+}
+
+// Start validates the configuration, boots a probe system, and launches
+// the workers. The campaign runs until a stop condition trips; Wait
+// collects the report.
+func Start(cfg Config) (*Engine, error) {
 	cfg.fill()
-	e := &engine{cfg: cfg, agg: coverage.NewAggregator(), corpus: newCorpus(cfg.CorpusCap)}
+	e := &Engine{
+		cfg:     cfg,
+		tracer:  cfg.Tracer,
+		agg:     coverage.NewAggregator(),
+		corpus:  newCorpus(cfg.CorpusCap),
+		workers: make([]workerState, cfg.Workers),
+		done:    make(chan struct{}),
+	}
 
 	// Fail fast on unbootable configurations rather than from inside
 	// every worker.
-	if _, _, _, err := e.newSystem(); err != nil {
+	if _, _, _, err := e.newSystem(0); err != nil {
 		return nil, fmt.Errorf("campaign boot check: %w", err)
 	}
 	if cfg.Duration <= 0 && cfg.MaxExecs <= 0 && cfg.MaxFindings <= 0 {
@@ -163,16 +247,15 @@ func Run(cfg Config) (*Report, error) {
 		e.deadline = time.Now().Add(cfg.Duration)
 	}
 
-	start := time.Now()
+	e.start = time.Now()
 	meter := telemetry.NewMeter(telExecRate)
-	meter.Tick(start, telExecs.Value())
-	done := make(chan struct{})
+	meter.Tick(e.start, telExecs.Value())
 	go func() {
 		tick := time.NewTicker(250 * time.Millisecond)
 		defer tick.Stop()
 		for {
 			select {
-			case <-done:
+			case <-e.done:
 				return
 			case now := <-tick.C:
 				meter.Tick(now, telExecs.Value())
@@ -180,27 +263,35 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}()
 
-	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
+		e.workers[w].lastActive.Store(e.start.UnixNano())
+		e.wg.Add(1)
 		go func(w int) {
-			defer wg.Done()
+			defer e.wg.Done()
 			e.worker(w)
 		}(w)
 	}
-	wg.Wait()
-	close(done)
+	return e, nil
+}
+
+// Wait blocks until the campaign stops and assembles the final report.
+func (e *Engine) Wait() (*Report, error) {
+	e.wg.Wait()
+	close(e.done)
 
 	if e.bootErr != nil {
 		return nil, e.bootErr
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(e.start)
+	e.mu.Lock()
+	findings := e.findings
+	e.mu.Unlock()
 	rep := &Report{
 		Execs:      e.execs.Load(),
 		Elapsed:    elapsed,
 		NovelRuns:  e.novel.Load(),
 		CorpusSize: e.corpus.size(),
-		Findings:   e.findings,
+		Findings:   findings,
 		Coverage:   e.agg.Report(),
 	}
 	if s := elapsed.Seconds(); s > 0 {
@@ -209,11 +300,46 @@ func Run(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
+// Status snapshots the running campaign. Counters are atomics and the
+// coverage aggregate locks internally, so the snapshot is cheap enough
+// to serve on every poll.
+func (e *Engine) Status() Status {
+	now := time.Now()
+	elapsed := now.Sub(e.start)
+	s := Status{
+		Execs:      e.execs.Load(),
+		Elapsed:    elapsed,
+		NovelRuns:  e.novel.Load(),
+		CorpusSize: e.corpus.size(),
+		Coverage:   e.agg.Report(),
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		s.ExecsPerSec = float64(s.Execs) / sec
+	}
+	e.mu.Lock()
+	s.Findings = len(e.findings)
+	e.mu.Unlock()
+	for w := range e.workers {
+		last := time.Unix(0, e.workers[w].lastActive.Load())
+		s.Workers = append(s.Workers, WorkerStatus{
+			Worker:     w,
+			Execs:      e.workers[w].execs.Load(),
+			LastActive: last,
+			Healthy:    now.Sub(last) < healthWindow,
+		})
+	}
+	return s
+}
+
 // newSystem boots one private system instance with the campaign's
 // instrumentation stack: oracle attached first (it checks the boot
-// layout), coverage wrapped over it.
-func (e *engine) newSystem() (*proxy.Driver, *ghost.Recorder, *coverage.Tracker, error) {
-	hcfg := hyp.Config{Inj: faults.NewInjector(e.cfg.Bugs...), NoTLB: e.cfg.NoTLB}
+// layout), coverage wrapped over it. The system records spans on the
+// booting worker's lane.
+func (e *Engine) newSystem(w int) (*proxy.Driver, *ghost.Recorder, *coverage.Tracker, error) {
+	hcfg := hyp.Config{
+		Inj: faults.NewInjector(e.cfg.Bugs...), NoTLB: e.cfg.NoTLB,
+		Tracer: e.tracer, TraceLane: w,
+	}
 	if e.cfg.BigMemory {
 		hcfg.Layout = bigMemoryLayout
 	}
@@ -227,16 +353,24 @@ func (e *engine) newSystem() (*proxy.Driver, *ghost.Recorder, *coverage.Tracker,
 	return proxy.New(hv), rec, cov, nil
 }
 
+// bootSystem is newSystem under the exec.boot span — the phase that
+// dominates private-system campaigns (ROADMAP item 1's target).
+func (e *Engine) bootSystem(w int) (*proxy.Driver, *ghost.Recorder, *coverage.Tracker, error) {
+	sp := e.tracer.Begin(w, spanExecBoot)
+	defer sp.End()
+	return e.newSystem(w)
+}
+
 // factory adapts newSystem for the shrinker (which has no use for the
-// coverage tracker).
-func (e *engine) factory() Factory {
+// coverage tracker). Shrink replays run on the finding worker's lane.
+func (e *Engine) factory(w int) Factory {
 	return func() (*proxy.Driver, *ghost.Recorder, error) {
-		d, rec, _, err := e.newSystem()
+		d, rec, _, err := e.newSystem(w)
 		return d, rec, err
 	}
 }
 
-func (e *engine) stopped() bool {
+func (e *Engine) stopped() bool {
 	if e.stop.Load() {
 		return true
 	}
@@ -249,7 +383,7 @@ func (e *engine) stopped() bool {
 	return false
 }
 
-func (e *engine) logf(format string, args ...any) {
+func (e *Engine) logf(format string, args ...any) {
 	if e.cfg.Logf != nil {
 		e.cfg.Logf(format, args...)
 	}
@@ -268,7 +402,7 @@ type input struct {
 // worker is one shard: a private rng derived from (campaign seed,
 // worker index) drives its input choices, so any worker's whole
 // sequence re-derives from those two numbers alone.
-func (e *engine) worker(w int) {
+func (e *Engine) worker(w int) {
 	rng := rand.New(rand.NewSource(randtest.WorkerSeed(e.cfg.Seed, w)))
 	for !e.stopped() {
 		in := input{seed: rng.Int63(), steps: e.cfg.StepsPerRun}
@@ -283,9 +417,16 @@ func (e *engine) worker(w int) {
 	}
 }
 
-// runOne executes one input on a fresh private system.
-func (e *engine) runOne(w int, in input) {
-	d, rec, cov, err := e.newSystem()
+// runOne executes one input on a fresh private system, under the exec
+// span with one child span per phase — the attribution benchreport
+// -profile measures.
+func (e *Engine) runOne(w int, in input) {
+	sp := e.tracer.Begin(w, spanExec)
+	defer sp.End()
+	e.workers[w].execs.Add(1)
+	e.workers[w].lastActive.Store(time.Now().UnixNano())
+
+	d, rec, cov, err := e.bootSystem(w)
 	if err != nil {
 		e.mu.Lock()
 		if e.bootErr == nil {
@@ -301,29 +442,22 @@ func (e *engine) runOne(w int, in input) {
 	tr := &randtest.Trace{}
 	if in.parent != nil {
 		tr.Ops = append(tr.Ops, in.parent.Ops...)
-		randtest.Replay(d, in.parent)
+		e.replayParent(w, d, in.parent)
 	}
 	// Boot-layout defects alarm the instant the oracle attaches; the
 	// finding then needs no hypercall traffic at all.
 	if len(rec.Failures()) == 0 {
-		t := randtest.NewFromSource(d, rec, rand.NewSource(in.seed), !e.cfg.Unguided)
-		t.Trace = tr
-		t.Run(in.steps)
-		tr = t.Trace
+		tr = e.runSteps(w, d, rec, in, tr)
 	}
 
-	if novelty := e.agg.Absorb(cov); novelty > 0 {
-		e.novel.Add(1)
-		telNovel.Inc()
-		e.corpus.add(tr, float64(novelty)+e.agg.Rarity(cov))
-	}
+	e.absorbCoverage(w, cov, tr)
 
 	failures := rec.Failures()
 	if len(failures) == 0 {
 		return
 	}
 	telFindings.Inc()
-	min, minFailures, replays, ok := Shrink(e.factory(), tr, e.cfg.ShrinkReplays)
+	min, minFailures, replays, ok := e.shrinkOne(w, tr)
 	f := Finding{
 		Worker: w, Exec: exec,
 		Seed: in.seed, FromCorpus: in.parent != nil,
@@ -340,4 +474,42 @@ func (e *engine) runOne(w int, in input) {
 	if hitCap {
 		e.stop.Store(true)
 	}
+}
+
+// replayParent re-executes the corpus parent's trace (the extend
+// mutation's warm-up) under the exec.replay span.
+func (e *Engine) replayParent(w int, d *proxy.Driver, parent *randtest.Trace) {
+	sp := e.tracer.Begin(w, spanExecReplay)
+	defer sp.End()
+	randtest.Replay(d, parent)
+}
+
+// runSteps runs the generator under the exec.run span and returns the
+// recorded trace.
+func (e *Engine) runSteps(w int, d *proxy.Driver, rec *ghost.Recorder, in input, tr *randtest.Trace) *randtest.Trace {
+	sp := e.tracer.Begin(w, spanExecRun)
+	defer sp.End()
+	t := randtest.NewFromSource(d, rec, rand.NewSource(in.seed), !e.cfg.Unguided)
+	t.Trace = tr
+	t.Run(in.steps)
+	return t.Trace
+}
+
+// absorbCoverage folds the run's coverage into the aggregate and seeds
+// the corpus on novelty, under the exec.corpus span.
+func (e *Engine) absorbCoverage(w int, cov *coverage.Tracker, tr *randtest.Trace) {
+	sp := e.tracer.Begin(w, spanExecCorpus)
+	defer sp.End()
+	if novelty := e.agg.Absorb(cov); novelty > 0 {
+		e.novel.Add(1)
+		telNovel.Inc()
+		e.corpus.add(tr, float64(novelty)+e.agg.Rarity(cov))
+	}
+}
+
+// shrinkOne minimizes a failing trace under the exec.shrink span.
+func (e *Engine) shrinkOne(w int, tr *randtest.Trace) (*randtest.Trace, []ghost.Failure, int, bool) {
+	sp := e.tracer.Begin(w, spanExecShrink)
+	defer sp.End()
+	return Shrink(e.factory(w), tr, e.cfg.ShrinkReplays)
 }

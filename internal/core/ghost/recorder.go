@@ -11,6 +11,7 @@ import (
 	"ghostspec/internal/arch"
 	"ghostspec/internal/hyp"
 	"ghostspec/internal/telemetry"
+	"ghostspec/internal/telemetry/trace"
 )
 
 // FailureKind classifies an oracle alarm.
@@ -126,6 +127,12 @@ type cpuRec struct {
 type Recorder struct {
 	hv *hyp.Hypervisor
 
+	// tracer/lane mirror the hypervisor's tracing identity (taken from
+	// hv at Attach): oracle spans land on the same lane as the trap
+	// spans they nest under.
+	tracer *trace.Tracer
+	lane   int
+
 	// mu guards shared, failures, and counters. The ghost machinery
 	// adds this lock for its own data; the hypervisor's own locking is
 	// untouched (paper §3.2).
@@ -182,6 +189,7 @@ func Attach(hv *hyp.Hypervisor) *Recorder {
 	for i := range r.cpus {
 		r.cpus[i] = &cpuRec{}
 	}
+	r.tracer, r.lane = hv.Tracer()
 
 	// Initial recording: no traffic yet, so reading without locks is
 	// sound. This snapshot seeds the non-interference baseline and
@@ -275,6 +283,8 @@ func (r *Recorder) verifyCached(name string, got AbstractPgtable, root arch.Phys
 	if !r.VerifyCache {
 		return
 	}
+	sp := r.tracer.Begin(r.lane, spanGhostVerify)
+	defer sp.End()
 	ref := InterpretPgtable(r.hv.Mem, root)
 	if !EqualMappings(ref.Mapping, got.Mapping) || !ref.Footprint.Equal(got.Footprint) {
 		r.fail(Failure{Kind: FailCacheDivergence,
@@ -655,6 +665,11 @@ func (r *Recorder) TrapExit(cpu int) {
 		return
 	}
 	rec.active = false
+	// The check span covers post-state recording, the specification
+	// computation, and the ternary comparison — the oracle's per-trap
+	// cost, nested inside the enclosing hyp.trap span.
+	sp := r.tracer.Begin(r.lane, spanGhostCheck)
+	defer sp.End()
 
 	l := AbstractLocal(r.hv, cpu)
 	rec.post.Locals[cpu] = &l

@@ -2,6 +2,15 @@ package ghost
 
 import (
 	"ghostspec/internal/telemetry"
+	"ghostspec/internal/telemetry/trace"
+)
+
+// Span names for the oracle's own cost: the trap-exit check (the §6
+// overhead headline) and the differential cache verification, which
+// dominates when VerifyCache is on.
+var (
+	spanGhostCheck  = trace.NewName("ghost.check")
+	spanGhostVerify = trace.NewName("ghost.verify")
 )
 
 // The oracle's own telemetry: how often it checks, how often it fires,

@@ -20,6 +20,7 @@ import (
 	"ghostspec/internal/pgtable"
 	"ghostspec/internal/spinlock"
 	"ghostspec/internal/telemetry"
+	"ghostspec/internal/telemetry/trace"
 )
 
 // Owner IDs stored in host stage 2 ownership annotations. The host is
@@ -83,6 +84,14 @@ type Config struct {
 	// tables, the pre-TLB behaviour. Used by the benchmark legs and by
 	// tests that want walk-always semantics.
 	NoTLB bool
+	// Tracer, when set, receives execution spans (trap dispatch, table
+	// mutations, TLB maintenance, oracle checks) on TraceLane. The
+	// campaign engine passes one tracer with a lane per worker; nil
+	// leaves the system untraced.
+	Tracer *trace.Tracer
+	// TraceLane is this system's lane in Tracer (one goroutine drives
+	// one lane; see the trace package).
+	TraceLane int
 }
 
 func (c *Config) fill() {
@@ -162,6 +171,12 @@ type Hypervisor struct {
 	// flight is the per-CPU ring of recent traps; oracle failure
 	// reports attach dumps of it.
 	flight *telemetry.FlightRecorder
+
+	// tracer/traceLane carry the span tracer through every layer of
+	// this system (trap dispatch here, mutations in pgtable, fills in
+	// arch.TLB, checks in ghost); nil stays untraced.
+	tracer    *trace.Tracer
+	traceLane int
 }
 
 // New boots the hypervisor: builds the physical memory, carves out the
@@ -188,12 +203,18 @@ func New(cfg Config) (*Hypervisor, error) {
 		percpu:      make([]*PerCPU, cfg.NrCPUs),
 		instr:       nopInstr{},
 		flight:      telemetry.NewFlightRecorder(cfg.NrCPUs, telemetry.DefaultFlightDepth),
+		tracer:      cfg.Tracer,
+		traceLane:   cfg.TraceLane,
 	}
 	for i := range hv.percpu {
 		hv.percpu[i] = &PerCPU{LoadedVCPU: -1}
 	}
+	for _, l := range []*spinlock.Lock{hv.hostLock, hv.hypLock, hv.vmsLock} {
+		l.SetTracer(hv.tracer, hv.traceLane)
+	}
 	if !cfg.NoTLB {
 		hv.tlb = arch.NewTLB(m)
+		hv.tlb.SetTracer(hv.tracer, hv.traceLane)
 	}
 
 	hv.globals = Globals{
@@ -234,6 +255,7 @@ func (hv *Hypervisor) initHypS1() error {
 	pgt.SetOnTablePage(liveTableGauge(telHypTablesLive))
 	pgt.SetTLBI(hv.hypTLBI)
 	pgt.SetTLB(hv.tlb, VMIDHyp)
+	pgt.SetTracer(hv.tracer, hv.traceLane)
 	hv.hypPGT = pgt
 
 	g := &hv.globals
@@ -277,6 +299,7 @@ func (hv *Hypervisor) initHostS2() error {
 	pgt.SetOnTablePage(liveTableGauge(telHostTablesLive))
 	pgt.SetTLBI(hv.hostTLBI)
 	pgt.SetTLB(hv.tlb, VMIDHost)
+	pgt.SetTracer(hv.tracer, hv.traceLane)
 	hv.hostPGT = pgt
 	g := &hv.globals
 	if err := pgt.Annotate(uint64(g.CarveStart), g.CarveSize, IDHyp); err != nil {
@@ -316,6 +339,11 @@ func (hv *Hypervisor) SetInstrumentation(in Instrumentation) {
 	}
 	hv.instr = in
 }
+
+// Tracer exposes the system's span tracer and lane; the ghost
+// recorder uses it to place oracle-check spans on the same lane as the
+// traps they check. Nil when the system is untraced.
+func (hv *Hypervisor) Tracer() (*trace.Tracer, int) { return hv.tracer, hv.traceLane }
 
 // Globals returns the boot-time constants.
 func (hv *Hypervisor) Globals() Globals { return hv.globals }

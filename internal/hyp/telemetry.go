@@ -5,6 +5,7 @@ import (
 
 	"ghostspec/internal/arch"
 	"ghostspec/internal/telemetry"
+	"ghostspec/internal/telemetry/trace"
 )
 
 // The hypervisor's telemetry instruments. All are registered once at
@@ -47,6 +48,16 @@ var (
 	telGuestTablesLive = telemetry.NewGauge(`pgtable_table_pages_live{table="guest_s2"}`)
 )
 
+// Per-dispatch trap span names: one per hypercall (so the span
+// aggregate attributes cost per call, not just per trap) plus the two
+// non-HVC exit reasons. Filled alongside the per-HC counters in init.
+var (
+	spanTrapHVC     [nrHCs]trace.Name
+	spanTrapUnknown trace.Name
+	spanTrapAbort   = trace.NewName("hyp.trap:host_mem_abort")
+	spanTrapIRQ     = trace.NewName("hyp.trap:irq")
+)
+
 // liveTableGauge adapts a gauge to the pgtable table-page notification
 // callback.
 func liveTableGauge(g *telemetry.Gauge) func(arch.PFN, bool) {
@@ -65,8 +76,26 @@ func liveTableGauge(g *telemetry.Gauge) func(arch.PFN, bool) {
 func init() {
 	for id := HC(1); int(id) < nrHCs; id++ {
 		hcCalls[id] = telemetry.NewCounter(`hyp_hypercall_calls_total{call="` + id.String() + `"}`)
+		spanTrapHVC[id] = trace.NewName("hyp.trap:" + id.String())
 	}
 	hcUnknown = telemetry.NewCounter(`hyp_hypercall_calls_total{call="` + HC(0).String() + `"}`)
+	spanTrapUnknown = trace.NewName("hyp.trap:" + HC(0).String())
+}
+
+// trapSpanName picks the span name for one trap: the per-hypercall
+// name for HVC exits (read from x0 before the handler overwrites the
+// registers), the exit-reason name otherwise.
+func (hv *Hypervisor) trapSpanName(cpu int, reason arch.ExitReason) trace.Name {
+	switch reason {
+	case arch.ExitHVC:
+		if id := HC(hv.CPUs[cpu].HostRegs[0]); id >= 1 && int(id) < nrHCs {
+			return spanTrapHVC[id]
+		}
+		return spanTrapUnknown
+	case arch.ExitMemAbort:
+		return spanTrapAbort
+	}
+	return spanTrapIRQ
 }
 
 // hcCounter returns the per-call counter for a (possibly out of range)

@@ -81,6 +81,10 @@ const (
 // carry on with a fresh system.
 func (hv *Hypervisor) HandleTrap(cpuID int, reason arch.ExitReason) (err error) {
 	cpu := hv.CPUs[cpuID]
+	// The trap span closes last (deferred first): it covers the handler,
+	// the telemetry finish, and the ghost oracle running from TrapExit.
+	sp := hv.tracer.Begin(hv.traceLane, hv.trapSpanName(cpuID, reason))
+	defer sp.End()
 	var tel trapTelemetry
 	tel.begin(hv, cpuID, reason)
 	hv.instr.TrapEntry(cpuID, reason)

@@ -17,7 +17,13 @@ import (
 
 	"ghostspec/internal/arch"
 	"ghostspec/internal/telemetry"
+	"ghostspec/internal/telemetry/trace"
 )
+
+// spanMutate covers one top-level mutation walk; the span does not
+// distinguish map/unmap/annotate (the counters already do) — on the
+// timeline what matters is pgtable time as a phase.
+var spanMutate = trace.NewName("pgtable.mutate")
 
 // Walker and mutation traffic, across all tables in the process. The
 // walk-depth histogram observes the terminal level of each lookup —
@@ -83,6 +89,11 @@ type Table struct {
 	// GetLeaf as a generation-verified walk cache; see SetTLB.
 	tlb     *arch.TLB
 	tlbVMID arch.VMID
+
+	// tracer, when attached, receives one span per top-level mutation
+	// walk (Map/Unmap/Annotate) on lane; see SetTracer.
+	tracer *trace.Tracer
+	lane   int
 }
 
 // SetOnTablePage installs a callback notified after every table-page
@@ -132,6 +143,12 @@ func (t *Table) notifyTLBI(ia, size uint64) {
 // skipped.
 func (t *Table) SetTLB(tlb *arch.TLB, vmid arch.VMID) {
 	t.tlb, t.tlbVMID = tlb, vmid
+}
+
+// SetTracer attaches a span tracer covering the top-level mutation
+// walks. Install once at construction, like the other subscribers.
+func (t *Table) SetTracer(tr *trace.Tracer, lane int) {
+	t.tracer, t.lane = tr, lane
 }
 
 // New allocates a root table page and returns the handle.
@@ -324,6 +341,8 @@ func (t *Table) Map(ia, size uint64, pa arch.PhysAddr, attrs arch.Attrs, force b
 	if !telemetry.Disabled() {
 		telMaps.Inc()
 	}
+	sp := t.tracer.Begin(t.lane, spanMutate)
+	defer sp.End()
 	return t.mutateRange(t.root, arch.StartLevel, ia, ia+size, mutateOpts{force: force}, func(level int, entryIA uint64) arch.PTE {
 		return arch.MakeLeaf(level, pa+arch.PhysAddr(entryIA-ia), attrs)
 	}, func(level int, entryIA uint64) bool {
@@ -349,6 +368,8 @@ func (t *Table) Unmap(ia, size uint64) error {
 	if !telemetry.Disabled() {
 		telUnmaps.Inc()
 	}
+	sp := t.tracer.Begin(t.lane, spanMutate)
+	defer sp.End()
 	return t.mutateRange(t.root, arch.StartLevel, ia, ia+size, mutateOpts{force: true, skipInvalid: true},
 		func(int, uint64) arch.PTE { return 0 },
 		func(int, uint64) bool { return true })
@@ -367,6 +388,8 @@ func (t *Table) Annotate(ia, size uint64, owner uint8) error {
 	if !telemetry.Disabled() {
 		telAnnotates.Inc()
 	}
+	sp := t.tracer.Begin(t.lane, spanMutate)
+	defer sp.End()
 	return t.mutateRange(t.root, arch.StartLevel, ia, ia+size, mutateOpts{force: true, skipInvalid: owner == 0},
 		func(int, uint64) arch.PTE {
 			if owner == 0 {

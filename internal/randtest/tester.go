@@ -9,6 +9,15 @@ import (
 	"ghostspec/internal/core/ghost"
 	"ghostspec/internal/hyp"
 	"ghostspec/internal/proxy"
+	"ghostspec/internal/telemetry/trace"
+)
+
+// Span names for the generation and replay drivers. The tester pulls
+// the tracer (and its lane) from the hypervisor it drives, so these
+// nest under the campaign's exec phases on the same timeline.
+var (
+	spanRun    = trace.NewName("randtest.run")
+	spanReplay = trace.NewName("randtest.replay")
 )
 
 // Stats are the campaign counters.
@@ -99,6 +108,9 @@ func (t *Tester) Stats() Stats {
 
 // Run executes n generator steps.
 func (t *Tester) Run(n int) {
+	tr, lane := t.D.HV.Tracer()
+	sp := tr.Begin(lane, spanRun)
+	defer sp.End()
 	for i := 0; i < n; i++ {
 		t.Step()
 	}

@@ -225,6 +225,9 @@ func (tr *Trace) Subset(keep []int) *Trace {
 // was dropped by the shrinker pass through untranslated — the call
 // then simply exercises an error path.
 func Replay(d *proxy.Driver, tr *Trace) {
+	trc, lane := d.HV.Tracer()
+	sp := trc.Begin(lane, spanReplay)
+	defer sp.End()
 	pfns := make(map[arch.PFN]arch.PFN)
 	handles := make(map[hyp.Handle]hyp.Handle)
 	xp := func(p arch.PFN) arch.PFN {

@@ -11,9 +11,38 @@ package spinlock
 
 import (
 	"sync"
+	"time"
 
 	"ghostspec/internal/telemetry"
+	"ghostspec/internal/telemetry/trace"
 )
+
+// Contention wait-time histograms, one per lock rank (0 = unranked).
+// Bucketed per rank rather than per component so the label space stays
+// fixed while still separating "waiting on the VM table" from "waiting
+// on a guest stage 2" — the rank is what the acquisition order is
+// about.
+var lockWaitByRank = [5]*telemetry.Histogram{
+	telemetry.NewHistogram(`spinlock_wait_ns{rank="0"}`),
+	telemetry.NewHistogram(`spinlock_wait_ns{rank="1"}`),
+	telemetry.NewHistogram(`spinlock_wait_ns{rank="2"}`),
+	telemetry.NewHistogram(`spinlock_wait_ns{rank="3"}`),
+	telemetry.NewHistogram(`spinlock_wait_ns{rank="4"}`),
+}
+
+// SlowAcquireThreshold is the contention wait above which a lock
+// acquisition emits a span (when a tracer is attached): long waits are
+// the ones worth seeing on the timeline next to the execution phases.
+const SlowAcquireThreshold = 50 * time.Microsecond
+
+// waitHist returns the rank's wait histogram, clamping unknown ranks
+// to the unranked bucket.
+func waitHist(rank int) *telemetry.Histogram {
+	if rank < 0 || rank >= len(lockWaitByRank) {
+		rank = 0
+	}
+	return lockWaitByRank[rank]
+}
 
 // Hooks are callbacks invoked while the lock is held: Acquired runs
 // immediately after the lock is taken, Releasing immediately before it
@@ -43,6 +72,13 @@ type Lock struct {
 	// rank orders this lock in the global acquisition order checked by
 	// the runtime rank validator (rank.go); 0 means unranked.
 	rank int
+
+	// tracer, when attached, receives a slow-acquisition span on lane
+	// whenever a contended acquisition waits past SlowAcquireThreshold.
+	// Set once at boot (SetTracer), like the hooks.
+	tracer   *trace.Tracer
+	lane     int
+	waitSpan trace.Name
 }
 
 // New returns a named lock with the given hooks (which may be nil).
@@ -52,6 +88,7 @@ func New(component string, hooks *Hooks) *Lock {
 		hooks:     hooks,
 		acquires:  telemetry.NewCounter(`spinlock_acquisitions_total{lock="` + component + `"}`),
 		contended: telemetry.NewCounter(`spinlock_contended_total{lock="` + component + `"}`),
+		waitSpan:  trace.NewName("lock.wait:" + component),
 	}
 }
 
@@ -81,6 +118,14 @@ func (l *Lock) name() string {
 // initialisation, before any hypercall traffic.
 func (l *Lock) SetHooks(h *Hooks) { l.hooks = h }
 
+// SetTracer attaches a span tracer for slow-acquisition emission. The
+// lane is the owning system's lane; contention spans are emitted
+// parentless (the waiter's goroutine owns no lane stack position).
+// Like SetHooks, install once at boot.
+func (l *Lock) SetTracer(t *trace.Tracer, lane int) {
+	l.tracer, l.lane = t, lane
+}
+
 // Component returns the lock's registered name.
 func (l *Lock) Component() string { return l.component }
 
@@ -98,7 +143,13 @@ func (l *Lock) Lock() {
 		l.acquires.Inc()
 		if !l.mu.TryLock() {
 			l.contended.Inc()
+			start := time.Now()
 			l.mu.Lock()
+			wait := time.Since(start)
+			waitHist(l.rank).ObserveDuration(wait)
+			if wait >= SlowAcquireThreshold {
+				l.tracer.Emit(l.lane, l.waitSpan, start, wait)
+			}
 		}
 	}
 	l.held = true

@@ -91,10 +91,14 @@ func (fr *FlightRecorder) Record(cpu int, ev TrapEvent) {
 	if fr == nil || cpu < 0 || cpu >= len(fr.cpus) {
 		return
 	}
-	ev.Seq = fr.seq.Add(1)
 	ev.CPU = cpu
 	r := &fr.cpus[cpu]
 	r.mu.Lock()
+	// The sequence stamp must happen under the ring mutex: stamping
+	// first and locking second lets a preempted recorder slip an older
+	// Seq in behind a newer one, and the dump — which reports ring
+	// order — comes out torn, with Seq running backwards mid-history.
+	ev.Seq = fr.seq.Add(1)
 	r.buf[r.n%uint64(len(r.buf))] = ev
 	r.n++
 	r.mu.Unlock()

@@ -163,9 +163,66 @@ func splitName(name string) (base, labels string) {
 	return name, ""
 }
 
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double-quote and newline are the three
+// characters that would otherwise terminate or corrupt the sample line.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeLabels rewrites a registered inline label block (`k="v",...`)
+// with every value escaped. Registered values are raw — lock component
+// names and bug identifiers flow in verbatim — so a value's closing
+// quote is taken to be the one followed by `,` or the end of the
+// block; hostile quotes, backslashes and newlines inside the value
+// then survive as data instead of truncating the exposition line.
+func escapeLabels(labels string) string {
+	var b strings.Builder
+	i := 0
+	for i < len(labels) {
+		eq := strings.IndexByte(labels[i:], '=')
+		if eq < 0 || i+eq+1 >= len(labels) || labels[i+eq+1] != '"' {
+			// Not a k="v" shape; pass the remainder through untouched.
+			b.WriteString(labels[i:])
+			break
+		}
+		b.WriteString(labels[i : i+eq+2]) // key, '=', opening quote
+		j := i + eq + 2
+		end := j
+		for end < len(labels) && !(labels[end] == '"' && (end+1 == len(labels) || labels[end+1] == ',')) {
+			end++
+		}
+		b.WriteString(escapeLabelValue(labels[j:end]))
+		b.WriteByte('"')
+		i = end + 1 // past the closing quote (or block end when unterminated)
+		if i < len(labels) && labels[i] == ',' {
+			b.WriteByte(',')
+			i++
+		}
+	}
+	return b.String()
+}
+
 // WritePrometheus encodes the snapshot in the Prometheus text
 // exposition format. Histograms are emitted with cumulative le
-// buckets at the log₂ upper bounds.
+// buckets at the log₂ upper bounds. Label values are escaped on the
+// way out (see escapeLabels) — the registry stores them raw.
 func (s Snap) WritePrometheus(w io.Writer) error {
 	typed := map[string]bool{}
 	typeLine := func(base, kind string) {
@@ -176,6 +233,7 @@ func (s Snap) WritePrometheus(w io.Writer) error {
 	}
 	for _, c := range s.Counters {
 		base, labels := splitName(c.Name)
+		labels = escapeLabels(labels)
 		typeLine(base, "counter")
 		if labels != "" {
 			labels = "{" + labels + "}"
@@ -184,6 +242,7 @@ func (s Snap) WritePrometheus(w io.Writer) error {
 	}
 	for _, g := range s.Gauges {
 		base, labels := splitName(g.Name)
+		labels = escapeLabels(labels)
 		typeLine(base, "gauge")
 		if labels != "" {
 			labels = "{" + labels + "}"
@@ -192,6 +251,7 @@ func (s Snap) WritePrometheus(w io.Writer) error {
 	}
 	for _, h := range s.Histograms {
 		base, labels := splitName(h.Name)
+		labels = escapeLabels(labels)
 		typeLine(base, "histogram")
 		sep := ""
 		if labels != "" {

@@ -126,6 +126,57 @@ func TestPrometheusEncoding(t *testing.T) {
 	}
 }
 
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	// Hostile label values: a backslash, an embedded quote, a newline,
+	// and all three at once across two labels. These arrive for real
+	// via lock component and bug names interpolated into metric names.
+	r.Counter(`evil_total{path="C:\temp"}`).Add(1)
+	r.Counter(`evil_total{msg="he said "hi" loudly"}`).Add(2)
+	r.Gauge("evil_gauge{note=\"line1\nline2\"}").Set(3)
+	r.Histogram(`evil_ns{a="back\slash",b="qu"ote"}`).Observe(64)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`evil_total{path="C:\\temp"} 1`,
+		`evil_total{msg="he said \"hi\" loudly"} 2`,
+		`evil_gauge{note="line1\nline2"} 3`,
+		`evil_ns_bucket{a="back\\slash",b="qu\"ote",le="127"} 1`,
+		`evil_ns_sum{a="back\\slash",b="qu\"ote"} 64`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// No sample line may contain a raw (unescaped) newline inside its
+	// label block: every line must still parse as name{...} value.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		if !strings.Contains(line, " ") {
+			t.Errorf("torn exposition line (no value separator): %q", line)
+		}
+	}
+}
+
+func TestEscapeLabelsPassthrough(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{``, ``},
+		{`k="v"`, `k="v"`},
+		{`a="x",b="y"`, `a="x",b="y"`},
+		{`garbage`, `garbage`},                  // not k="v" shaped
+		{`k="unterminated`, `k="unterminated"`}, // repaired, value escaped
+	} {
+		if got := escapeLabels(tc.in); got != tc.want {
+			t.Errorf("escapeLabels(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
 func TestReset(t *testing.T) {
 	r := NewRegistry()
 	c := r.Counter("c")
@@ -214,6 +265,71 @@ func TestFlightRecorderConcurrent(t *testing.T) {
 	for cpu := 0; cpu < 4; cpu++ {
 		if len(fr.Dump(cpu)) != 16 {
 			t.Errorf("cpu %d ring not full", cpu)
+		}
+	}
+}
+
+// TestFlightRecorderWraparoundSeqOrder hammers single rings from many
+// goroutines through multiple wraparounds while dumping concurrently,
+// and requires every dump's Seq column to be strictly increasing. The
+// recorder once stamped Seq before taking the ring mutex; a preempted
+// recorder could then slip an older Seq in behind a newer one and the
+// dump came out torn. Run under -race this also exercises the
+// dump-during-record paths.
+func TestFlightRecorderWraparoundSeqOrder(t *testing.T) {
+	const (
+		nrCPUs     = 2
+		depth      = 8
+		goroutines = 4
+		perG       = 500 // 4*500 per CPU = 250 wraparounds of an 8-deep ring
+	)
+	fr := NewFlightRecorder(nrCPUs, depth)
+	var recorders, dumpers sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent dumpers: torn writes would also show up as racy
+	// half-copied events under -race.
+	for cpu := 0; cpu < nrCPUs; cpu++ {
+		dumpers.Add(1)
+		go func(cpu int) {
+			defer dumpers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i, evs := 1, fr.Dump(cpu); i < len(evs); i++ {
+					if evs[i].Seq <= evs[i-1].Seq {
+						t.Errorf("cpu %d dump torn mid-run: seq %d then %d", cpu, evs[i-1].Seq, evs[i].Seq)
+						return
+					}
+				}
+			}
+		}(cpu)
+	}
+	for g := 0; g < goroutines; g++ {
+		recorders.Add(1)
+		go func(g int) {
+			defer recorders.Done()
+			for i := 0; i < perG; i++ {
+				for cpu := 0; cpu < nrCPUs; cpu++ {
+					fr.Record(cpu, TrapEvent{Kind: "hvc", Ret: int64(g*perG + i)})
+				}
+			}
+		}(g)
+	}
+	recorders.Wait()
+	close(stop)
+	dumpers.Wait()
+	for cpu := 0; cpu < nrCPUs; cpu++ {
+		evs := fr.Dump(cpu)
+		if len(evs) != depth {
+			t.Fatalf("cpu %d ring not full after wraparound: %d events", cpu, len(evs))
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Seq <= evs[i-1].Seq {
+				t.Errorf("cpu %d final dump out of order: seq %d then %d", cpu, evs[i-1].Seq, evs[i].Seq)
+			}
 		}
 	}
 }

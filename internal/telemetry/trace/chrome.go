@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Chrome trace-event export: the "X" (complete-event) form of the
+// Trace Event Format, loadable in Perfetto (ui.perfetto.dev) and
+// chrome://tracing. Lanes map to tids, so each campaign worker gets
+// its own track; ts/dur are microseconds by that format's definition.
+
+// chromeEvent is one complete event in the Trace Event Format.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeCategory derives the event category from the span name's
+// subsystem prefix ("pgtable.mutate" -> "pgtable"), so Perfetto can
+// filter per layer.
+func chromeCategory(name string) string {
+	if i := strings.IndexAny(name, ".:"); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WriteChrome encodes the retained spans as Chrome trace-event JSON.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	spans := t.Spans()
+	f := chromeFile{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ns"}
+	for _, s := range spans {
+		name := s.NameString()
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: name,
+			Cat:  chromeCategory(name),
+			Ph:   "X",
+			TS:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  s.Lane,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// FormatSpans renders recent spans as text, one per line, indented by
+// nesting depth — the /spans endpoint's payload and a quick console
+// dump. Only the last max spans are rendered (all when max <= 0).
+func FormatSpans(spans []Span, max int) string {
+	if max > 0 && len(spans) > max {
+		spans = spans[len(spans)-max:]
+	}
+	var b strings.Builder
+	for _, s := range spans {
+		fmt.Fprintf(&b, "lane%d %12v %s%s %v\n",
+			s.Lane, s.Start, strings.Repeat("  ", s.Depth), s.NameString(), s.Dur)
+	}
+	if b.Len() == 0 {
+		return "(no spans recorded)\n"
+	}
+	return b.String()
+}

@@ -1,0 +1,282 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withTracing runs f with the global gate in the given state,
+// restoring the previous state after.
+func withTracing(t testing.TB, on bool, f func()) {
+	t.Helper()
+	prev := Enabled()
+	SetEnabled(on)
+	defer SetEnabled(prev)
+	f()
+}
+
+var (
+	tnOuter = NewName("test.outer")
+	tnInner = NewName("test.inner")
+	tnEmit  = NewName("test.emit")
+)
+
+func TestNesting(t *testing.T) {
+	withTracing(t, true, func() {
+		tr := NewTracer(2, 16)
+		so := tr.Begin(0, tnOuter)
+		si := tr.Begin(0, tnInner)
+		si.End()
+		so.End()
+
+		spans := tr.Spans()
+		if len(spans) != 2 {
+			t.Fatalf("got %d spans, want 2", len(spans))
+		}
+		// Inner completed first but outer started first.
+		if spans[0].NameString() != "test.outer" || spans[1].NameString() != "test.inner" {
+			t.Fatalf("order: %v %v", spans[0].NameString(), spans[1].NameString())
+		}
+		inner := spans[1]
+		if inner.Depth != 1 || inner.ParentString() != "test.outer" {
+			t.Errorf("inner depth=%d parent=%q, want 1/test.outer", inner.Depth, inner.ParentString())
+		}
+		outer := spans[0]
+		if outer.Depth != 0 || outer.Parent != -1 {
+			t.Errorf("outer depth=%d parent=%d, want 0/-1", outer.Depth, outer.Parent)
+		}
+		if outer.Dur < inner.Dur {
+			t.Errorf("outer dur %v < inner dur %v", outer.Dur, inner.Dur)
+		}
+	})
+}
+
+func TestNameInterning(t *testing.T) {
+	a := NewName("test.interned")
+	b := NewName("test.interned")
+	if a != b {
+		t.Errorf("re-registration minted a new id: %v vs %v", a, b)
+	}
+	if a.String() != "test.interned" {
+		t.Errorf("name round-trip: %q", a.String())
+	}
+	var zero Name
+	if zero.String() != "?" {
+		t.Errorf("zero name: %q", zero.String())
+	}
+}
+
+func TestDisabledNoRecord(t *testing.T) {
+	withTracing(t, false, func() {
+		tr := NewTracer(1, 16)
+		sp := tr.Begin(0, tnOuter)
+		sp.End()
+		tr.Emit(0, tnEmit, time.Now(), time.Microsecond)
+		if got := tr.Spans(); len(got) != 0 {
+			t.Errorf("disabled tracer recorded %d spans", len(got))
+		}
+	})
+}
+
+// TestDisabledZeroAlloc pins the satellite requirement: the disabled
+// path must be a single atomic load + branch — in particular it must
+// not allocate.
+func TestDisabledZeroAlloc(t *testing.T) {
+	withTracing(t, false, func() {
+		tr := NewTracer(1, 16)
+		allocs := testing.AllocsPerRun(1000, func() {
+			sp := tr.Begin(0, tnOuter)
+			sp.End()
+		})
+		if allocs != 0 {
+			t.Errorf("disabled Begin/End allocates %.1f per op, want 0", allocs)
+		}
+	})
+}
+
+// TestEnabledSteadyStateZeroAlloc: once the lane stack has grown,
+// recording itself must not allocate either (ring and stack are
+// preallocated).
+func TestEnabledSteadyStateZeroAlloc(t *testing.T) {
+	withTracing(t, true, func() {
+		tr := NewTracer(1, 1024)
+		allocs := testing.AllocsPerRun(200, func() {
+			sp := tr.Begin(0, tnOuter)
+			sp.End()
+		})
+		if allocs != 0 {
+			t.Errorf("enabled Begin/End allocates %.1f per op, want 0", allocs)
+		}
+	})
+}
+
+func TestNilTracer(t *testing.T) {
+	withTracing(t, true, func() {
+		var tr *Tracer
+		sp := tr.Begin(0, tnOuter)
+		sp.End()
+		tr.Emit(0, tnEmit, time.Now(), time.Millisecond)
+		if tr.Spans() != nil || tr.Dropped() != 0 || tr.Lanes() != 0 {
+			t.Error("nil tracer not inert")
+		}
+	})
+}
+
+func TestEmitAndWraparound(t *testing.T) {
+	withTracing(t, true, func() {
+		tr := NewTracer(1, 4)
+		for i := 0; i < 10; i++ {
+			tr.Emit(0, tnEmit, time.Now(), time.Duration(i))
+		}
+		spans := tr.Spans()
+		if len(spans) != 4 {
+			t.Fatalf("ring retained %d, want 4", len(spans))
+		}
+		if tr.Dropped() != 6 {
+			t.Errorf("dropped = %d, want 6", tr.Dropped())
+		}
+		for _, s := range spans {
+			if s.Parent != -1 || s.Depth != 0 {
+				t.Errorf("emitted span has parent=%d depth=%d", s.Parent, s.Depth)
+			}
+		}
+	})
+}
+
+func TestAggregate(t *testing.T) {
+	withTracing(t, true, func() {
+		tr := NewTracer(1, 64)
+		base := time.Now()
+		tr.Emit(0, tnOuter, base, 10*time.Millisecond)
+		tr.Emit(0, tnInner, base, time.Millisecond)
+		tr.Emit(0, tnInner, base, time.Millisecond)
+		agg := tr.Aggregate()
+		if len(agg) != 2 {
+			t.Fatalf("got %d aggregates, want 2", len(agg))
+		}
+		if agg[0].Name != "test.outer" || agg[0].Total != 10*time.Millisecond {
+			t.Errorf("top aggregate: %+v", agg[0])
+		}
+		if agg[1].Name != "test.inner" || agg[1].Count != 2 || agg[1].Total != 2*time.Millisecond {
+			t.Errorf("second aggregate: %+v", agg[1])
+		}
+	})
+}
+
+func TestWriteChrome(t *testing.T) {
+	withTracing(t, true, func() {
+		tr := NewTracer(2, 16)
+		so := tr.Begin(1, tnOuter)
+		si := tr.Begin(1, tnInner)
+		si.End()
+		so.End()
+
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var f struct {
+			TraceEvents []struct {
+				Name string  `json:"name"`
+				Cat  string  `json:"cat"`
+				Ph   string  `json:"ph"`
+				TS   float64 `json:"ts"`
+				Dur  float64 `json:"dur"`
+				TID  int     `json:"tid"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+			t.Fatalf("chrome output is not JSON: %v", err)
+		}
+		if len(f.TraceEvents) != 2 {
+			t.Fatalf("got %d events, want 2", len(f.TraceEvents))
+		}
+		for _, ev := range f.TraceEvents {
+			if ev.Ph != "X" || ev.TID != 1 || ev.Cat != "test" {
+				t.Errorf("bad event: %+v", ev)
+			}
+		}
+	})
+}
+
+func TestFormatSpans(t *testing.T) {
+	withTracing(t, true, func() {
+		tr := NewTracer(1, 16)
+		so := tr.Begin(0, tnOuter)
+		si := tr.Begin(0, tnInner)
+		si.End()
+		so.End()
+		out := FormatSpans(tr.Spans(), 0)
+		if !strings.Contains(out, "test.outer") || !strings.Contains(out, "  test.inner") {
+			t.Errorf("format output missing indented spans:\n%s", out)
+		}
+		if FormatSpans(nil, 0) != "(no spans recorded)\n" {
+			t.Error("empty format")
+		}
+	})
+}
+
+// TestConcurrentLanes races independent lanes plus Spans readers; run
+// under -race this pins the locking.
+func TestConcurrentLanes(t *testing.T) {
+	withTracing(t, true, func() {
+		tr := NewTracer(4, 64)
+		var wg sync.WaitGroup
+		for lane := 0; lane < 4; lane++ {
+			wg.Add(1)
+			go func(lane int) {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					sp := tr.Begin(lane, tnOuter)
+					in := tr.Begin(lane, tnInner)
+					in.End()
+					sp.End()
+				}
+			}(lane)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr.Spans()
+				tr.Dropped()
+			}
+		}()
+		wg.Wait()
+		for _, s := range tr.Spans() {
+			if s.Dur < 0 {
+				t.Errorf("negative duration span: %+v", s)
+			}
+		}
+	})
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	prev := Enabled()
+	SetEnabled(false)
+	defer SetEnabled(prev)
+	tr := NewTracer(1, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin(0, tnOuter)
+		sp.End()
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	prev := Enabled()
+	SetEnabled(true)
+	defer SetEnabled(prev)
+	tr := NewTracer(1, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin(0, tnOuter)
+		sp.End()
+	}
+}
