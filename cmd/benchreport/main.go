@@ -34,8 +34,8 @@ func main() {
 	reps := flag.Int("reps", 5, "timing repetitions for E7")
 	telemetryFile := flag.String("telemetry", "", "telemetry snapshot JSON (from pkvm-sim -metrics json) to summarise")
 	ghostBench := flag.String("ghost-bench", "", "run the ghost benchmark smoke set and write results to this JSON file")
-	campaignBench := flag.String("campaign", "", "benchmark the campaign engine (serial vs 8 workers) and write results to this JSON file")
-	campaignExecs := flag.Int64("campaign-execs", 64, "executions per campaign benchmark leg")
+	campaignBench := flag.String("campaign", "", "benchmark the campaign engine (serial and 8 workers with snapshots, serial without) and write results to this JSON file; fails on speedup-floor or conformance regressions")
+	campaignExecs := flag.Int64("campaign-execs", 256, "executions per campaign benchmark leg")
 	tlbBench := flag.String("tlb", "", "benchmark the software TLB (hit path vs full walks) and write results to this JSON file")
 	profile := flag.String("profile", "", "run a traced campaign, write the per-exec phase-attribution profile to this JSON file, and enforce the attribution/overhead gates")
 	profileTrace := flag.String("profile-trace", "", "with -profile: also write the campaign's span dump as Chrome trace-event JSON to this file")

@@ -21,10 +21,13 @@ import (
 // every span, folds the span dump into a per-phase breakdown, and
 // enforces two regression gates with a non-zero exit:
 //
-//   - attribution: the top-level phase spans (boot / replay / run /
-//     corpus / shrink) must account for at least attributionFloorPct
-//     of the exec spans' wall time — if they don't, someone added an
-//     expensive un-instrumented stage and the profile went blind;
+//   - attribution: the top-level phase spans (boot / restore / replay
+//     / run / corpus / shrink) must account for at least
+//     attributionFloorPct of the exec spans' wall time — if they
+//     don't, someone added an expensive un-instrumented stage and the
+//     profile went blind. (Boot spans now fire once per worker, when
+//     its long-lived snapshot system comes up, rather than once per
+//     exec; they still count toward the attributed total.)
 //   - overhead: with a tracer attached but tracing disabled, the
 //     share/unshare hypercall pair must stay within overheadLimitPct
 //     (plus a fixed per-call epsilon for timer noise) of the
@@ -152,7 +155,10 @@ func runProfile(path, traceOut string) error {
 	exec := sum("exec", "exec")
 	rep.ExecWallMS = exec.TotalMS
 	rep.Phases = []profilePhase{
+		// boot happens once per worker now (the long-lived snapshot
+		// system), not once per exec; restore is its per-exec successor.
 		sum("boot", "exec.boot"),
+		sum("restore", "exec.restore"),
 		sum("replay", "exec.replay"),
 		sum("run", "exec.run"),
 		sum("corpus", "exec.corpus"),
@@ -163,6 +169,7 @@ func runProfile(path, traceOut string) error {
 		sum("pgtable", "pgtable.mutate"),
 		sum("tlb", "tlb.fill", "tlb.invalidate"),
 		sum("oracle", "ghost.check", "ghost.verify"),
+		sum("snapshot", "snapshot.capture", "snapshot.cow-fault"),
 	}
 
 	var attributed float64

@@ -43,6 +43,8 @@ func main() {
 	shrink := flag.Int("shrink", 400, "replay budget per finding minimization")
 	matrix := flag.Bool("matrix", false, "fault-sweep mode: campaign per faults.All() bug")
 	skipFlag := flag.String("skip", "", "matrix skip-list: bug=reason;bug=reason")
+	noSnapshot := flag.Bool("no-snapshot", false, "disable copy-on-write snapshots (fresh boot + full replay per exec)")
+	confEvery := flag.Int("conformance-every", 0, "diff every Nth restored exec against a boot-and-replay reference (0: default cadence)")
 	rankCheck := flag.Bool("rankcheck", false, "enable the runtime lock-rank validator")
 	quiet := flag.Bool("quiet", false, "suppress per-finding progress lines")
 	httpAddr := flag.String("http", "", "serve live introspection on this address (/metrics, /debug/pprof/, /spans, /campaign)")
@@ -64,16 +66,18 @@ func main() {
 	}
 
 	cfg := campaign.Config{
-		Workers:       *workers,
-		StepsPerRun:   *steps,
-		Seed:          *seed,
-		Unguided:      !*guided,
-		Bugs:          bugs,
-		BigMemory:     *bigMem,
-		Duration:      *duration,
-		MaxExecs:      *maxExecs,
-		MaxFindings:   *maxFindings,
-		ShrinkReplays: *shrink,
+		Workers:          *workers,
+		StepsPerRun:      *steps,
+		Seed:             *seed,
+		Unguided:         !*guided,
+		Bugs:             bugs,
+		BigMemory:        *bigMem,
+		Duration:         *duration,
+		MaxExecs:         *maxExecs,
+		MaxFindings:      *maxFindings,
+		ShrinkReplays:    *shrink,
+		NoSnapshot:       *noSnapshot,
+		ConformanceEvery: *confEvery,
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {

@@ -18,6 +18,10 @@
 //     legal inside internal/arch; everyone else uses the accessors.
 //   - telemetrycheck: metric registration only at init/constructor
 //     scope, never on a hot path.
+//   - snapshotcheck: captured snapshots (Capture*/Checkpoint handles)
+//     must reach a Restore*/Release* or escape the function, and
+//     Restore*-named code outside internal/arch must not write frames
+//     directly — the CoW baseline machinery owns frame restoration.
 //
 // Annotation grammar (on a function's doc comment):
 //
@@ -69,6 +73,7 @@ func Analyzers() []Analyzer {
 		&HookCheck{},
 		&PTECheck{},
 		&TelemetryCheck{},
+		&SnapshotCheck{},
 	}
 }
 

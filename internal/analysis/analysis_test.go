@@ -15,6 +15,7 @@ var goldenDirs = []string{
 	"hookcheck_bad",
 	"ptecheck_bad",
 	"telemetrycheck_bad",
+	"snapshotcheck_bad",
 }
 
 // mark identifies one expected or actual finding site.

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SnapshotCheck enforces the copy-on-write snapshot discipline that
+// the fork-per-exec campaign engine depends on:
+//
+//  1. A captured snapshot must be used. The Capture*/Checkpoint APIs
+//     (arch.MemBaseline, hyp.Base, ghost.Recorder) return handles the
+//     caller is expected to restore from (or hand to someone who
+//     will); a capture whose result is discarded, or kept in a local
+//     that never reaches a Restore*/Release* call and never escapes
+//     the function, is dead weight that silently pins frame data —
+//     and usually means a restore call was forgotten.
+//
+//  2. Restore-path code outside internal/arch may not write frames
+//     directly. arch.MemBaseline/MemDelta restore frames while
+//     keeping per-frame write generations coherent with the TLB,
+//     ghost caches and dirty tracking; a raw Memory.Write64/WritePTE/
+//     ZeroPage/ZeroWords inside a Restore*-named function bypasses
+//     that protocol and can produce a torn restore the generation
+//     machinery never notices. (The conformance differ would catch it
+//     probabilistically at runtime; this catches it at lint time.)
+type SnapshotCheck struct{}
+
+func (*SnapshotCheck) Name() string { return "snapshotcheck" }
+
+// snapshotPkgs are the package-path suffixes whose Capture* APIs
+// return snapshot handles.
+var snapshotPkgs = []string{
+	"internal/arch",
+	"internal/hyp",
+	"internal/core/ghost",
+}
+
+// frameWriters are the arch.Memory methods that mutate frame words.
+var frameWriters = map[string]bool{
+	"Write64":   true,
+	"WritePTE":  true,
+	"ZeroPage":  true,
+	"ZeroWords": true,
+}
+
+func (sc *SnapshotCheck) Run(u *Universe, pkg *Package) []Finding {
+	var out []Finding
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:      u.Fset.Position(n.Pos()),
+			Analyzer: "snapshotcheck",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sc.checkCaptures(pkg, fd, report)
+			if !strings.HasSuffix(pkg.Path, "internal/arch") &&
+				strings.HasPrefix(strings.ToLower(fd.Name.Name), "restore") {
+				sc.checkRestoreWrites(pkg, fd, report)
+			}
+		}
+	}
+	return out
+}
+
+// checkCaptures flags capture results that are dropped or parked in a
+// local that never reaches a restore/release and never escapes.
+func (sc *SnapshotCheck) checkCaptures(pkg *Package, fd *ast.FuncDecl,
+	report func(ast.Node, string, ...any)) {
+	// Locals holding a captured snapshot, mapped to the capture call
+	// for reporting.
+	held := map[types.Object]*ast.CallExpr{}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && sc.isCaptureCall(pkg, call) {
+				report(call, "snapshot captured and discarded; keep the handle and restore or release it")
+			}
+		case *ast.AssignStmt:
+			// v := Capture() / v, ok := Capture(): the snapshot is
+			// result 0, bound to Lhs[0].
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok || !sc.isCaptureCall(pkg, call) || len(n.Lhs) == 0 {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true // stored into a field/index: escapes
+			}
+			if id.Name == "_" {
+				report(call, "snapshot captured into the blank identifier; keep the handle and restore or release it")
+				return true
+			}
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				held[obj] = call
+			}
+		}
+		return true
+	})
+
+	for obj, call := range held {
+		if !sc.consumed(pkg, fd, obj, call) {
+			report(call, "captured snapshot %q never restored, released, or passed on", obj.Name())
+		}
+	}
+}
+
+// consumed reports whether the local snapshot object reaches a
+// Restore*/Release* call or escapes the function (returned, passed as
+// an argument, stored, aliased, or closed over).
+func (sc *SnapshotCheck) consumed(pkg *Package, fd *ast.FuncDecl,
+	obj types.Object, capture *ast.CallExpr) bool {
+	usedAt := func(id *ast.Ident) bool { return pkg.Info.Uses[id] == obj }
+	ok := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if n == capture {
+				return false
+			}
+			// Receiver of a restore/release method.
+			if sel, isSel := ast.Unparen(n.Fun).(*ast.SelectorExpr); isSel {
+				if id, isID := ast.Unparen(sel.X).(*ast.Ident); isID && usedAt(id) {
+					name := strings.ToLower(sel.Sel.Name)
+					if strings.HasPrefix(name, "restore") || strings.HasPrefix(name, "release") {
+						ok = true
+						return false
+					}
+				}
+			}
+			// Passed as an argument: responsibility transfers.
+			for _, arg := range n.Args {
+				if id, isID := ast.Unparen(arg).(*ast.Ident); isID && usedAt(id) {
+					ok = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if id, isID := ast.Unparen(r).(*ast.Ident); isID && usedAt(id) {
+					ok = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			// Re-assigned elsewhere (field, map slot, another name):
+			// the handle escapes our local view.
+			for _, r := range n.Rhs {
+				if id, isID := ast.Unparen(r).(*ast.Ident); isID && usedAt(id) {
+					ok = true
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if kv, isKV := e.(*ast.KeyValueExpr); isKV {
+					e = kv.Value
+				}
+				if id, isID := ast.Unparen(e).(*ast.Ident); isID && usedAt(id) {
+					ok = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// isCaptureCall reports whether the call invokes a snapshot-capture
+// API: a function named Capture* or Checkpoint declared in one of the
+// snapshot packages.
+func (sc *SnapshotCheck) isCaptureCall(pkg *Package, call *ast.CallExpr) bool {
+	callee := resolveCallee(pkg, call)
+	if callee == nil {
+		return false
+	}
+	name := callee.Name()
+	if !strings.HasPrefix(name, "Capture") && name != "Checkpoint" {
+		return false
+	}
+	if callee.Pkg() == nil {
+		return false
+	}
+	for _, sfx := range snapshotPkgs {
+		if strings.HasSuffix(callee.Pkg().Path(), sfx) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRestoreWrites flags direct frame writes inside Restore*-named
+// functions outside internal/arch.
+func (sc *SnapshotCheck) checkRestoreWrites(pkg *Package, fd *ast.FuncDecl,
+	report func(ast.Node, string, ...any)) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !frameWriters[sel.Sel.Name] {
+			return true
+		}
+		if t := exprType(pkg, sel.X); t != nil && !isNamed(t, "internal/arch", "Memory") {
+			return true
+		}
+		report(call, "restore path writes frames directly (Memory.%s); go through arch.MemBaseline so write generations stay coherent", sel.Sel.Name)
+		return true
+	})
+}

@@ -1,0 +1,45 @@
+// Package snapshotcheck_bad is golden-file input for the
+// snapshotcheck analyzer: capture handles dropped on the floor, and
+// restore paths that write frames behind the baseline machinery's
+// back.
+package snapshotcheck_bad
+
+import "ghostspec/internal/arch"
+
+// dropCapture captures an image and throws it away.
+func dropCapture(m *arch.Memory) {
+	m.CaptureImage() // want:snapshotcheck
+}
+
+// blankCapture binds the handle to the blank identifier.
+func blankCapture(bl *arch.MemBaseline) {
+	_ = bl.CaptureDelta() // want:snapshotcheck
+}
+
+// parkedCapture keeps the handle in a local that never reaches a
+// restore and never leaves the function.
+func parkedCapture(bl *arch.MemBaseline) int {
+	d := bl.CaptureDelta() // want:snapshotcheck
+	return d.Frames()
+}
+
+// restoreByHand is a restore path that pokes frame words directly
+// instead of going through the baseline.
+func restoreByHand(m *arch.Memory, words map[arch.PhysAddr]uint64) {
+	for pa, v := range words {
+		m.Write64(pa, v) // want:snapshotcheck
+	}
+	m.ZeroPage(m.RAMStart()) // want:snapshotcheck
+}
+
+// captureAndRestore is the sanctioned shape; nothing is flagged.
+func captureAndRestore(bl *arch.MemBaseline) int {
+	d := bl.CaptureDelta()
+	return bl.RestoreWith(d)
+}
+
+// captureAndHandOff transfers responsibility to a callee.
+func captureAndHandOff(m *arch.Memory, keep func(*arch.MemImage)) {
+	img := m.CaptureImage()
+	keep(img)
+}

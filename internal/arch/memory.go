@@ -16,16 +16,31 @@ import (
 // legitimately race with the hypervisor's descriptor updates, and each
 // observes either the old or the new descriptor, never a torn one.
 type Memory struct {
-	// frames maps PFN -> *frameCell. A sync.Map because the access
-	// pattern is extreme read-mostly: every simulated load/store and
-	// every ghost interpretation walk resolves frames, while insertion
-	// happens once per frame ever touched. A plain mutex-guarded map
-	// here serialises all CPUs on one lock and shows up as futex storms
-	// under the concurrent tester. Frames are never deleted.
-	frames sync.Map
-	// nframes counts distinct frames ever touched (sync.Map has no
-	// cheap Len).
+	// ram and mmio are flat slot arrays for the two declared regions,
+	// indexed by frame number within the region. The access pattern is
+	// extreme read-mostly — every simulated load/store and every ghost
+	// interpretation walk resolves frames — and an indexed array load
+	// beats the previous sync.Map (interface-boxed PFN keys were ~25%
+	// of campaign CPU in profiles). Insertion happens once per frame
+	// ever touched and races benignly (CompareAndSwap keeps exactly
+	// one winner). Frames are never deleted.
+	ram  []atomic.Pointer[frameCell]
+	mmio []atomic.Pointer[frameCell]
+	// out catches stray accesses outside both declared regions (the
+	// random tester can aim hypercalls anywhere); it stays a sync.Map
+	// because it is expected to be near-empty.
+	out sync.Map
+	// nframes counts distinct frames ever touched.
 	nframes atomic.Int64
+
+	// touchMu guards the append-only first-touch log below.
+	touchMu sync.Mutex
+	// touched records every frame in the order it was first allocated.
+	// Snapshots iterate a prefix of this log instead of scanning the
+	// (potentially millions of) slots of a large physical map, and a
+	// baseline discovers frames born after its capture by reading the
+	// log's suffix.
+	touched []PFN
 
 	// Layout of the physical map.
 	ramStart PhysAddr
@@ -36,14 +51,19 @@ type Memory struct {
 // Frame is one 4KB physical frame, stored as 512 64-bit words.
 type Frame [PTEsPerTable]uint64
 
+// PTE views slot idx of a table-page frame as a descriptor — the bulk
+// companion to Memory.ReadPTE for walkers that copied the whole frame
+// out with ReadFrame.
+func (f *Frame) PTE(idx int) PTE { return PTE(f[idx]) }
+
 // frameCell is a frame plus its write-generation counter. The counter
 // is bumped after every store into the frame, so a reader that records
 // the generation before reading the contents can later detect whether
 // any word may have changed — the invalidation signal the ghost
-// abstraction cache keys on. Bumping after the store (not before) is
-// the conservative order: a racing snapshot can record a stale
-// generation for fresh data (forcing a needless re-read later) but
-// never a fresh generation for stale data.
+// abstraction cache and the snapshot dirty-tracker key on. Bumping
+// after the store (not before) is the conservative order: a racing
+// snapshot can record a stale generation for fresh data (forcing a
+// needless re-read later) but never a fresh generation for stale data.
 type frameCell struct {
 	gen atomic.Uint64
 	f   Frame
@@ -70,6 +90,8 @@ func NewMemory(l MemLayout) *Memory {
 		panic("arch: memory layout must be page aligned")
 	}
 	return &Memory{
+		ram:      make([]atomic.Pointer[frameCell], l.RAMSize>>PageShift),
+		mmio:     make([]atomic.Pointer[frameCell], l.MMIOSize>>PageShift),
 		ramStart: l.RAMStart,
 		ramSize:  l.RAMSize,
 		mmioEnd:  PhysAddr(l.MMIOSize),
@@ -95,19 +117,83 @@ func (m *Memory) InRAM(pa PhysAddr) bool {
 // InMMIO reports whether pa lies in the MMIO hole.
 func (m *Memory) InMMIO(pa PhysAddr) bool { return pa < m.mmioEnd }
 
+// slot returns the flat-array slot for pa, or nil if pa lies outside
+// both declared regions.
+func (m *Memory) slot(pa PhysAddr) *atomic.Pointer[frameCell] {
+	if off := uint64(pa - m.ramStart); off < m.ramSize {
+		return &m.ram[off>>PageShift]
+	}
+	if pa < m.mmioEnd {
+		return &m.mmio[pa>>PageShift]
+	}
+	return nil
+}
+
 // frame returns the backing cell for pa, allocating it on first use.
-// The hot path is a lock-free Load; the allocating path races benignly
-// (LoadOrStore keeps exactly one winner).
+// The hot path is a lock-free array-indexed load.
 func (m *Memory) frame(pa PhysAddr) *frameCell {
-	pfn := PhysToPFN(pa)
-	if c, ok := m.frames.Load(pfn); ok {
+	if s := m.slot(pa); s != nil {
+		if c := s.Load(); c != nil {
+			return c
+		}
+		return m.frameSlow(s, PhysToPFN(pa))
+	}
+	return m.frameOut(PhysToPFN(pa))
+}
+
+func (m *Memory) frameSlow(s *atomic.Pointer[frameCell], pfn PFN) *frameCell {
+	c := new(frameCell)
+	if s.CompareAndSwap(nil, c) {
+		m.recordTouch(pfn)
+		return c
+	}
+	return s.Load()
+}
+
+func (m *Memory) frameOut(pfn PFN) *frameCell {
+	if c, ok := m.out.Load(pfn); ok {
 		return c.(*frameCell)
 	}
-	c, loaded := m.frames.LoadOrStore(pfn, new(frameCell))
+	c, loaded := m.out.LoadOrStore(pfn, new(frameCell))
 	if !loaded {
-		m.nframes.Add(1)
+		m.recordTouch(pfn)
 	}
 	return c.(*frameCell)
+}
+
+func (m *Memory) recordTouch(pfn PFN) {
+	m.nframes.Add(1)
+	m.touchMu.Lock()
+	m.touched = append(m.touched, pfn)
+	m.touchMu.Unlock()
+}
+
+// peek returns the cell for pfn without allocating, or nil if the
+// frame has never been touched.
+func (m *Memory) peek(pfn PFN) *frameCell {
+	if s := m.slot(pfn.Phys()); s != nil {
+		return s.Load()
+	}
+	if c, ok := m.out.Load(pfn); ok {
+		return c.(*frameCell)
+	}
+	return nil
+}
+
+// touchCount returns the current length of the first-touch log.
+func (m *Memory) touchCount() int {
+	m.touchMu.Lock()
+	n := len(m.touched)
+	m.touchMu.Unlock()
+	return n
+}
+
+// touchedRange copies log entries [i, j).
+func (m *Memory) touchedRange(i, j int) []PFN {
+	m.touchMu.Lock()
+	out := append([]PFN(nil), m.touched[i:j]...)
+	m.touchMu.Unlock()
+	return out
 }
 
 // Read64 loads the 64-bit word at pa, which must be 8-byte aligned.
@@ -134,10 +220,49 @@ func (m *Memory) ReadPTE(table PhysAddr, idx int) PTE {
 	return PTE(m.Read64(table + PhysAddr(idx*8)))
 }
 
+// ReadFrame copies the whole frame containing pa in one frame lookup.
+// Bulk readers (the ghost page-table interpreter scans all 512 slots
+// of every table page) pay one map access instead of one per word;
+// the per-word loads stay atomic so the copy is safe against racing
+// writers, though as with any multi-word read it is not a snapshot.
+func (m *Memory) ReadFrame(pa PhysAddr) Frame {
+	c := m.frame(pa)
+	var out Frame
+	for i := range c.f {
+		out[i] = atomic.LoadUint64(&c.f[i])
+	}
+	return out
+}
+
 // WritePTE stores a descriptor at index idx of the table page at
 // table.
 func (m *Memory) WritePTE(table PhysAddr, idx int, p PTE) {
 	m.Write64(table+PhysAddr(idx*8), uint64(p))
+}
+
+// ZeroWords zeroes n consecutive 64-bit words starting at pa, which
+// must be 8-byte aligned. Unlike ZeroPage the range may start
+// mid-frame and run across frame boundaries (the page-scrub paths
+// zero at host-supplied addresses); each touched frame costs one
+// lookup and one generation bump rather than one per word.
+func (m *Memory) ZeroWords(pa PhysAddr, n int) {
+	if pa&7 != 0 {
+		panic(fmt.Sprintf("arch: unaligned ZeroWords at %#x", uint64(pa)))
+	}
+	for n > 0 {
+		c := m.frame(pa)
+		i := int((pa & PageMask) >> 3)
+		k := PTEsPerTable - i
+		if k > n {
+			k = n
+		}
+		for j := i; j < i+k; j++ {
+			atomic.StoreUint64(&c.f[j], 0)
+		}
+		c.gen.Add(1)
+		pa += PhysAddr(k * 8)
+		n -= k
+	}
 }
 
 // ZeroPage clears the frame containing pa.
@@ -151,20 +276,21 @@ func (m *Memory) ZeroPage(pa PhysAddr) {
 
 // FrameGen returns the current write generation of the frame
 // containing pa: the number of stores (Write64/WritePTE calls, plus
-// one per ZeroPage) it has absorbed. A frame never written reports 0.
+// one per ZeroPage or snapshot restore) it has absorbed. A frame never
+// written reports 0.
 func (m *Memory) FrameGen(pa PhysAddr) uint64 {
-	c, ok := m.frames.Load(PhysToPFN(pa))
-	if !ok {
+	c := m.peek(PhysToPFN(pa))
+	if c == nil {
 		return 0
 	}
-	return c.(*frameCell).gen.Load()
+	return c.gen.Load()
 }
 
 // FrameGenRef returns a stable pointer to the frame's generation
 // counter, allocating the frame on first use. Holding the pointer lets
 // a repeated staleness probe (the ghost abstraction cache checks every
 // cached table page on every hook) load the generation with one atomic
-// read instead of a map lookup under the memory lock.
+// read instead of a frame lookup.
 func (m *Memory) FrameGenRef(pa PhysAddr) *atomic.Uint64 {
 	return &m.frame(pa).gen
 }

@@ -332,6 +332,26 @@ func (t *TLB) InvalidateAll() {
 	t.sweep(func(*tlbEntry) bool { return true })
 }
 
+// InvalidateStale drops every cached translation whose recorded table
+// pages have been rewritten since the fill. A snapshot restore bumps
+// the generation of each frame it rewrites, so this one sweep is the
+// whole TLB story of a restore: entries over restored table pages
+// vanish, entries whose dependencies never moved are provably still
+// coherent and stay warm across executions. (The plain Walk hit path
+// does not check dependencies — architecturally a hit is a hit — so
+// stale entries must be swept here rather than left to age out, or the
+// next execution would both translate through ghosts of the previous
+// one and trip CheckCoherence's missing-TLBI report.)
+func (t *TLB) InvalidateStale() {
+	if t == nil {
+		return
+	}
+	if !telemetry.Disabled() {
+		telTLBInvalidates.Inc()
+	}
+	t.sweep(func(e *tlbEntry) bool { return !e.depsFresh() })
+}
+
 func (t *TLB) sweep(drop func(*tlbEntry) bool) {
 	sp := t.tracer.Begin(t.lane, spanTLBInvalidate)
 	defer sp.End()

@@ -75,6 +75,15 @@ type Config struct {
 	// translation is a full walk) — the before leg of the TLB
 	// benchmark, and an ablation for the stale-TLB checks.
 	NoTLB bool
+	// NoSnapshot boots a fresh system for every execution instead of
+	// rewinding a long-lived one — the before leg of the snapshot
+	// benchmark, mirroring NoTLB.
+	NoSnapshot bool
+	// ConformanceEvery cross-checks every Nth restored execution per
+	// worker against a freshly-booted-and-replayed reference system
+	// (default 256; negative disables). Tests set 1 for exhaustive
+	// checking. A divergence aborts the campaign with an error.
+	ConformanceEvery int
 	// Duration bounds wall time; zero means no deadline.
 	Duration time.Duration
 	// MaxExecs bounds total executions; zero means unlimited.
@@ -113,6 +122,9 @@ func (c *Config) fill() {
 	if c.CorpusCap <= 0 {
 		c.CorpusCap = 128
 	}
+	if c.ConformanceEvery == 0 {
+		c.ConformanceEvery = 256
+	}
 }
 
 // Finding is one oracle failure the campaign turned into a
@@ -149,6 +161,13 @@ type Report struct {
 	CorpusSize  int
 	Findings    []Finding
 	Coverage    coverage.Report
+	// Snapshot totals: restores performed, corpus-parent forks that
+	// skipped replay, frames rewritten across all restores, and full
+	// replays taken because a parent carried no snapshot.
+	SnapshotRestores    int64
+	SnapshotParentHits  int64
+	SnapshotDirtyFrames int64
+	SnapshotFallbacks   int64
 }
 
 // workerState is one worker's liveness record, read lock-free by
@@ -156,6 +175,14 @@ type Report struct {
 type workerState struct {
 	execs      atomic.Int64
 	lastActive atomic.Int64 // unix nanos of the last exec start
+
+	// Snapshot accounting: restores performed, corpus-parent forks
+	// that skipped replay, frames rewritten by restores, and full
+	// replays taken because a parent carried no snapshot.
+	snapRestores    atomic.Int64
+	snapParentHits  atomic.Int64
+	snapDirtyFrames atomic.Int64
+	snapFallbacks   atomic.Int64
 }
 
 // Engine is a running campaign. Build one with Start, observe it with
@@ -180,6 +207,11 @@ type Engine struct {
 	mu       sync.Mutex
 	findings []Finding
 	bootErr  error
+	// baseImg is the campaign-wide shared base memory image (see
+	// snapshot.go); probe is the boot-check system recycled as worker
+	// 0's long-lived system when snapshots are enabled.
+	baseImg *arch.MemImage
+	probe   *worksys
 }
 
 // WorkerStatus is one worker's live health snapshot.
@@ -190,6 +222,14 @@ type WorkerStatus struct {
 	// Healthy reports recent progress: the worker started an exec
 	// within the health window (or the campaign just started).
 	Healthy bool `json:"healthy"`
+	// Snapshot hit/dirty accounting for this worker: restores
+	// performed, corpus-parent forks that skipped the replay phase,
+	// frames rewritten, and full replays because a parent carried no
+	// snapshot.
+	SnapshotRestores    int64 `json:"snapshot_restores"`
+	SnapshotParentHits  int64 `json:"snapshot_parent_hits"`
+	SnapshotDirtyFrames int64 `json:"snapshot_dirty_frames"`
+	SnapshotFallbacks   int64 `json:"snapshot_fallback_full"`
 }
 
 // Status is a live campaign snapshot, safe to take from any goroutine
@@ -203,6 +243,10 @@ type Status struct {
 	Findings    int             `json:"findings"`
 	Coverage    coverage.Report `json:"coverage"`
 	Workers     []WorkerStatus  `json:"workers"`
+	// Campaign-wide snapshot totals (sums of the per-worker stats).
+	SnapshotRestores    int64 `json:"snapshot_restores"`
+	SnapshotDirtyFrames int64 `json:"snapshot_dirty_frames"`
+	SnapshotFallbacks   int64 `json:"snapshot_fallback_full"`
 }
 
 // healthWindow is how long a worker may go without starting an exec
@@ -236,9 +280,19 @@ func Start(cfg Config) (*Engine, error) {
 	}
 
 	// Fail fast on unbootable configurations rather than from inside
-	// every worker.
-	if _, _, _, err := e.newSystem(0); err != nil {
-		return nil, fmt.Errorf("campaign boot check: %w", err)
+	// every worker. With snapshots enabled the boot-check system is
+	// not thrown away: it becomes worker 0's long-lived base system,
+	// and its memory image is the one every other worker adopts.
+	if cfg.NoSnapshot {
+		if _, _, _, err := e.newSystem(0); err != nil {
+			return nil, fmt.Errorf("campaign boot check: %w", err)
+		}
+	} else {
+		ws, err := e.newWorksys(0)
+		if err != nil {
+			return nil, fmt.Errorf("campaign boot check: %w", err)
+		}
+		e.probe = ws
 	}
 	if cfg.Duration <= 0 && cfg.MaxExecs <= 0 && cfg.MaxFindings <= 0 {
 		return nil, fmt.Errorf("campaign needs a stop condition (Duration, MaxExecs, or MaxFindings)")
@@ -294,6 +348,12 @@ func (e *Engine) Wait() (*Report, error) {
 		Findings:   findings,
 		Coverage:   e.agg.Report(),
 	}
+	for w := range e.workers {
+		rep.SnapshotRestores += e.workers[w].snapRestores.Load()
+		rep.SnapshotParentHits += e.workers[w].snapParentHits.Load()
+		rep.SnapshotDirtyFrames += e.workers[w].snapDirtyFrames.Load()
+		rep.SnapshotFallbacks += e.workers[w].snapFallbacks.Load()
+	}
 	if s := elapsed.Seconds(); s > 0 {
 		rep.ExecsPerSec = float64(rep.Execs) / s
 	}
@@ -321,12 +381,20 @@ func (e *Engine) Status() Status {
 	e.mu.Unlock()
 	for w := range e.workers {
 		last := time.Unix(0, e.workers[w].lastActive.Load())
-		s.Workers = append(s.Workers, WorkerStatus{
-			Worker:     w,
-			Execs:      e.workers[w].execs.Load(),
-			LastActive: last,
-			Healthy:    now.Sub(last) < healthWindow,
-		})
+		ws := WorkerStatus{
+			Worker:              w,
+			Execs:               e.workers[w].execs.Load(),
+			LastActive:          last,
+			Healthy:             now.Sub(last) < healthWindow,
+			SnapshotRestores:    e.workers[w].snapRestores.Load(),
+			SnapshotParentHits:  e.workers[w].snapParentHits.Load(),
+			SnapshotDirtyFrames: e.workers[w].snapDirtyFrames.Load(),
+			SnapshotFallbacks:   e.workers[w].snapFallbacks.Load(),
+		}
+		s.Workers = append(s.Workers, ws)
+		s.SnapshotRestores += ws.SnapshotRestores
+		s.SnapshotDirtyFrames += ws.SnapshotDirtyFrames
+		s.SnapshotFallbacks += ws.SnapshotFallbacks
 	}
 	return s
 }
@@ -361,9 +429,18 @@ func (e *Engine) bootSystem(w int) (*proxy.Driver, *ghost.Recorder, *coverage.Tr
 	return e.newSystem(w)
 }
 
-// factory adapts newSystem for the shrinker (which has no use for the
-// coverage tracker). Shrink replays run on the finding worker's lane.
-func (e *Engine) factory(w int) Factory {
+// factory adapts system acquisition for the shrinker (which has no
+// use for the coverage tracker). Shrink replays run on the finding
+// worker's lane; on a snapshot worker each "boot" is a rewind of the
+// worker's own system to base — the shrinker's replays-per-finding
+// ride the same restore path as everything else.
+func (e *Engine) factory(w int, ws *worksys) Factory {
+	if ws != nil {
+		return func() (*proxy.Driver, *ghost.Recorder, error) {
+			e.restoreTo(w, ws, nil)
+			return ws.d, ws.rec, nil
+		}
+	}
 	return func() (*proxy.Driver, *ghost.Recorder, error) {
 		d, rec, _, err := e.newSystem(w)
 		return d, rec, err
@@ -390,51 +467,77 @@ func (e *Engine) logf(format string, args ...any) {
 }
 
 // input is one execution's recipe: a generator seed, plus optionally
-// a corpus parent whose trace is replayed before generation starts
-// (the extend mutation — the run continues from the parent's
-// neighbourhood instead of from a cold boot).
+// a corpus parent whose trace the execution continues from — via the
+// parent's end-state snapshot when it carries one, or by replaying
+// the parent's ops before generation starts (the fallback, and the
+// only path when snapshots are disabled).
 type input struct {
 	seed   int64
 	steps  int
 	parent *randtest.Trace
+	snap   *parentSnap
 }
 
 // worker is one shard: a private rng derived from (campaign seed,
 // worker index) drives its input choices, so any worker's whole
-// sequence re-derives from those two numbers alone.
+// sequence re-derives from those two numbers alone. With snapshots
+// enabled the worker owns one long-lived system rewound per exec;
+// worker 0 inherits the Start-time boot-check system.
 func (e *Engine) worker(w int) {
+	var ws *worksys
+	if !e.cfg.NoSnapshot {
+		if w == 0 && e.probe != nil {
+			ws = e.probe
+		} else {
+			var err error
+			if ws, err = e.newWorksys(w); err != nil {
+				e.fatal(err)
+				return
+			}
+		}
+	}
 	rng := rand.New(rand.NewSource(randtest.WorkerSeed(e.cfg.Seed, w)))
 	for !e.stopped() {
 		in := input{seed: rng.Int63(), steps: e.cfg.StepsPerRun}
 		// Half the runs extend a corpus seed once the corpus has
 		// content; the pick is score-weighted toward rare coverage.
 		if rng.Intn(2) == 0 {
-			if parent, ok := e.corpus.pick(rng); ok {
-				in.parent = parent
+			if parent, snap, ok := e.corpus.pick(rng); ok {
+				in.parent, in.snap = parent, snap
 			}
 		}
-		e.runOne(w, in)
+		e.runOne(w, in, ws)
 	}
 }
 
-// runOne executes one input on a fresh private system, under the exec
-// span with one child span per phase — the attribution benchreport
-// -profile measures.
-func (e *Engine) runOne(w int, in input) {
+// runOne executes one input, under the exec span with one child span
+// per phase — the attribution benchreport -profile measures. With a
+// worksys the system is rewound (forking straight into the parent's
+// end state when its snapshot is available); without one it is a
+// fresh boot plus a full parent replay.
+func (e *Engine) runOne(w int, in input, ws *worksys) {
 	sp := e.tracer.Begin(w, spanExec)
 	defer sp.End()
 	e.workers[w].execs.Add(1)
 	e.workers[w].lastActive.Store(time.Now().UnixNano())
 
-	d, rec, cov, err := e.bootSystem(w)
-	if err != nil {
-		e.mu.Lock()
-		if e.bootErr == nil {
-			e.bootErr = err
+	var (
+		d   *proxy.Driver
+		rec *ghost.Recorder
+		cov *coverage.Tracker
+	)
+	forked := false
+	if ws != nil {
+		d, rec = ws.d, ws.rec
+		e.restoreTo(w, ws, in.snap)
+		forked = in.snap != nil
+		cov = wrapCoverage(d, rec)
+	} else {
+		var err error
+		if d, rec, cov, err = e.bootSystem(w); err != nil {
+			e.fatal(err)
+			return
 		}
-		e.mu.Unlock()
-		e.stop.Store(true)
-		return
 	}
 	exec := e.execs.Add(1)
 	telExecs.Inc()
@@ -442,22 +545,42 @@ func (e *Engine) runOne(w int, in input) {
 	tr := &randtest.Trace{}
 	if in.parent != nil {
 		tr.Ops = append(tr.Ops, in.parent.Ops...)
-		e.replayParent(w, d, in.parent)
+		if !forked {
+			// No end-state snapshot to fork from: replay the parent.
+			e.replayParent(w, d, in.parent)
+			if ws != nil {
+				e.workers[w].snapFallbacks.Add(1)
+				telSnapFallback.Inc()
+			}
+		}
 	}
+
+	// Probabilistic ground-truth check of the fork machinery: diff the
+	// restored state against a fresh boot with the same prefix
+	// replayed.
+	if ws != nil && e.cfg.ConformanceEvery > 0 &&
+		e.workers[w].execs.Load()%int64(e.cfg.ConformanceEvery) == 0 {
+		var prefix []randtest.Op
+		if forked {
+			prefix = in.parent.Ops
+		}
+		e.checkConformance(w, ws, prefix)
+	}
+
 	// Boot-layout defects alarm the instant the oracle attaches; the
 	// finding then needs no hypercall traffic at all.
 	if len(rec.Failures()) == 0 {
 		tr = e.runSteps(w, d, rec, in, tr)
 	}
 
-	e.absorbCoverage(w, cov, tr)
+	e.absorbCoverage(w, cov, tr, ws)
 
 	failures := rec.Failures()
 	if len(failures) == 0 {
 		return
 	}
 	telFindings.Inc()
-	min, minFailures, replays, ok := e.shrinkOne(w, tr)
+	min, minFailures, replays, ok := e.shrinkOne(w, tr, ws)
 	f := Finding{
 		Worker: w, Exec: exec,
 		Seed: in.seed, FromCorpus: in.parent != nil,
@@ -496,20 +619,28 @@ func (e *Engine) runSteps(w int, d *proxy.Driver, rec *ghost.Recorder, in input,
 }
 
 // absorbCoverage folds the run's coverage into the aggregate and seeds
-// the corpus on novelty, under the exec.corpus span.
-func (e *Engine) absorbCoverage(w int, cov *coverage.Tracker, tr *randtest.Trace) {
+// the corpus on novelty, under the exec.corpus span. On a snapshot
+// worker the new corpus entry also gets a snapshot of the system's
+// current state — exactly the trace's end state, captured for free
+// since the worker is still sitting in it — so future extenders fork
+// instead of replaying.
+func (e *Engine) absorbCoverage(w int, cov *coverage.Tracker, tr *randtest.Trace, ws *worksys) {
 	sp := e.tracer.Begin(w, spanExecCorpus)
 	defer sp.End()
 	if novelty := e.agg.Absorb(cov); novelty > 0 {
 		e.novel.Add(1)
 		telNovel.Inc()
-		e.corpus.add(tr, float64(novelty)+e.agg.Rarity(cov))
+		var snap *parentSnap
+		if ws != nil {
+			snap = e.captureParent(w, ws)
+		}
+		e.corpus.add(tr, float64(novelty)+e.agg.Rarity(cov), snap)
 	}
 }
 
 // shrinkOne minimizes a failing trace under the exec.shrink span.
-func (e *Engine) shrinkOne(w int, tr *randtest.Trace) (*randtest.Trace, []ghost.Failure, int, bool) {
+func (e *Engine) shrinkOne(w int, tr *randtest.Trace, ws *worksys) (*randtest.Trace, []ghost.Failure, int, bool) {
 	sp := e.tracer.Begin(w, spanExecShrink)
 	defer sp.End()
-	return Shrink(e.factory(w), tr, e.cfg.ShrinkReplays)
+	return Shrink(e.factory(w, ws), tr, e.cfg.ShrinkReplays)
 }

@@ -23,6 +23,7 @@ type corpus struct {
 type corpusEntry struct {
 	trace *randtest.Trace
 	score float64
+	snap  *parentSnap // end-state snapshot; nil forces replay on fork
 }
 
 func newCorpus(cap int) *corpus {
@@ -31,13 +32,13 @@ func newCorpus(cap int) *corpus {
 
 // add inserts a trace; when full, the lowest-scoring entry is evicted
 // (which may be the newcomer).
-func (c *corpus) add(tr *randtest.Trace, score float64) {
+func (c *corpus) add(tr *randtest.Trace, score float64, snap *parentSnap) {
 	if score <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries = append(c.entries, corpusEntry{trace: tr, score: score})
+	c.entries = append(c.entries, corpusEntry{trace: tr, score: score, snap: snap})
 	c.total += score
 	if len(c.entries) > c.cap {
 		low := 0
@@ -55,20 +56,21 @@ func (c *corpus) add(tr *randtest.Trace, score float64) {
 
 // pick draws an entry with probability proportional to its score.
 // The caller supplies its own rng so per-worker determinism holds.
-func (c *corpus) pick(rng *rand.Rand) (*randtest.Trace, bool) {
+func (c *corpus) pick(rng *rand.Rand) (*randtest.Trace, *parentSnap, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.entries) == 0 || c.total <= 0 {
-		return nil, false
+		return nil, nil, false
 	}
 	r := rng.Float64() * c.total
 	for _, e := range c.entries {
 		r -= e.score
 		if r < 0 {
-			return e.trace, true
+			return e.trace, e.snap, true
 		}
 	}
-	return c.entries[len(c.entries)-1].trace, true
+	last := c.entries[len(c.entries)-1]
+	return last.trace, last.snap, true
 }
 
 // size returns the current entry count.

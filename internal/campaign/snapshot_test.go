@@ -1,0 +1,184 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/core/ghost"
+	"ghostspec/internal/coverage"
+	"ghostspec/internal/faults"
+	"ghostspec/internal/randtest"
+)
+
+// newTestEngine builds an engine shell with just enough wiring to
+// drive the snapshot helpers directly, without launching workers.
+func newTestEngine(cfg Config) *Engine {
+	cfg.fill()
+	return &Engine{
+		cfg:     cfg,
+		agg:     coverage.NewAggregator(),
+		corpus:  newCorpus(cfg.CorpusCap),
+		workers: make([]workerState, cfg.Workers),
+	}
+}
+
+// TestSnapshotRestoreReplaysIdentically is the byte-identical-trace
+// check: run a seeded generator on a restored system repeatedly; every
+// run must record exactly the same trace, which it only can if each
+// restore rewinds the system to a state indistinguishable from the
+// first — same allocation order, same fault outcomes, same handles.
+func TestSnapshotRestoreReplaysIdentically(t *testing.T) {
+	e := newTestEngine(Config{Workers: 1, MaxExecs: 1})
+	ws, err := e.newWorksys(0)
+	if err != nil {
+		t.Fatalf("worksys: %v", err)
+	}
+	run := func() string {
+		e.restoreTo(0, ws, nil)
+		wrapCoverage(ws.d, ws.rec)
+		tr := e.runSteps(0, ws.d, ws.rec, input{seed: 4242, steps: 250}, &randtest.Trace{})
+		if n := len(ws.rec.Failures()); n != 0 {
+			t.Fatalf("clean run raised %d failures: %v", n, ws.rec.Failures()[0])
+		}
+		return tr.String()
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("restored run %d recorded a different trace:\n%s\n--- want ---\n%s", i+1, got, first)
+		}
+	}
+	if r := e.workers[0].snapRestores.Load(); r != 4 {
+		t.Errorf("restores = %d, want 4", r)
+	}
+}
+
+// TestSnapshotSharedBaseForkStress is the -race stress test: seven
+// sibling systems adopt worker 0's base image concurrently, all fork
+// into the same shared parent snapshot at once, verify bit-identical
+// memory and ghost state against the original, then run independent
+// generator tails on top of the fork.
+func TestSnapshotSharedBaseForkStress(t *testing.T) {
+	const workers = 8
+	e := newTestEngine(Config{Workers: workers, MaxExecs: 1})
+	ws0, err := e.newWorksys(0)
+	if err != nil {
+		t.Fatalf("worksys 0: %v", err)
+	}
+	wrapCoverage(ws0.d, ws0.rec)
+	parent := e.runSteps(0, ws0.d, ws0.rec, input{seed: 99, steps: 150}, &randtest.Trace{})
+	if n := len(ws0.rec.Failures()); n != 0 {
+		t.Fatalf("parent run raised %d failures: %v", n, ws0.rec.Failures()[0])
+	}
+	snap := e.captureParent(0, ws0)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws, err := e.newWorksys(w)
+			if err != nil {
+				errs <- fmt.Errorf("worker %d worksys: %v", w, err)
+				return
+			}
+			e.restoreTo(w, ws, snap)
+			if diffs := arch.DiffMemory(ws.d.HV.Mem, ws0.d.HV.Mem, 4); len(diffs) != 0 {
+				errs <- fmt.Errorf("worker %d fork memory diverges: %v", w, diffs)
+				return
+			}
+			if diffs := ghostDiff(ws, ws0); len(diffs) != 0 {
+				errs <- fmt.Errorf("worker %d fork ghost state diverges: %v", w, diffs)
+				return
+			}
+			wrapCoverage(ws.d, ws.rec)
+			tr := &randtest.Trace{Ops: append([]randtest.Op(nil), parent.Ops...)}
+			e.runSteps(w, ws.d, ws.rec, input{seed: int64(1000 + w), steps: 100}, tr)
+			if n := len(ws.rec.Failures()); n != 0 {
+				errs <- fmt.Errorf("worker %d raised %d failures after fork: %v", w, n, ws.rec.Failures()[0])
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if e.sharedImage() == nil {
+		t.Fatal("no shared base image was published")
+	}
+}
+
+func ghostDiff(a, b *worksys) []string {
+	return ghost.DiffStates(a.rec.SharedState(), b.rec.SharedState(), 4)
+}
+
+// TestConformanceCatchesTornRestore plants a single corrupted word in
+// an otherwise perfectly restored system and requires the conformance
+// differ to flag it — the differ is the safety net for the whole fork
+// machinery, so it must see a one-word tear.
+func TestConformanceCatchesTornRestore(t *testing.T) {
+	e := newTestEngine(Config{Workers: 1, MaxExecs: 1})
+	ws, err := e.newWorksys(0)
+	if err != nil {
+		t.Fatalf("worksys: %v", err)
+	}
+	wrapCoverage(ws.d, ws.rec)
+	e.runSteps(0, ws.d, ws.rec, input{seed: 7, steps: 120}, &randtest.Trace{})
+	e.restoreTo(0, ws, nil)
+
+	ref, refRec, _, err := e.newSystem(0)
+	if err != nil {
+		t.Fatalf("reference boot: %v", err)
+	}
+	if diffs := conformance(ws.d, ws.rec, ref, refRec, 8); len(diffs) != 0 {
+		t.Fatalf("clean restore flagged as divergent: %v", diffs)
+	}
+
+	pa := ws.d.HV.Mem.RAMStart() + 64*arch.PageSize + 24
+	ws.d.HV.Mem.Write64(pa, ws.d.HV.Mem.Read64(pa)+1)
+	diffs := conformance(ws.d, ws.rec, ref, refRec, 8)
+	if len(diffs) == 0 {
+		t.Fatal("one-word torn restore not detected by the conformance differ")
+	}
+	t.Logf("torn restore detected: %v", diffs)
+}
+
+// TestSnapshotConformanceClean runs a short parallel campaign with the
+// conformance differ on every single execution: every restore and
+// every corpus fork is diffed against a freshly-booted-and-replayed
+// reference. Any divergence surfaces as a campaign error.
+func TestSnapshotConformanceClean(t *testing.T) {
+	rep, err := Run(Config{Workers: 2, StepsPerRun: 150, Seed: 13, MaxExecs: 12, ConformanceEvery: 1})
+	if err != nil {
+		t.Fatalf("conformance divergence on clean build: %v", err)
+	}
+	if rep.SnapshotRestores == 0 {
+		t.Error("campaign performed no snapshot restores")
+	}
+	if rep.SnapshotFallbacks != 0 {
+		t.Errorf("snapshot-enabled campaign fell back to %d full replays", rep.SnapshotFallbacks)
+	}
+}
+
+// TestSnapshotConformanceFaultMatrix repeats the exhaustive
+// conformance check against every injectable bug: forked executions
+// on a buggy build must still be bit-identical to boot-and-replay on
+// the same buggy build. This is what licenses running the fault-sweep
+// acceptance matrix with snapshots enabled.
+func TestSnapshotConformanceFaultMatrix(t *testing.T) {
+	for _, bug := range faults.All() {
+		cfg := Config{
+			Workers: 1, StepsPerRun: 120, Seed: 11, MaxExecs: 4,
+			ConformanceEvery: 1,
+			Bugs:             []faults.Bug{bug},
+			BigMemory:        faults.ClassOf(bug) == faults.ClassBootLayout,
+		}
+		if _, err := Run(cfg); err != nil {
+			t.Errorf("%s: %v", bug, err)
+		}
+	}
+}

@@ -23,4 +23,12 @@ var (
 	// minimizing them.
 	telFindings      = telemetry.NewCounter("campaign_findings_total")
 	telShrinkReplays = telemetry.NewCounter("campaign_shrink_replays_total")
+
+	// Snapshot machinery: restores performed (base rewinds and corpus
+	// forks alike), total dirty frames those restores rewrote, and
+	// fallbacks to a full boot+replay when a corpus parent carried no
+	// snapshot.
+	telSnapRestores = telemetry.NewCounter("snapshot_restores")
+	telSnapDirty    = telemetry.NewCounter("snapshot_dirty_frames")
+	telSnapFallback = telemetry.NewCounter("snapshot_fallback_full")
 )

@@ -94,6 +94,21 @@ func AbstractHostWithFootprint(hv *hyp.Hypervisor) (Host, PageSet, error) {
 func deriveHost(hv *hyp.Hypervisor, full *AbstractPgtable) (Host, error) {
 	out := Host{Present: true}
 	var violation error
+	// Size the two derived mappings up front; coalescing only shrinks
+	// them, so the class counts are exact upper bounds.
+	var nAnnot, nShared int
+	for _, ml := range full.Mapping.Maplets() {
+		switch ml.Target.Kind {
+		case TargetAnnotated:
+			nAnnot++
+		case TargetMapped:
+			if s := ml.Target.Attrs.State; s == arch.StateSharedOwned || s == arch.StateSharedBorrowed {
+				nShared++
+			}
+		}
+	}
+	out.Annot.Grow(nAnnot)
+	out.Shared.Grow(nShared)
 	for _, ml := range full.Mapping.Maplets() {
 		switch ml.Target.Kind {
 		case TargetAnnotated:
@@ -159,6 +174,7 @@ func AbstractVMs(hv *hyp.Hypervisor) VMs {
 			continue
 		}
 		info := &VMInfo{Handle: vm.Handle, NrVCPUs: vm.NrVCPUs, Donated: vm.DonatedPages()}
+		info.VCPUs = make([]VCPUInfo, 0, len(vm.VCPUs))
 		for _, vc := range vm.VCPUs {
 			vi := VCPUInfo{
 				Initialized: vc.Initialized,
@@ -175,7 +191,7 @@ func AbstractVMs(hv *hyp.Hypervisor) VMs {
 		}
 		out.Table[vm.Handle] = info
 	}
-	for pfn := range hv.Reclaimable() {
+	for _, pfn := range hv.ReclaimablePFNs() {
 		out.Reclaim.Add(pfn)
 	}
 	return out

@@ -1,6 +1,7 @@
 package ghost
 
 import (
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -176,6 +177,7 @@ func (c *PgtableCache) Interpret(m *arch.Memory, root arch.PhysAddr) (AbstractPg
 	pages := 0
 	for _, top := range tops {
 		var sub AbstractPgtable
+		sub.Mapping.Grow(32)
 		pages += interpretCached(m, top.pfn.Phys(), top.t.level, top.t.vaBase, &sub, c.tables)
 		c.abs.Mapping.SpliceRange(top.t.vaBase, tableSpan(top.t.level)>>arch.PageShift,
 			sub.Mapping.Maplets())
@@ -194,8 +196,10 @@ func (c *PgtableCache) Interpret(m *arch.Memory, root arch.PhysAddr) (AbstractPg
 // rebuild discards the cache and interprets the whole tree. Caller
 // holds c.mu.
 func (c *PgtableCache) rebuild(m *arch.Memory, root arch.PhysAddr) AbstractPgtable {
+	hint := c.abs.Mapping.NrMaplets()
 	c.tables = make(map[arch.PFN]*cachedTable)
 	c.abs = AbstractPgtable{}
+	c.abs.Mapping.Grow(hint)
 	n := interpretCached(m, root, arch.StartLevel, 0, &c.abs, c.tables)
 	c.abs.Footprint = footprintOf(c.tables)
 	c.root = root
@@ -264,9 +268,13 @@ func interpretCached(m *arch.Memory, table arch.PhysAddr, level int, vaPartial u
 	tabs[arch.PhysToPFN(table)] = &cachedTable{gen: gen, seen: gen.Load(), level: level, vaBase: vaPartial}
 	n := 1
 	nrPages := arch.LevelPages(level)
+	shift := arch.LevelShift(level)
+	// One bulk frame copy instead of 512 per-slot lookups; the walk
+	// below then reads local memory.
+	frame := m.ReadFrame(table)
 	for idx := 0; idx < arch.PTEsPerTable; idx++ {
-		vaNew := vaPartial | uint64(idx)<<arch.LevelShift(level)
-		pte := m.ReadPTE(table, idx)
+		vaNew := vaPartial | uint64(idx)<<shift
+		pte := frame.PTE(idx)
 		switch pte.Kind(level) {
 		case arch.EKTable:
 			n += interpretCached(m, pte.TableAddr(), level+1, vaNew, out, tabs)
@@ -289,7 +297,7 @@ func footprintOf(tabs map[arch.PFN]*cachedTable) PageSet {
 	for pfn := range tabs {
 		pfns = append(pfns, pfn)
 	}
-	sort.Slice(pfns, func(i, j int) bool { return pfns[i] < pfns[j] })
+	slices.Sort(pfns)
 	var s PageSet
 	for _, pfn := range pfns {
 		s.Add(pfn)

@@ -164,6 +164,21 @@ func (m Mapping) Lookup(va uint64) (Target, bool) {
 	return ml.Target.at((va - ml.VA) >> arch.PageShift), true
 }
 
+// Grow pre-sizes the maplet slice for at least n further appends
+// without reallocation. Interpretation walks know roughly how many
+// maplets they will produce (the previous walk's count), so hinting
+// turns the Extend stream's repeated slice growth into one
+// allocation.
+func (m *Mapping) Grow(n int) {
+	if n <= 0 || (!m.cow && cap(m.maplets)-len(m.maplets) >= n) {
+		return
+	}
+	ml := make([]Maplet, len(m.maplets), len(m.maplets)+n)
+	copy(ml, m.maplets)
+	m.maplets = ml
+	m.cow = false
+}
+
 // Extend appends a range during in-order construction (the abstraction
 // function's extend_mapping_coalesce, Fig 2). va must be at or past
 // the end of the mapping; adjacent compatible ranges coalesce.

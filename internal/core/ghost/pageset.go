@@ -60,12 +60,27 @@ func (s PageSet) Contains(pfn arch.PFN) bool {
 func (s *PageSet) Add(pfn arch.PFN) { s.AddRange(pfn, 1) }
 
 // AddRange inserts the n consecutive frames starting at pfn, merging
-// with any runs it touches.
+// with any runs it touches. Ascending construction (the way footprints
+// and the reclaim set are built) stays on the allocation-free append
+// path; out-of-order inserts splice in place.
 func (s *PageSet) AddRange(pfn arch.PFN, n uint64) {
 	if n == 0 {
 		return
 	}
 	end := pfn + arch.PFN(n)
+	// Fast path: at or past the tail — extend the last run or append.
+	if k := len(s.runs); k > 0 && pfn >= s.runs[k-1].Start {
+		last := &s.runs[k-1]
+		if pfn > last.end() {
+			s.runs = append(s.runs, pfnRun{Start: pfn, N: n})
+		} else if end > last.end() {
+			last.N = uint64(end - last.Start)
+		}
+		return
+	} else if k == 0 {
+		s.runs = append(s.runs, pfnRun{Start: pfn, N: n})
+		return
+	}
 	// First run that ends at or after pfn (candidates for merging).
 	i := sort.Search(len(s.runs), func(i int) bool { return s.runs[i].end() >= pfn })
 	j := i
@@ -79,7 +94,15 @@ func (s *PageSet) AddRange(pfn arch.PFN, n uint64) {
 		j++
 	}
 	merged := pfnRun{Start: pfn, N: uint64(end - pfn)}
-	s.runs = append(s.runs[:i], append([]pfnRun{merged}, s.runs[j:]...)...)
+	if i == j {
+		// Pure insertion between runs: shift the tail right in place.
+		s.runs = append(s.runs, pfnRun{})
+		copy(s.runs[i+1:], s.runs[i:])
+		s.runs[i] = merged
+		return
+	}
+	s.runs[i] = merged
+	s.runs = append(s.runs[:i+1], s.runs[j:]...)
 }
 
 // Remove deletes one frame if present, splitting its run.

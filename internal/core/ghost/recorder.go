@@ -511,7 +511,10 @@ func (r *Recorder) recordComponent(into *State, c hyp.Component, checkBaseline b
 
 	case hyp.CompVMTable:
 		vms := AbstractVMs(r.hv)
-		snap.VMs = vms.Clone()
+		// snap may alias the freshly abstracted table: spec functions
+		// deep-clone via CopyVMs before mutating a post state, and the
+		// retained shared copy below is cloned independently.
+		snap.VMs = vms
 		r.mu.Lock()
 		if checkBaseline {
 			if r.shared.VMs.Present && !r.shared.VMs.Equal(vms) {

@@ -13,6 +13,7 @@ package hyp
 
 import (
 	"fmt"
+	"slices"
 
 	"ghostspec/internal/arch"
 	"ghostspec/internal/faults"
@@ -387,16 +388,18 @@ func (hv *Hypervisor) VMSnapshot(slot int) *VM {
 	return hv.vms[slot]
 }
 
-// Reclaimable reports the reclaim set; the ghost abstraction of the
-// VM table copies it. Caller must be under the vms lock (see
-// VMSnapshot).
+// ReclaimablePFNs reports the reclaim set as a sorted slice; the
+// ghost abstraction of the VM table folds it into a run-encoded page
+// set, and ascending order keeps that fold allocation-free. Caller
+// must be under the vms lock (see VMSnapshot).
 //
 //ghost:requires lock=vms
-func (hv *Hypervisor) Reclaimable() map[arch.PFN]bool {
-	out := make(map[arch.PFN]bool, len(hv.reclaimable))
+func (hv *Hypervisor) ReclaimablePFNs() []arch.PFN {
+	out := make([]arch.PFN, 0, len(hv.reclaimable))
 	for k := range hv.reclaimable {
-		out[k] = true
+		out = append(out, k)
 	}
+	slices.Sort(out)
 	return out
 }
 

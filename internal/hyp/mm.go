@@ -193,9 +193,7 @@ func (hv *Hypervisor) readOnceHost(cpu int, pa arch.PhysAddr) uint64 {
 // necessarily page aligned: an unaligned addr zeroes the tail of one
 // frame and the head of the next.
 func (hv *Hypervisor) clearPage(addr arch.PhysAddr) {
-	for off := arch.PhysAddr(0); off < arch.PageSize; off += 8 {
-		hv.Mem.Write64(addr+off, 0)
-	}
+	hv.Mem.ZeroWords(addr, arch.PageSize/8)
 }
 
 // hypPanic raises an internal hypervisor panic: unrecoverable on real

@@ -1,0 +1,131 @@
+package hyp_test
+
+import (
+	"testing"
+
+	"ghostspec/internal/arch"
+	"ghostspec/internal/hyp"
+	"ghostspec/internal/proxy"
+)
+
+// mutate drives a system through a representative slice of state:
+// shares, a VM lifecycle with a mapped guest page, and a host fault.
+func mutate(t *testing.T, d *proxy.Driver) {
+	t.Helper()
+	p1, _ := d.AllocPage()
+	if err := d.ShareHyp(0, p1); err != nil {
+		t.Fatalf("share_hyp: %v", err)
+	}
+	h, _, err := d.InitVM(0, 1)
+	if err != nil {
+		t.Fatalf("init_vm: %v", err)
+	}
+	if err := d.InitVCPU(0, h, 0); err != nil {
+		t.Fatalf("init_vcpu: %v", err)
+	}
+	if _, err := d.Topup(0, h, 0, 4); err != nil {
+		t.Fatalf("topup: %v", err)
+	}
+	if err := d.VCPULoad(0, h, 0); err != nil {
+		t.Fatalf("vcpu_load: %v", err)
+	}
+	mp, _ := d.AllocPage()
+	if err := d.MapGuest(0, mp, 0x4000); err != nil {
+		t.Fatalf("map_guest: %v", err)
+	}
+	fp, _ := d.AllocPage()
+	if _, err := d.Access(0, arch.IPA(fp.Phys()), true); err != nil {
+		t.Fatalf("access: %v", err)
+	}
+}
+
+func newSys(t *testing.T) (*hyp.Hypervisor, *proxy.Driver) {
+	t.Helper()
+	hv, err := hyp.New(hyp.Config{})
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	return hv, proxy.New(hv)
+}
+
+// TestSnapshotRestoreMatchesFreshBoot captures a base at boot, runs a
+// workload, restores, and requires the system to be indistinguishable
+// from a system that never ran anything: memory bit-identical, pool
+// state identical.
+func TestSnapshotRestoreMatchesFreshBoot(t *testing.T) {
+	hv, d := newSys(t)
+	base, _ := hv.CaptureBase(nil)
+	hostSnap := d.HostPool.Snapshot()
+
+	mutate(t, d)
+	dirty := base.RestoreBase()
+	if dirty == 0 {
+		t.Fatal("workload dirtied nothing?")
+	}
+	d.HostPool.Restore(hostSnap)
+
+	ref, refd := newSys(t)
+	if diffs := arch.DiffMemory(hv.Mem, ref.Mem, 8); len(diffs) != 0 {
+		t.Fatalf("restored memory diverges from fresh boot: %v", diffs)
+	}
+	if !hv.HypPool.Snapshot().Equal(ref.HypPool.Snapshot()) {
+		t.Fatal("hyp pool diverges from fresh boot")
+	}
+	if !d.HostPool.Snapshot().Equal(refd.HostPool.Snapshot()) {
+		t.Fatal("host pool diverges from fresh boot")
+	}
+
+	// The restored system must behave identically: run the workload
+	// on both and compare end states.
+	mutate(t, d)
+	mutate(t, refd)
+	if diffs := arch.DiffMemory(hv.Mem, ref.Mem, 8); len(diffs) != 0 {
+		t.Fatalf("restored system diverges after identical workload: %v", diffs)
+	}
+	if !d.HostPool.Snapshot().Equal(refd.HostPool.Snapshot()) {
+		t.Fatal("host pool diverges after identical workload")
+	}
+}
+
+// TestSnapshotDeltaForkAcrossSystems captures a delta on one system
+// and forks a sibling system into it without replaying.
+func TestSnapshotDeltaForkAcrossSystems(t *testing.T) {
+	hvA, dA := newSys(t)
+	baseA, _ := hvA.CaptureBase(nil)
+
+	hvB, dB := newSys(t)
+	baseB, adopted := hvB.CaptureBase(baseA.Image())
+	if !adopted {
+		t.Fatal("sibling boot must verify against the shared image")
+	}
+
+	mutate(t, dA)
+	delta := baseA.CaptureDelta()
+	if delta.DirtyFrames() == 0 {
+		t.Fatal("delta empty after workload")
+	}
+	hostAfter := dA.HostPool.Snapshot()
+
+	baseB.RestoreDelta(delta)
+	dB.HostPool.Restore(hostAfter)
+	if diffs := arch.DiffMemory(hvA.Mem, hvB.Mem, 8); len(diffs) != 0 {
+		t.Fatalf("forked sibling memory diverges: %v", diffs)
+	}
+	if !hvB.HypPool.Snapshot().Equal(hvA.HypPool.Snapshot()) {
+		t.Fatal("forked hyp pool diverges")
+	}
+
+	// Fork is live: tear the VM down on the fork, then rewind the
+	// fork back to its own base.
+	if err := dB.VCPUPut(0); err != nil {
+		t.Fatalf("vcpu_put on fork: %v", err)
+	}
+	if err := dB.TeardownVM(0, hyp.HandleOffset); err != nil {
+		t.Fatalf("teardown on fork: %v", err)
+	}
+	baseB.RestoreBase()
+	ref, _ := newSys(t)
+	if diffs := arch.DiffMemory(hvB.Mem, ref.Mem, 8); len(diffs) != 0 {
+		t.Fatalf("fork's base restore diverges from fresh boot: %v", diffs)
+	}
+}

@@ -97,3 +97,17 @@ func (mc *Memcache) Drain() []arch.PFN {
 	}
 	return out
 }
+
+// SetPages replaces the memcache's contents with a copy of pages
+// (bottom of the stack first, matching Pages), keeping the
+// memcache_pages gauge consistent. This is the snapshot-restore entry
+// point: a restored vCPU gets its captured reserve back without
+// replaying the push/pop history.
+func (mc *Memcache) SetPages(pages []arch.PFN) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if !telemetry.Disabled() {
+		mcPages.Add(int64(len(pages)) - int64(len(mc.pages)))
+	}
+	mc.pages = append(mc.pages[:0], pages...)
+}

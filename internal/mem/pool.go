@@ -7,6 +7,7 @@ package mem
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"ghostspec/internal/arch"
@@ -99,3 +100,57 @@ func (p *Pool) Allocated() int {
 
 // Range returns the pool's frame range as [start, start+count).
 func (p *Pool) Range() (arch.PFN, uint64) { return p.start, p.count }
+
+// PoolSnapshot is a value copy of a pool's allocation state: the exact
+// free-list order (allocation replay must hand out the same PFNs in
+// the same sequence) and the allocated set. Pure data — portable
+// across identically shaped pools on different workers.
+type PoolSnapshot struct {
+	Free  []arch.PFN
+	InUse []arch.PFN
+}
+
+// Snapshot captures the pool's current allocation state.
+func (p *Pool) Snapshot() PoolSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := PoolSnapshot{Free: append([]arch.PFN(nil), p.free...)}
+	s.InUse = make([]arch.PFN, 0, len(p.inUse))
+	for pfn := range p.inUse {
+		s.InUse = append(s.InUse, pfn)
+	}
+	sort.Slice(s.InUse, func(i, j int) bool { return s.InUse[i] < s.InUse[j] })
+	return s
+}
+
+// Restore rewinds the pool to a previously captured state. The
+// snapshot must come from a pool with the same range; PFN membership
+// is not re-validated beyond that.
+func (p *Pool) Restore(s PoolSnapshot) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = append(p.free[:0], s.Free...)
+	clear(p.inUse)
+	for _, pfn := range s.InUse {
+		p.inUse[pfn] = true
+	}
+}
+
+// Equal reports whether two snapshots describe the same allocation
+// state, including free-list order.
+func (s PoolSnapshot) Equal(o PoolSnapshot) bool {
+	if len(s.Free) != len(o.Free) || len(s.InUse) != len(o.InUse) {
+		return false
+	}
+	for i := range s.Free {
+		if s.Free[i] != o.Free[i] {
+			return false
+		}
+	}
+	for i := range s.InUse {
+		if s.InUse[i] != o.InUse[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -104,6 +104,24 @@ func (fr *FlightRecorder) Record(cpu int, ev TrapEvent) {
 	r.mu.Unlock()
 }
 
+// Reset discards all recorded history. A snapshot restore calls this
+// so a failure's forensic dump shows only the execution that failed,
+// not traps bled in from earlier executions on the same long-lived
+// system. The global sequence counter keeps counting up — Seq
+// monotonicity over the recorder's lifetime is what the wraparound
+// stress test asserts.
+func (fr *FlightRecorder) Reset() {
+	if fr == nil {
+		return
+	}
+	for i := range fr.cpus {
+		r := &fr.cpus[i]
+		r.mu.Lock()
+		r.n = 0
+		r.mu.Unlock()
+	}
+}
+
 // Dump returns cpu's recorded events, oldest first (at most the ring
 // depth). Nil recorder or out-of-range CPU dumps empty.
 func (fr *FlightRecorder) Dump(cpu int) []TrapEvent {
