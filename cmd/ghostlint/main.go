@@ -4,43 +4,68 @@
 //
 // Usage:
 //
-//	go run ./cmd/ghostlint [-strict] [-v] [packages...]
+//	go run ./cmd/ghostlint [-strict] [-v] [-json] [-budget d] [packages...]
+//	go run ./cmd/ghostlint -write-preempt
+//	go run ./cmd/ghostlint -check-preempt
 //
 // Package patterns are directories, optionally ending in /... for
 // recursion; the default is ./... from the module root. Exit status
 // is 0 when no findings survive suppression, 1 when findings are
-// reported, and 2 on load errors.
+// reported (or the preemption-point table has drifted), 2 on load
+// errors, and 3 when -budget is exceeded.
 //
-// The -strict flag disables //ghostlint:ignore suppressions; CI runs
-// it against internal/bugdemo to prove the seeded lock-rank inversion
-// is still detected. See docs/ANALYSIS.md for the analyzer catalogue,
-// the //ghost:requires grammar and the lock-rank table.
+// The -strict flag disables //ghostlint:ignore suppressions and
+// additionally reports stale directives that cover no finding; CI
+// runs it against internal/bugdemo to prove the seeded bugs are still
+// detected. -json emits the findings as a machine-readable object on
+// stdout (the CI lint job turns it into per-file annotations).
+// -budget fails the run when analysis wall time exceeds the given
+// duration, keeping the lint step's latency honest.
+//
+// -write-preempt regenerates the checked-in preemption-point table
+// (internal/analysis/preempt/points_gen.go and .json) from the whole
+// module; -check-preempt regenerates in memory and fails if the
+// checked-in table differs. See docs/ANALYSIS.md for the analyzer
+// catalogue, the annotation grammars and the table schema.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"ghostspec/internal/analysis"
 )
 
 func main() {
-	strict := flag.Bool("strict", false, "ignore //ghostlint:ignore suppressions")
+	strict := flag.Bool("strict", false, "ignore //ghostlint:ignore suppressions and report stale ones")
 	verbose := flag.Bool("v", false, "report suppressed findings, loader warnings and type errors")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON on stdout")
+	budget := flag.Duration("budget", 0, "fail (exit 3) if analysis exceeds this wall time")
+	writePreempt := flag.Bool("write-preempt", false, "regenerate internal/analysis/preempt from the module and exit")
+	checkPreempt := flag.Bool("check-preempt", false, "verify the checked-in preemption-point table matches the source")
 	flag.Parse()
 
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
+	start := time.Now()
 
 	ld, err := analysis.NewLoader(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ghostlint:", err)
 		os.Exit(2)
+	}
+
+	if *writePreempt || *checkPreempt {
+		os.Exit(preemptTable(ld, *writePreempt))
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
 	}
 
 	var dirs []string
@@ -71,24 +96,34 @@ func main() {
 			continue
 		}
 		seen[pkg.Path] = true
+		var all []analysis.Finding
 		for _, a := range analysis.Analyzers() {
-			findings := a.Run(u, pkg)
-			if *strict {
-				kept = append(kept, findings...)
-				continue
-			}
-			k, s := analysis.SplitSuppressed(pkg, findings)
-			kept = append(kept, k...)
-			suppressed = append(suppressed, s...)
+			all = append(all, a.Run(u, pkg)...)
 		}
+		if *strict {
+			kept = append(kept, all...)
+			// A suppression that covers no finding at all is dead weight
+			// that would mask a future regression; -strict surfaces them.
+			kept = append(kept, analysis.StaleSuppressions(pkg, all)...)
+			continue
+		}
+		k, s := analysis.SplitSuppressed(pkg, all)
+		kept = append(kept, k...)
+		suppressed = append(suppressed, s...)
 	}
 
 	analysis.SortFindings(kept)
-	for _, f := range kept {
-		fmt.Println(relativize(ld.ModRoot, f))
+	analysis.SortFindings(suppressed)
+	elapsed := time.Since(start)
+
+	if *jsonOut {
+		emitJSON(ld.ModRoot, kept, suppressed, len(requested), elapsed)
+	} else {
+		for _, f := range kept {
+			fmt.Println(relativize(ld.ModRoot, f))
+		}
 	}
-	if *verbose {
-		analysis.SortFindings(suppressed)
+	if *verbose && !*jsonOut {
 		for _, f := range suppressed {
 			fmt.Fprintf(os.Stderr, "suppressed: %s\n", relativize(ld.ModRoot, f))
 		}
@@ -101,14 +136,124 @@ func main() {
 			}
 		}
 	}
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(os.Stderr, "ghostlint: analysis took %v, over the %v budget\n",
+			elapsed.Round(time.Millisecond), *budget)
+		os.Exit(3)
+	}
 	if len(kept) > 0 {
 		fmt.Fprintf(os.Stderr, "ghostlint: %d finding(s)\n", len(kept))
 		os.Exit(1)
 	}
-	if *verbose {
+	if *verbose && !*jsonOut {
 		fmt.Fprintf(os.Stderr, "ghostlint: clean (%d package(s) analyzed, %d finding(s) suppressed)\n",
 			len(requested), len(suppressed))
 	}
+}
+
+// jsonFinding is one finding in -json output, with a module-relative
+// path.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func toJSON(modRoot string, fs []analysis.Finding) []jsonFinding {
+	out := make([]jsonFinding, 0, len(fs))
+	for _, f := range fs {
+		file := f.Pos.Filename
+		if rel, err := filepath.Rel(modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		out = append(out, jsonFinding{
+			File: file, Line: f.Pos.Line, Col: f.Pos.Column,
+			Analyzer: f.Analyzer, Message: f.Message,
+		})
+	}
+	return out
+}
+
+func emitJSON(modRoot string, kept, suppressed []analysis.Finding, pkgs int, elapsed time.Duration) {
+	doc := struct {
+		Findings   []jsonFinding `json:"findings"`
+		Suppressed []jsonFinding `json:"suppressed"`
+		Stats      struct {
+			Packages   int   `json:"packages"`
+			Findings   int   `json:"findings"`
+			Suppressed int   `json:"suppressed"`
+			ElapsedMS  int64 `json:"elapsed_ms"`
+		} `json:"stats"`
+	}{
+		Findings:   toJSON(modRoot, kept),
+		Suppressed: toJSON(modRoot, suppressed),
+	}
+	doc.Stats.Packages = pkgs
+	doc.Stats.Findings = len(kept)
+	doc.Stats.Suppressed = len(suppressed)
+	doc.Stats.ElapsedMS = elapsed.Milliseconds()
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "ghostlint:", err)
+		os.Exit(2)
+	}
+}
+
+// preemptTable regenerates the preemption-point table from the whole
+// module and either writes it (write=true) or byte-compares it with
+// the checked-in copy. Returns the process exit code.
+func preemptTable(ld *analysis.Loader, write bool) int {
+	dirs, err := analysis.ModuleDirs(ld.ModRoot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ghostlint:", err)
+		return 2
+	}
+	for _, dir := range dirs {
+		if _, err := ld.LoadDir(dir); err != nil {
+			fmt.Fprintf(os.Stderr, "ghostlint: load %s: %v\n", dir, err)
+			return 2
+		}
+	}
+	u := analysis.NewUniverse(ld)
+	pts := analysis.ExtractPreemptPoints(u, ld.ModRoot)
+	genDir := filepath.Join(ld.ModRoot, "internal", "analysis", "preempt")
+	files := map[string][]byte{
+		filepath.Join(genDir, "points_gen.go"):   analysis.RenderPreemptGo(pts),
+		filepath.Join(genDir, "points_gen.json"): analysis.RenderPreemptJSON(pts),
+	}
+	if write {
+		for path, data := range files {
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "ghostlint:", err)
+				return 2
+			}
+		}
+		fmt.Printf("ghostlint: wrote %d preemption points to %s\n", len(pts), genDir)
+		return 0
+	}
+	drift := false
+	for path, want := range files {
+		got, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ghostlint: %s: %v (run -write-preempt)\n", path, err)
+			drift = true
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			fmt.Fprintf(os.Stderr,
+				"ghostlint: %s is stale: the source has %d preemption points — run `go run ./cmd/ghostlint -write-preempt` and commit\n",
+				path, len(pts))
+			drift = true
+		}
+	}
+	if drift {
+		return 1
+	}
+	fmt.Printf("ghostlint: preemption-point table in sync (%d points)\n", len(pts))
+	return 0
 }
 
 // expand turns one package pattern into package directories.

@@ -22,6 +22,15 @@
 //     must reach a Restore*/Release* or escape the function, and
 //     Restore*-named code outside internal/arch must not write frames
 //     directly — the CoW baseline machinery owns frame restoration.
+//   - guardcheck: struct fields annotated //ghost:guards lock=<comp>
+//     may only be read or written while that component lock is held
+//     (per the same held-lock interpretation lockcheck runs, extended
+//     with per-function lock-effect summaries) — a static race
+//     detector over the declared shared state.
+//   - bbmcheck: between an invalidating page-table entry store (break)
+//     and the next valid store to the same entry (make) a TLBI must be
+//     emitted, and valid entries are never overwritten in place — the
+//     static twin of the ghost oracle's FailStaleTLB check.
 //
 // Annotation grammar (on a function's doc comment):
 //
@@ -30,14 +39,21 @@
 //	//ghost:requires lock=owner     pgtable methods; lock resolved from
 //	                                the receiver at the call site
 //
+// and on a struct field (doc comment or trailing line comment):
+//
+//	//ghost:guards lock=<vms|guest|host|hyp>   held-component guard
+//	//ghost:guards lock=owner   any ranked discipline lock qualifies
+//	//ghost:guards lock=self    only methods of the declaring type
+//
 // Suppression:
 //
 //	//ghostlint:ignore <analyzer...> <reason>
 //
 // on the finding's line, the line above it, or the enclosing
 // function's doc comment. The -strict flag of cmd/ghostlint disables
-// suppressions; CI uses that to prove the seeded internal/bugdemo
-// inversion is still detected.
+// suppressions (and reports stale directives that cover no finding);
+// CI uses that to prove the seeded internal/bugdemo inversion is
+// still detected.
 package analysis
 
 import (
@@ -70,6 +86,8 @@ type Analyzer interface {
 func Analyzers() []Analyzer {
 	return []Analyzer{
 		&LockCheck{},
+		&GuardCheck{},
+		&BBMCheck{},
 		&HookCheck{},
 		&PTECheck{},
 		&TelemetryCheck{},
@@ -136,6 +154,97 @@ func parseRequires(doc *ast.CommentGroup) (*Requires, error) {
 	return req, nil
 }
 
+// Guard is a parsed //ghost:guards annotation on a struct field.
+type Guard struct {
+	// Comp is the component lock that must be held (one of the
+	// LockRanks keys); empty for owner/self guards.
+	Comp string
+	// Owner: any ranked discipline lock qualifies — the field belongs
+	// to whichever component the enclosing object serves (pgtable).
+	Owner bool
+	// Self: the field is private to the declaring type's methods
+	// (which serialize access through their own mutex).
+	Self bool
+	// DeclType is the type-name object of the declaring struct, and
+	// TypeName/FieldName render it for diagnostics.
+	DeclType  types.Object
+	TypeName  string
+	FieldName string
+}
+
+// Desc renders the guard value as written in the annotation.
+func (g *Guard) Desc() string {
+	switch {
+	case g.Owner:
+		return "owner"
+	case g.Self:
+		return "self"
+	}
+	return g.Comp
+}
+
+// parseGuards extracts a //ghost:guards clause from a field's comment
+// group; nil if none.
+func parseGuards(doc *ast.CommentGroup) (*Guard, error) {
+	if doc == nil {
+		return nil, nil
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//ghost:guards")
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 1 {
+			return nil, fmt.Errorf("ghost:guards: want exactly one lock= clause, got %q", rest)
+		}
+		val, ok := strings.CutPrefix(fields[0], "lock=")
+		if !ok {
+			return nil, fmt.Errorf("ghost:guards: unrecognized field %q", fields[0])
+		}
+		switch val {
+		case "owner":
+			return &Guard{Owner: true}, nil
+		case "self":
+			return &Guard{Self: true}, nil
+		default:
+			if _, ok := LockRanks[val]; !ok {
+				return nil, fmt.Errorf("ghost:guards: unknown lock %q", val)
+			}
+			return &Guard{Comp: val}, nil
+		}
+	}
+	return nil, nil
+}
+
+// LockEffect summarizes a function's net effect on the held-lock set:
+// ranked components held at return that were not held at entry
+// (Acquires) and components it releases on the caller's behalf
+// (Releases). Summaries exist only for functions whose lock
+// operations all sit in straight-line top-level statements; anything
+// conditional gets no summary and callers treat it as lock-neutral.
+type LockEffect struct {
+	Acquires []string
+	Releases []string
+}
+
+func (e *LockEffect) equal(o *LockEffect) bool {
+	if len(e.Acquires) != len(o.Acquires) || len(e.Releases) != len(o.Releases) {
+		return false
+	}
+	for i, c := range e.Acquires {
+		if o.Acquires[i] != c {
+			return false
+		}
+	}
+	for i, c := range e.Releases {
+		if o.Releases[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
 // funcSource ties a function's syntax to its package.
 type funcSource struct {
 	decl *ast.FuncDecl
@@ -151,6 +260,14 @@ type Universe struct {
 
 	requires  map[types.Object]*Requires
 	funcDecls map[types.Object]*funcSource
+
+	// guards maps struct-field objects to their //ghost:guards
+	// annotation.
+	guards map[types.Object]*Guard
+
+	// effects holds the call-graph lock-effect summaries (guardcheck's
+	// interprocedural extension of the lockcheck walker).
+	effects map[types.Object]*LockEffect
 
 	// mayPanic holds functions that can reach the hypervisor's panic
 	// channel ((*Hypervisor).hypPanic) — the paths across which
@@ -175,12 +292,18 @@ func NewUniverse(ld *Loader) *Universe {
 		Pkgs:      ld.Packages(),
 		requires:  make(map[types.Object]*Requires),
 		funcDecls: make(map[types.Object]*funcSource),
+		guards:    make(map[types.Object]*Guard),
+		effects:   make(map[types.Object]*LockEffect),
 		mayPanic:  make(map[types.Object]bool),
 		acquires:  make(map[types.Object]string),
 	}
 	for _, pkg := range u.Pkgs {
 		for _, f := range pkg.Files {
 			for _, d := range f.Decls {
+				if gd, ok := d.(*ast.GenDecl); ok {
+					u.indexGuards(pkg, gd)
+					continue
+				}
 				fd, ok := d.(*ast.FuncDecl)
 				if !ok {
 					continue
@@ -207,14 +330,182 @@ func NewUniverse(ld *Loader) *Universe {
 	}
 	u.buildMayPanic()
 	u.buildAcquires()
+	u.buildLockEffects()
 	return u
 }
 
-// MetaFindings returns diagnostics from annotation parsing, reported
-// under lockcheck for the package that declares them.
-func (u *Universe) MetaFindings(pkg *Package) []Finding {
+// indexGuards records //ghost:guards annotations from the struct
+// fields of a type declaration.
+func (u *Universe) indexGuards(pkg *Package, gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			g, err := parseGuards(field.Doc)
+			if g == nil && err == nil {
+				g, err = parseGuards(field.Comment)
+			}
+			if err != nil {
+				u.metaFindings = append(u.metaFindings, Finding{
+					Pos:      u.Fset.Position(field.Pos()),
+					Analyzer: "guardcheck",
+					Message:  err.Error(),
+				})
+				continue
+			}
+			if g == nil {
+				continue
+			}
+			g.DeclType = pkg.Info.Defs[ts.Name]
+			g.TypeName = ts.Name.Name
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					fg := *g
+					fg.FieldName = name.Name
+					u.guards[obj] = &fg
+				}
+			}
+		}
+	}
+}
+
+// GuardOf returns the //ghost:guards annotation on a field object, if
+// any.
+func (u *Universe) GuardOf(obj types.Object) *Guard { return u.guards[obj] }
+
+// LockEffectOf returns the lock-effect summary for a function object,
+// or nil when the function is lock-neutral or too branchy to
+// summarize.
+func (u *Universe) LockEffectOf(obj types.Object) *LockEffect { return u.effects[obj] }
+
+// buildLockEffects computes, to a fixpoint over the call graph, the
+// net lock effect of every function whose ranked lock operations all
+// occur as straight-line top-level statements (the wrapper-helper
+// shape: lock a component, or release one taken by a sibling helper).
+// Functions with conditional locking get no summary — the walker then
+// treats their call sites as lock-neutral, which is exactly how
+// lockcheck's own per-function analysis already views them.
+func (u *Universe) buildLockEffects() {
+	// The iteration cap bounds pathological wrapper chains; real
+	// chains are one or two deep.
+	for iter := 0; iter < 10; iter++ {
+		changed := false
+		for obj, fs := range u.funcDecls {
+			if fs.decl.Body == nil || isLockPrimitive(fs.decl) {
+				continue
+			}
+			eff := u.computeLockEffect(fs)
+			old := u.effects[obj]
+			switch {
+			case eff == nil:
+				if old != nil {
+					delete(u.effects, obj)
+					changed = true
+				}
+			case old == nil || !old.equal(eff):
+				u.effects[obj] = eff
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// computeLockEffect summarizes one function, or returns nil when no
+// (sound) summary exists.
+func (u *Universe) computeLockEffect(fs *funcSource) *LockEffect {
+	net := make(map[string]int)
+	handled := 0
+	for _, s := range fs.decl.Body.List {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			op, comp, ranked := classifyLockCall(fs.pkg, call)
+			switch op {
+			case opAcquire:
+				if !ranked {
+					return nil
+				}
+				net[comp]++
+				handled++
+			case opRelease:
+				if !ranked {
+					return nil
+				}
+				net[comp]--
+				handled++
+			default:
+				if callee := resolveCallee(fs.pkg, call); callee != nil {
+					if eff := u.effects[callee]; eff != nil {
+						for _, c := range eff.Acquires {
+							net[c]++
+						}
+						for _, c := range eff.Releases {
+							net[c]--
+						}
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			// A deferred release runs at return: it cancels an earlier
+			// acquisition in the net-at-return view.
+			if op, comp, ranked := classifyLockCall(fs.pkg, s.Call); op == opRelease && ranked {
+				net[comp]--
+				handled++
+			}
+		}
+	}
+	// Bail out when any ranked lock operation hides below the top
+	// level (branches, loops, literals): the linear net would be
+	// unsound there.
+	total := 0
+	ast.Inspect(fs.decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, _, ranked := classifyLockCall(fs.pkg, call); op != opNone && ranked {
+				total++
+			}
+		}
+		return true
+	})
+	if total != handled {
+		return nil
+	}
+	eff := &LockEffect{}
+	for comp, n := range net {
+		switch {
+		case n > 0:
+			eff.Acquires = append(eff.Acquires, comp)
+		case n < 0:
+			eff.Releases = append(eff.Releases, comp)
+		}
+	}
+	if len(eff.Acquires) == 0 && len(eff.Releases) == 0 {
+		return nil
+	}
+	sort.Strings(eff.Acquires)
+	sort.Strings(eff.Releases)
+	return eff
+}
+
+// MetaFindings returns diagnostics from annotation parsing attributed
+// to the named analyzer, for the package that declares them.
+func (u *Universe) MetaFindings(pkg *Package, analyzer string) []Finding {
 	var out []Finding
 	for _, f := range u.metaFindings {
+		if f.Analyzer != analyzer {
+			continue
+		}
 		for _, af := range pkg.Files {
 			pos := u.Fset.Position(af.Pos())
 			if pos.Filename == f.Pos.Filename {
@@ -397,6 +688,9 @@ type suppressionIndex struct {
 	byLine map[string]map[int]map[string]bool
 	// ranges holds function-scope suppressions.
 	ranges []suppRange
+	// directives lists every //ghostlint:ignore comment with the span
+	// of findings it can cover, for stale-suppression reporting.
+	directives []directive
 }
 
 type suppRange struct {
@@ -405,10 +699,24 @@ type suppRange struct {
 	analyzers  map[string]bool
 }
 
+// directive is one //ghostlint:ignore occurrence. A same-line
+// directive covers findings on its own line and the one below; a
+// function-doc directive covers the body range.
+type directive struct {
+	pos        token.Position
+	file       string
+	start, end int // covered line range, inclusive
+	analyzers  map[string]bool
+	names      string // analyzer list as written, for diagnostics
+}
+
 // buildSuppressionIndex scans all comments of the files.
 func buildSuppressionIndex(fset *token.FileSet, files []*ast.File) *suppressionIndex {
 	idx := &suppressionIndex{byLine: make(map[string]map[int]map[string]bool)}
 	valid := AnalyzerNames()
+	// docDirective marks directives indexed as function-body ranges,
+	// so the comment sweep below does not double-record them.
+	docDirective := make(map[token.Pos]bool)
 	for _, f := range files {
 		// Function-doc directives apply to the whole body.
 		for _, d := range f.Decls {
@@ -424,6 +732,12 @@ func buildSuppressionIndex(fset *token.FileSet, files []*ast.File) *suppressionI
 						file: start.Filename, start: start.Line, end: end.Line,
 						analyzers: set,
 					})
+					idx.directives = append(idx.directives, directive{
+						pos:  fset.Position(c.Pos()),
+						file: start.Filename, start: start.Line, end: end.Line,
+						analyzers: set, names: ignoreNames(set),
+					})
+					docDirective[c.Pos()] = true
 				}
 			}
 		}
@@ -440,10 +754,67 @@ func buildSuppressionIndex(fset *token.FileSet, files []*ast.File) *suppressionI
 					idx.byLine[pos.Filename] = lines
 				}
 				lines[pos.Line] = set
+				if !docDirective[c.Pos()] {
+					idx.directives = append(idx.directives, directive{
+						pos:  pos,
+						file: pos.Filename, start: pos.Line, end: pos.Line + 1,
+						analyzers: set, names: ignoreNames(set),
+					})
+				}
 			}
 		}
 	}
 	return idx
+}
+
+// ignoreNames renders a directive's analyzer set for messages.
+func ignoreNames(set map[string]bool) string {
+	if set == nil {
+		return "any analyzer"
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// StaleSuppressions reports //ghostlint:ignore directives of the
+// package that cover none of the given findings (which must be the
+// full pre-suppression output of every analyzer): a suppression whose
+// finding is gone is dead weight that would silently hide a future
+// regression at that site. Reported under the meta-analyzer name
+// "suppress"; cmd/ghostlint surfaces them in -strict runs and
+// TestRepoClean enforces a clean tree.
+func StaleSuppressions(pkg *Package, all []Finding) []Finding {
+	idx := pkg.supp
+	if idx == nil {
+		return nil
+	}
+	var out []Finding
+	for _, d := range idx.directives {
+		live := false
+		for _, f := range all {
+			if f.Pos.Filename != d.file || f.Pos.Line < d.start || f.Pos.Line > d.end {
+				continue
+			}
+			if d.analyzers == nil || d.analyzers[f.Analyzer] {
+				live = true
+				break
+			}
+		}
+		if !live {
+			out = append(out, Finding{
+				Pos:      d.pos,
+				Analyzer: "suppress",
+				Message: fmt.Sprintf(
+					"stale //ghostlint:ignore: no %s finding in its scope — remove the directive (or it will mask a future regression here)",
+					d.names),
+			})
+		}
+	}
+	return out
 }
 
 // parseIgnore parses one //ghostlint:ignore comment. The returned set

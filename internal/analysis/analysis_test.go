@@ -12,6 +12,8 @@ import (
 // exactly that analyzer's finding, and nothing else may fire.
 var goldenDirs = []string{
 	"lockcheck_bad",
+	"guardcheck_bad",
+	"bbmcheck_bad",
 	"hookcheck_bad",
 	"ptecheck_bad",
 	"telemetrycheck_bad",
@@ -111,18 +113,26 @@ func TestRepoClean(t *testing.T) {
 	}
 	u := NewUniverse(ld)
 	for _, pkg := range pkgs {
+		var all []Finding
 		for _, a := range Analyzers() {
-			kept, _ := SplitSuppressed(pkg, a.Run(u, pkg))
+			findings := a.Run(u, pkg)
+			all = append(all, findings...)
+			kept, _ := SplitSuppressed(pkg, findings)
 			for _, f := range kept {
 				t.Errorf("unsuppressed finding: %s", f)
 			}
 		}
+		// Every //ghostlint:ignore in the tree must still cover a live
+		// finding; a stale one would silently mask a future regression.
+		for _, f := range StaleSuppressions(pkg, all) {
+			t.Errorf("stale suppression: %s", f)
+		}
 	}
 }
 
-// TestBugdemoSuppression pins the seeded rank inversion in
-// internal/bugdemo: lockcheck must see it, and the //ghostlint:ignore
-// on the acquisition must hide it in non-strict runs.
+// TestBugdemoSuppression pins the seeded bugs in internal/bugdemo:
+// each analyzer must see its demo, and the //ghostlint:ignore on the
+// violating line must hide it in non-strict runs.
 func TestBugdemoSuppression(t *testing.T) {
 	ld, err := NewLoader(".")
 	if err != nil {
@@ -133,20 +143,32 @@ func TestBugdemoSuppression(t *testing.T) {
 		t.Fatal(err)
 	}
 	u := NewUniverse(ld)
-	all := (&LockCheck{}).Run(u, pkg)
-	kept, suppressed := SplitSuppressed(pkg, all)
-	if len(kept) != 0 {
-		t.Errorf("bugdemo has unsuppressed lockcheck findings: %v", kept)
+	seeds := []struct {
+		analyzer Analyzer
+		phrase   string
+		file     string
+	}{
+		{&LockCheck{}, "rank inversion", "lockorder.go"},
+		{&GuardCheck{}, "//ghost:guards lock=vms", "guardrace.go"},
+		{&BBMCheck{}, "make after break with no TLBI", "bbmdemo.go"},
 	}
-	found := false
-	for _, f := range suppressed {
-		if strings.Contains(f.Message, "rank inversion") &&
-			strings.HasSuffix(f.Pos.Filename, "lockorder.go") {
-			found = true
+	for _, seed := range seeds {
+		all := seed.analyzer.Run(u, pkg)
+		kept, suppressed := SplitSuppressed(pkg, all)
+		if len(kept) != 0 {
+			t.Errorf("bugdemo has unsuppressed %s findings: %v", seed.analyzer.Name(), kept)
 		}
-	}
-	if !found {
-		t.Errorf("lockcheck no longer flags the seeded inversion in lockorder.go; suppressed findings: %v", suppressed)
+		found := false
+		for _, f := range suppressed {
+			if strings.Contains(f.Message, seed.phrase) &&
+				strings.HasSuffix(f.Pos.Filename, seed.file) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s no longer flags the seeded bug in %s; suppressed findings: %v",
+				seed.analyzer.Name(), seed.file, suppressed)
+		}
 	}
 }
 
@@ -191,6 +213,46 @@ func TestParseRequires(t *testing.T) {
 	req, err = parseRequires(nil)
 	if req != nil || err != nil {
 		t.Errorf("nil doc: req=%v err=%v", req, err)
+	}
+}
+
+func TestParseGuards(t *testing.T) {
+	doc := func(lines ...string) *ast.CommentGroup {
+		cg := &ast.CommentGroup{}
+		for _, l := range lines {
+			cg.List = append(cg.List, &ast.Comment{Text: l})
+		}
+		return cg
+	}
+
+	g, err := parseGuards(doc("// pending counts work.", "//ghost:guards lock=vms"))
+	if err != nil || g == nil || g.Comp != "vms" || g.Owner || g.Self {
+		t.Errorf("component guard: g=%+v err=%v", g, err)
+	}
+	g, err = parseGuards(doc("//ghost:guards lock=owner"))
+	if err != nil || g == nil || !g.Owner {
+		t.Errorf("owner guard: g=%+v err=%v", g, err)
+	}
+	g, err = parseGuards(doc("//ghost:guards lock=self"))
+	if err != nil || g == nil || !g.Self {
+		t.Errorf("self guard: g=%+v err=%v", g, err)
+	}
+	if _, err := parseGuards(doc("//ghost:guards lock=bogus")); err == nil {
+		t.Error("unknown lock name not rejected")
+	}
+	if _, err := parseGuards(doc("//ghost:guards lock=vms lock=host")); err == nil {
+		t.Error("two clauses not rejected")
+	}
+	if _, err := parseGuards(doc("//ghost:guards held=vms")); err == nil {
+		t.Error("unknown field not rejected")
+	}
+	g, err = parseGuards(doc("// an ordinary comment"))
+	if g != nil || err != nil {
+		t.Errorf("unannotated doc: g=%v err=%v", g, err)
+	}
+	g, err = parseGuards(nil)
+	if g != nil || err != nil {
+		t.Errorf("nil doc: g=%v err=%v", g, err)
 	}
 }
 

@@ -1,0 +1,388 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// BBMCheck is the static twin of the ghost oracle's FailStaleTLB
+// check: it enforces Armv8's break-before-make discipline over the
+// page-table mutation code, path-sensitively within each function.
+// The subject is every call to (*arch.Memory).WritePTE, the one
+// operation that makes a descriptor architecturally visible. Entries
+// are keyed by the (table, index) argument expressions, and each path
+// tracks the last store per entry:
+//
+//	B1  after a zero store (break), the next valid store to the same
+//	    entry requires an intervening TLBI emission — otherwise a
+//	    stale translation for the old mapping survives in the TLB
+//	    while the new one is live in the table;
+//	B2  a valid store over an entry that already holds a valid store
+//	    on this path is a valid→valid overwrite — forbidden outright,
+//	    TLBI or not: the walk may cache either descriptor.
+//
+// A break with no make (entry left invalid at path end) is legal —
+// that is an unmap, and the empty-table reclaim path relies on it.
+// Branches fork the per-entry state; at the join an entry survives
+// only if both sides agree, except that a pending (un-invalidated)
+// break on either side survives the join — losing it would hide a
+// missing TLBI behind any branch. Loop bodies are analyzed once from
+// the loop-entry state, in isolation: cross-iteration sequences are
+// out of scope (the runtime oracle covers them), which also keeps the
+// per-iteration break→TLBI→make pattern of mutateRange clean.
+//
+// internal/arch is exempt: it implements the memory model and the TLB
+// itself, and its WritePTE calls (snapshot restore, test scaffolding)
+// sit below the architecture being modelled.
+type BBMCheck struct{}
+
+func (*BBMCheck) Name() string { return "bbmcheck" }
+
+func (bc *BBMCheck) Run(u *Universe, pkg *Package) []Finding {
+	if strings.HasSuffix(pkg.Path, "internal/arch") {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a := &bbmAnalysis{u: u, pkg: pkg, out: &out, fname: fd.Name.Name}
+			_ = a.block(fd.Body.List, bbmState{})
+		}
+	}
+	return out
+}
+
+// bbmWrite is the last store recorded for one entry on a path.
+type bbmWrite struct {
+	zero bool // the store was the invalid (zero) descriptor
+	tlbi bool // a TLBI was emitted since the store
+}
+
+// bbmState maps entry key → last store. The key is the textual
+// (table, index) argument pair; aliasing between different spellings
+// of the same entry is invisible, as documented.
+type bbmState map[string]bbmWrite
+
+func (s bbmState) clone() bbmState {
+	c := make(bbmState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// merge joins two branch states: agreement survives, a pending break
+// on either side survives (conservatively keeping B1 armed), anything
+// else is dropped to unknown.
+func mergeBBM(a, b bbmState) bbmState {
+	out := make(bbmState)
+	for k, av := range a {
+		if bv, ok := b[k]; ok && av == bv {
+			out[k] = av
+			continue
+		}
+		if av.zero && !av.tlbi {
+			out[k] = av
+		}
+	}
+	for k, bv := range b {
+		if _, done := out[k]; done {
+			continue
+		}
+		if _, inA := a[k]; inA {
+			continue // disagreement already resolved above
+		}
+		if bv.zero && !bv.tlbi {
+			out[k] = bv
+		}
+	}
+	return out
+}
+
+type bbmAnalysis struct {
+	u     *Universe
+	pkg   *Package
+	out   *[]Finding
+	fname string
+}
+
+func (a *bbmAnalysis) report(n ast.Node, format string, args ...any) {
+	*a.out = append(*a.out, Finding{
+		Pos:      a.u.Fset.Position(n.Pos()),
+		Analyzer: "bbmcheck",
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// block walks a statement list, threading the per-entry state. The
+// return value reports whether the path definitely exits (return,
+// break/continue, panic) — exited branches are excluded from joins.
+func (a *bbmAnalysis) block(list []ast.Stmt, st bbmState) bool {
+	for _, s := range list {
+		if a.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *bbmAnalysis) stmt(s ast.Stmt, st bbmState) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return a.block(s.List, st)
+	case *ast.LabeledStmt:
+		return a.stmt(s.Stmt, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			a.scan(r, st)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			a.stmt(s.Init, st)
+		}
+		a.scan(s.Cond, st)
+		thenSt := st.clone()
+		thenExited := a.block(s.Body.List, thenSt)
+		elseSt := st.clone()
+		elseExited := false
+		if s.Else != nil {
+			elseExited = a.stmt(s.Else, elseSt)
+		}
+		var merged bbmState
+		switch {
+		case thenExited && elseExited:
+			return true
+		case thenExited:
+			merged = elseSt
+		case elseExited:
+			merged = thenSt
+		default:
+			merged = mergeBBM(thenSt, elseSt)
+		}
+		replaceBBM(st, merged)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			a.stmt(s.Init, st)
+		}
+		a.scan(s.Cond, st)
+		body := st.clone()
+		if !a.block(s.Body.List, body) && s.Post != nil {
+			a.stmt(s.Post, body)
+		}
+		// Continue with the entry state: zero iterations are possible
+		// and cross-iteration sequences are out of scope.
+	case *ast.RangeStmt:
+		a.scan(s.X, st)
+		body := st.clone()
+		_ = a.block(s.Body.List, body)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		a.caseBranches(s, st)
+	case *ast.DeferStmt:
+		// A deferred TLBI runs at return, after any make on the path:
+		// it does not satisfy the break→TLBI→make order, so only the
+		// arguments are scanned.
+		for _, arg := range s.Call.Args {
+			a.scan(arg, st)
+		}
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			a.scan(arg, st)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			_ = a.block(lit.Body.List, bbmState{})
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isBuiltin(a.pkg, call, "panic") {
+			a.scan(s.X, st)
+			return true
+		}
+		a.scan(s.X, st)
+	default:
+		// Straight-line statements: apply nested writes/TLBIs in
+		// source order.
+		a.scan(s, st)
+	}
+	return false
+}
+
+// replaceBBM overwrites dst in place with src.
+func replaceBBM(dst, src bbmState) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// caseBranches forks each case/comm clause from the shared entry
+// state and rejoins the non-exiting ones.
+func (a *bbmAnalysis) caseBranches(s ast.Stmt, st bbmState) {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			a.stmt(s.Init, st)
+		}
+		a.scan(s.Tag, st)
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			a.stmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	hasDefault := false
+	var branches []bbmState
+	for _, cs := range body.List {
+		branch := st.clone()
+		exited := false
+		switch cc := cs.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				a.scan(e, st)
+			}
+			exited = a.block(cc.Body, branch)
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				a.stmt(cc.Comm, branch)
+			}
+			exited = a.block(cc.Body, branch)
+		}
+		if !exited {
+			branches = append(branches, branch)
+		}
+	}
+	if !hasDefault {
+		branches = append(branches, st.clone()) // the no-case-taken path
+	}
+	if len(branches) == 0 {
+		replaceBBM(st, bbmState{})
+		return
+	}
+	merged := branches[0]
+	for _, b := range branches[1:] {
+		merged = mergeBBM(merged, b)
+	}
+	replaceBBM(st, merged)
+}
+
+// scan applies every WritePTE / TLBI event nested in a statement or
+// expression, in source order (which matches evaluation order for the
+// straight-line shapes page-table code uses).
+func (a *bbmAnalysis) scan(n ast.Node, st bbmState) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if lit, ok := c.(*ast.FuncLit); ok {
+			// A literal runs later (or elsewhere): analyze its body in
+			// isolation.
+			a.block(lit.Body.List, bbmState{})
+			return false
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if table, idx, val, ok := a.writePTECall(call); ok {
+			a.applyWrite(call, table, idx, val, st)
+			return true
+		}
+		if isTLBIEmission(a.pkg, call) {
+			for k, w := range st {
+				if w.zero && !w.tlbi {
+					w.tlbi = true
+					st[k] = w
+				}
+			}
+		}
+		return true
+	})
+}
+
+// writePTECall matches (*arch.Memory).WritePTE(table, idx, val).
+func (a *bbmAnalysis) writePTECall(call *ast.CallExpr) (table, idx, val ast.Expr, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "WritePTE" || len(call.Args) != 3 {
+		return nil, nil, nil, false
+	}
+	if t := exprType(a.pkg, sel.X); t != nil && !isNamed(t, "internal/arch", "Memory") {
+		return nil, nil, nil, false
+	}
+	return call.Args[0], call.Args[1], call.Args[2], true
+}
+
+func (a *bbmAnalysis) applyWrite(call *ast.CallExpr, table, idx, val ast.Expr, st bbmState) {
+	key := types.ExprString(table) + "|" + types.ExprString(idx)
+	zero := isConstZero(a.pkg, val)
+	prev, known := st[key]
+	if !zero && known {
+		switch {
+		case prev.zero && !prev.tlbi:
+			a.report(call,
+				"%s: make after break with no TLBI: entry (%s)[%s] was stored invalid on this path and is re-made valid before any TLB invalidation — a stale translation survives (break-before-make, see FailStaleTLB)",
+				a.fname, types.ExprString(table), types.ExprString(idx))
+		case !prev.zero:
+			a.report(call,
+				"%s: valid→valid overwrite of entry (%s)[%s]: break it first (store zero, emit the TLBI) before installing the replacement descriptor",
+				a.fname, types.ExprString(table), types.ExprString(idx))
+		}
+	}
+	st[key] = bbmWrite{zero: zero}
+}
+
+// isConstZero reports whether the expression is the constant zero
+// descriptor.
+func isConstZero(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, exact := constant.Uint64Val(tv.Value)
+	return exact && v == 0
+}
+
+// isTLBIEmission matches the calls that emit (or model) a TLB
+// invalidation: the pgtable notification path (notifyTLBI and the
+// tlbi callback) and the software TLB's invalidation entry points.
+func isTLBIEmission(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if strings.HasPrefix(name, "Set") {
+		return false // callback registration, not emission
+	}
+	if strings.Contains(strings.ToLower(name), "tlbi") {
+		// Exclude closure factories (guestTLBI returns the emitter).
+		if t := exprType(pkg, call); t != nil {
+			if _, isFunc := t.Underlying().(*types.Signature); isFunc {
+				return false
+			}
+		}
+		return true
+	}
+	switch name {
+	case "InvalidateRange", "InvalidateIPA", "InvalidateVMID", "InvalidateStale", "InvalidateAll":
+		t := exprType(pkg, sel.X)
+		return t == nil || isNamed(t, "internal/arch", "TLB")
+	}
+	return false
+}

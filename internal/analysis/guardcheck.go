@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GuardCheck is the static race detector over the repository's
+// declared shared state: any struct field annotated
+//
+//	//ghost:guards lock=<vms|guest|host|hyp>
+//	//ghost:guards lock=owner
+//	//ghost:guards lock=self
+//
+// may only be read or written while its guard holds. The held-lock
+// state comes from the same fork/merge abstract interpretation
+// lockcheck runs (lockAnalysis, via its observer hook), extended
+// interprocedurally with the Universe's lock-effect summaries: a call
+// to a helper that acquires the host lock leaves "host" held in the
+// caller's state, so field accesses after the call are legal.
+//
+// Guard semantics:
+//
+//   - a component guard requires that component lock held (in any
+//     mode — acquired here, deferred, or assumed via //ghost:requires);
+//   - lock=owner requires any ranked discipline lock — for state
+//     whose owning component varies with the enclosing object
+//     (pgtable internals);
+//   - lock=self requires the access to occur in a method of the
+//     declaring type — an encapsulation guard for fields serialized
+//     by the type's own private mutex.
+//
+// Constructor scope (functions named New*/new* and init) is exempt:
+// freshly allocated state has no concurrent observers. Composite-
+// literal field keys are likewise initialization, not access. Known
+// limits, as with lockcheck: accesses through aliases (a pointer to
+// the field smuggled out of the guarded region) and reflection are
+// invisible; the ghost oracle's non-interference check remains the
+// dynamic backstop.
+type GuardCheck struct{}
+
+func (*GuardCheck) Name() string { return "guardcheck" }
+
+// isConstructorScope mirrors telemetrycheck's rule: constructors and
+// init functions build state that nothing else can see yet.
+func isConstructorScope(name string) bool {
+	return name == "init" || strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+}
+
+func (gc *GuardCheck) Run(u *Universe, pkg *Package) []Finding {
+	out := u.MetaFindings(pkg, "guardcheck")
+	if len(u.guards) == 0 {
+		return out
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || isLockPrimitive(fd) {
+				continue
+			}
+			if isConstructorScope(fd.Name.Name) {
+				continue
+			}
+			gc.checkFunc(u, pkg, fd, &out)
+		}
+	}
+	return out
+}
+
+func (gc *GuardCheck) checkFunc(u *Universe, pkg *Package, fd *ast.FuncDecl, out *[]Finding) {
+	recvType := receiverTypeObj(pkg, fd)
+	seen := make(map[token.Pos]bool)
+	skipKeys := make(map[*ast.Ident]bool)
+	// The pairing walker's own findings are lockcheck's to report;
+	// this run only wants the state stream.
+	var scratch []Finding
+	a := &lockAnalysis{
+		u: u, pkg: pkg, out: &scratch, fname: fd.Name.Name,
+		summaries: true,
+		observe: func(n ast.Node, st lockState) {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				// Literal field keys initialize a fresh value; they are
+				// not accesses to shared state.
+				for _, el := range n.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							skipKeys[id] = true
+						}
+					}
+				}
+			case *ast.Ident:
+				if skipKeys[n] || seen[n.Pos()] {
+					return
+				}
+				obj := pkg.Info.Uses[n]
+				if obj == nil {
+					return
+				}
+				g := u.GuardOf(obj)
+				if g == nil || guardSatisfied(g, st, recvType) {
+					return
+				}
+				seen[n.Pos()] = true
+				*out = append(*out, Finding{
+					Pos:      u.Fset.Position(n.Pos()),
+					Analyzer: "guardcheck",
+					Message:  guardMessage(fd.Name.Name, g, st),
+				})
+			}
+		},
+	}
+	a.analyzeFuncDecl(fd)
+}
+
+// guardSatisfied decides whether the held-lock state (plus the
+// enclosing method's receiver type for lock=self) satisfies a guard.
+func guardSatisfied(g *Guard, st lockState, recvType types.Object) bool {
+	switch {
+	case g.Self:
+		return recvType != nil && g.DeclType != nil && recvType == g.DeclType
+	case g.Owner:
+		for comp := range st {
+			if _, ranked := LockRanks[comp]; ranked {
+				return true
+			}
+		}
+		return false
+	}
+	_, held := st[g.Comp]
+	return held
+}
+
+func guardMessage(fname string, g *Guard, st lockState) string {
+	field := g.TypeName + "." + g.FieldName
+	switch {
+	case g.Self:
+		return fmt.Sprintf(
+			"%s: access to %s (//ghost:guards lock=self) outside a method of %s; the field is private to the declaring type's own synchronization",
+			fname, field, g.TypeName)
+	case g.Owner:
+		return fmt.Sprintf(
+			"%s: access to %s (//ghost:guards lock=owner) with no discipline lock held; acquire the owning component's lock first",
+			fname, field)
+	}
+	return fmt.Sprintf(
+		"%s: access to %s (//ghost:guards lock=%s) without the %q lock (held: %s)",
+		fname, field, g.Comp, g.Comp, st.describe())
+}
+
+// receiverTypeObj resolves a method declaration's receiver to its
+// type-name object, or nil for plain functions.
+func receiverTypeObj(pkg *Package, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch e := t.(type) {
+		case *ast.StarExpr:
+			t = e.X
+		case *ast.ParenExpr:
+			t = e.X
+		case *ast.IndexExpr: // generic receiver
+			t = e.X
+		case *ast.Ident:
+			return pkg.Info.Uses[e]
+		default:
+			return nil
+		}
+	}
+}

@@ -32,7 +32,7 @@ type LockCheck struct{}
 func (*LockCheck) Name() string { return "lockcheck" }
 
 func (lc *LockCheck) Run(u *Universe, pkg *Package) []Finding {
-	out := u.MetaFindings(pkg)
+	out := u.MetaFindings(pkg, "lockcheck")
 	for _, f := range pkg.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
@@ -142,6 +142,54 @@ type lockAnalysis struct {
 	pkg   *Package
 	out   *[]Finding
 	fname string
+
+	// observe, when set, is invoked for every expression node the
+	// walker visits together with the held-lock state on that path —
+	// guardcheck rides the same fork/merge interpretation this way
+	// instead of duplicating it.
+	observe func(n ast.Node, st lockState)
+
+	// summaries applies call-graph lock-effect summaries at call
+	// sites (guardcheck's interprocedural mode). Lockcheck proper
+	// leaves it off: its per-function pairing rules already see every
+	// wrapper body directly.
+	summaries bool
+}
+
+// observeTree feeds a whole expression subtree to the observer
+// without any state effects (used for call receivers, which the
+// pairing walker itself has no reason to scan).
+func (a *lockAnalysis) observeTree(e ast.Expr, st lockState) {
+	if a.observe == nil || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		a.observe(n, st)
+		return true
+	})
+}
+
+// applySummary mutates st with the callee's net lock effect, when one
+// exists.
+func (a *lockAnalysis) applySummary(call *ast.CallExpr, st lockState) {
+	if !a.summaries {
+		return
+	}
+	callee := resolveCallee(a.pkg, call)
+	if callee == nil {
+		return
+	}
+	if eff := a.u.LockEffectOf(callee); eff != nil {
+		for _, c := range eff.Releases {
+			delete(st, c)
+		}
+		for _, c := range eff.Acquires {
+			st[c] = holdActive
+		}
+	}
 }
 
 func (a *lockAnalysis) report(pos token.Pos, format string, args ...any) {
@@ -251,6 +299,9 @@ func (a *lockAnalysis) stmt(s ast.Stmt, st lockState) flowKind {
 // annotation/panic-safety checks, and definite-exit detection.
 func (a *lockAnalysis) callStmt(call *ast.CallExpr, st lockState) flowKind {
 	a.exprs(st, call.Args...)
+	if _, isLit := ast.Unparen(call.Fun).(*ast.FuncLit); !isLit {
+		a.observeTree(call.Fun, st)
+	}
 	op, comp, ranked := classifyLockCall(a.pkg, call)
 	switch op {
 	case opAcquire:
@@ -288,6 +339,7 @@ func (a *lockAnalysis) callStmt(call *ast.CallExpr, st lockState) flowKind {
 			return flowNormal
 		}
 		a.checkCall(call, st)
+		a.applySummary(call, st)
 		if a.definitelyPanics(call) {
 			return flowExit
 		}
@@ -395,6 +447,9 @@ func (a *lockAnalysis) exprs(st lockState, exprs ...ast.Expr) {
 			continue
 		}
 		ast.Inspect(e, func(n ast.Node) bool {
+			if a.observe != nil {
+				a.observe(n, st)
+			}
 			switch n := n.(type) {
 			case *ast.FuncLit:
 				// A literal that runs inline (or escapes) may execute
@@ -421,6 +476,7 @@ func (a *lockAnalysis) exprs(st lockState, exprs ...ast.Expr) {
 					return true
 				}
 				a.checkCall(n, st)
+				a.applySummary(n, st)
 			}
 			return true
 		})

@@ -1,0 +1,164 @@
+// Package preempt is the runtime half of ghostlint's preemption-point
+// extraction: a checked-in table (points_gen.go, regenerated with
+// `go run ./cmd/ghostlint -write-preempt` and drift-gated in CI) of
+// every lock acquire/release, TLBI emission, and page-table visitor
+// step in the module, plus a tiny registry for instrumenting them.
+//
+// This is the hook list ROADMAP item 1's deterministic multi-CPU
+// scheduler consumes: a schedule is a sequence of point IDs at which
+// control transfers between virtual CPUs, and because IDs are
+// content-addressed (hash of kind and source position) a recorded
+// schedule replays bit-identically as long as the source is unchanged
+// — and fails loudly, rather than silently diverging, when it is not.
+//
+// The registry is deliberately minimal: Points/ByID/ByKind for
+// enumeration, SetHook + Fire for instrumentation. Fire with no hook
+// installed is a few nanoseconds (one atomic load, one counter add),
+// so call sites can be instrumented unconditionally.
+package preempt
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies a preemption point. The values mirror the analysis
+// package's Kind* strings (the generator writes these constants).
+type Kind string
+
+const (
+	// KindLockAcquire is a spinlock acquisition — a Lock/TryLock call
+	// or a lock*-helper call on the hypervisor.
+	KindLockAcquire Kind = "lock-acquire"
+	// KindLockRelease is the matching release.
+	KindLockRelease Kind = "lock-release"
+	// KindTLBI is a TLB-invalidation emission — one edge of a
+	// break-before-make window.
+	KindTLBI Kind = "tlbi"
+	// KindVisitorStep is one per-entry callback of a page-table walk.
+	KindVisitorStep Kind = "visitor-step"
+)
+
+// Point is one statically-extracted preemption point.
+type Point struct {
+	// ID is stable across builds of identical source: the FNV-1a hash
+	// of "kind|file|line|col".
+	ID uint64
+	// Kind classifies the event at this point.
+	Kind Kind
+	// Component is the ranked lock component for lock points, ""
+	// otherwise.
+	Component string
+	// Func is the enclosing function.
+	Func string
+	// File is module-root-relative; Line/Col locate the call.
+	File string
+	Line int
+	Col  int
+}
+
+// Points returns the full table, sorted by (file, line, col). The
+// slice is shared — callers must not modify it.
+func Points() []Point { return generatedPoints }
+
+var (
+	indexOnce sync.Once
+	byID      map[uint64]*Point
+	byKind    map[Kind][]Point
+)
+
+func buildIndex() {
+	byID = make(map[uint64]*Point, len(generatedPoints))
+	byKind = make(map[Kind][]Point)
+	for i := range generatedPoints {
+		p := &generatedPoints[i]
+		byID[p.ID] = p
+		byKind[p.Kind] = append(byKind[p.Kind], *p)
+	}
+}
+
+// ByID looks up a point by its stable ID.
+func ByID(id uint64) (Point, bool) {
+	indexOnce.Do(buildIndex)
+	p, ok := byID[id]
+	if !ok {
+		return Point{}, false
+	}
+	return *p, true
+}
+
+// ByKind returns the points of one kind, in table order. The slice is
+// shared — callers must not modify it.
+func ByKind(k Kind) []Point {
+	indexOnce.Do(buildIndex)
+	return byKind[k]
+}
+
+// Hook observes one preemption-point crossing. A deterministic
+// scheduler's hook blocks the calling virtual CPU here until the
+// schedule says it may proceed.
+type Hook func(p Point)
+
+var hook atomic.Pointer[Hook]
+
+// SetHook installs the global hook (nil uninstalls). Installation is
+// atomic with respect to concurrent Fire calls.
+func SetHook(h Hook) {
+	if h == nil {
+		hook.Store(nil)
+		return
+	}
+	hook.Store(&h)
+}
+
+// hits counts Fire calls per point, keyed by ID. Plain map with a
+// mutex: Fire on the no-hook fast path does not touch it unless
+// counting is enabled.
+var (
+	hitsMu      sync.Mutex
+	hitsEnabled atomic.Bool
+	hits        map[uint64]uint64
+)
+
+// EnableCounting turns on per-point hit counters (cleared on enable).
+func EnableCounting() {
+	hitsMu.Lock()
+	hits = make(map[uint64]uint64)
+	hitsMu.Unlock()
+	hitsEnabled.Store(true)
+}
+
+// DisableCounting turns counters off.
+func DisableCounting() { hitsEnabled.Store(false) }
+
+// Hits returns the number of Fire calls for a point since counting
+// was enabled.
+func Hits(id uint64) uint64 {
+	hitsMu.Lock()
+	defer hitsMu.Unlock()
+	return hits[id]
+}
+
+// Fire reports that execution reached the point with the given ID.
+// Unknown IDs are ignored (a stale caller against a regenerated table
+// must not crash the hypervisor). With no hook installed and counting
+// off this is two atomic loads.
+func Fire(id uint64) {
+	h := hook.Load()
+	counting := hitsEnabled.Load()
+	if h == nil && !counting {
+		return
+	}
+	p, ok := ByID(id)
+	if !ok {
+		return
+	}
+	if counting {
+		hitsMu.Lock()
+		hits[id]++
+		hitsMu.Unlock()
+	}
+	if h != nil {
+		(*h)(p)
+	}
+}

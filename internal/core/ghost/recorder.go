@@ -136,7 +136,8 @@ type Recorder struct {
 	// mu guards shared, failures, and counters. The ghost machinery
 	// adds this lock for its own data; the hypervisor's own locking is
 	// untouched (paper §3.2).
-	mu       sync.Mutex
+	mu sync.Mutex
+	//ghost:guards lock=self
 	shared   *State
 	failures []Failure
 	stats    Stats
@@ -178,7 +179,7 @@ type Recorder struct {
 // initial abstraction of every component, and checks the boot-time
 // layout. It must be called before any hypercall traffic.
 //
-//ghostlint:ignore lockcheck boot-time snapshot: no hypercall traffic exists yet, so the lock-free reads of every component are sound
+//ghostlint:ignore lockcheck guardcheck boot-time snapshot: no hypercall traffic exists yet, so the lock-free reads of every component are sound
 func Attach(hv *hyp.Hypervisor) *Recorder {
 	r := &Recorder{
 		hv:          hv,

@@ -12,6 +12,8 @@ const MemcacheCapPages = 128
 // newTableFromDonation builds a VM's stage 2 table, drawing the root
 // page from the VM's donated frames. Guests are mapped at page
 // granularity: donations arrive a page at a time.
+//
+//ghost:requires lock=vms
 func newTableFromDonation(hv *Hypervisor, vm *VM) (*pgtable.Table, error) {
 	pgt, err := pgtable.New("guest_s2:"+vm.Handle.String(), hv.Mem, arch.Stage2,
 		donationAllocator{pages: &vm.donated}, arch.LastLevel)

@@ -149,9 +149,11 @@ type Hypervisor struct {
 	hypPGT  *pgtable.Table // hypervisor's own stage 1
 
 	vmsLock *spinlock.Lock
-	vms     [MaxVMs]*VM
+	//ghost:guards lock=vms
+	vms [MaxVMs]*VM
 	// reclaimable is the set of frames from torn-down VMs awaiting
 	// host_reclaim_page; protected by vmsLock.
+	//ghost:guards lock=vms
 	reclaimable map[arch.PFN]bool
 
 	percpu []*PerCPU
@@ -165,6 +167,7 @@ type Hypervisor struct {
 	// set — the injection window of BugUnshareSkipTLBI. Written and
 	// read only under the host lock (the TLBI callback fires inside
 	// host table mutations, which hold it).
+	//ghost:guards lock=host
 	hostTLBIOff bool
 
 	globals Globals

@@ -130,6 +130,11 @@ func (b *Base) RestoreBase() int { return b.restore(nil) }
 // of memory frames rewritten.
 func (b *Base) RestoreDelta(d *Delta) int { return b.restore(d) }
 
+// restore rewinds memory (CoW) and value state to base or base+delta.
+// It runs with the system quiescent — between executions, no CPU in a
+// hypercall — so the lock-free sweep over every component is sound.
+//
+//ghostlint:ignore guardcheck quiescent system: restore runs between executions with no concurrent hypercalls
 func (b *Base) restore(d *Delta) int {
 	hv := b.hv
 
@@ -180,7 +185,11 @@ func (b *Base) restore(d *Delta) int {
 	return dirty
 }
 
-// captureState copies the non-memory mutable state by value.
+// captureState copies the non-memory mutable state by value. Like
+// restore, it runs on a quiescent system (capture happens between
+// executions), so it reads VM state without the vms lock.
+//
+//ghostlint:ignore guardcheck quiescent system: capture runs between executions with no concurrent hypercalls
 func (hv *Hypervisor) captureState() *sysState {
 	st := &sysState{
 		cpus:    make([]arch.CPU, len(hv.CPUs)),
@@ -234,7 +243,10 @@ func (hv *Hypervisor) captureState() *sysState {
 // re-attached at their recorded roots and rewired exactly like
 // newTableFromDonation wires a fresh one; installing the table-page
 // gauge callback replays the (restored) tree, so the guest gauge comes
-// back consistent without rescanning.
+// back consistent without rescanning. Quiescent-system contract as in
+// restore.
+//
+//ghostlint:ignore guardcheck quiescent system: restore runs between executions with no concurrent hypercalls
 func (hv *Hypervisor) restoreState(st *sysState) {
 	for i := range hv.CPUs {
 		*hv.CPUs[i] = st.cpus[i]

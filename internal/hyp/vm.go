@@ -109,12 +109,15 @@ type VM struct {
 
 	// donated are the frames the host donated at init_vm for the VM's
 	// metadata and root table; returned via reclaim after teardown.
+	//ghost:guards lock=vms
 	donated []arch.PFN
 }
 
 // DonatedPages returns a copy of the VM's remaining donated frames.
 // The ghost abstraction of VM metadata records it; callers hold the
 // VM-table lock.
+//
+//ghost:requires lock=vms
 func (vm *VM) DonatedPages() []arch.PFN {
 	out := make([]arch.PFN, len(vm.donated))
 	copy(out, vm.donated)

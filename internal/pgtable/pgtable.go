@@ -75,6 +75,10 @@ type Table struct {
 	// 2MB, 3 forces page granularity.
 	MaxBlockLevel int
 
+	// root is the table's root frame; mutated only under the owning
+	// component's lock (which lock that is depends on whose table this
+	// handle serves — host, hyp or a guest).
+	//ghost:guards lock=owner
 	root arch.PhysAddr
 
 	// onTablePage, when set, observes every table-page allocation and
@@ -174,7 +178,11 @@ func Attach(name string, m *arch.Memory, stage arch.Stage, alloc Allocator, maxB
 }
 
 // Root returns the physical address of the root table page — what the
-// hypervisor installs in TTBR/VTTBR on context switch.
+// hypervisor installs in TTBR/VTTBR on context switch. The root is
+// written once at construction (and zeroed by Destroy), so the bare
+// read is safe without the owner's lock.
+//
+//ghostlint:ignore guardcheck root is construction-stable; reading one word races with nothing
 func (t *Table) Root() arch.PhysAddr { return t.root }
 
 func checkRange(ia, size uint64) error {
@@ -586,7 +594,11 @@ func (t *Table) Destroy() {
 
 // TablePages returns the physical frames currently used by the
 // table's own tree (root and interior pages) — the footprint the
-// ghost separation check monitors.
+// ghost separation check monitors. Callers on a live table hold the
+// owner's lock; the other callers (snapshot capture, boot-time
+// subscriber replay) run on a quiescent system.
+//
+//ghostlint:ignore guardcheck quiescent-or-locked callers per the contract above
 func (t *Table) TablePages() []arch.PFN {
 	var out []arch.PFN
 	var rec func(pa arch.PhysAddr, level int)

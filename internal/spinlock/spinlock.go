@@ -67,6 +67,7 @@ type Lock struct {
 
 	// held tracks lock state for sanity checking; it is only written
 	// under mu.
+	//ghost:guards lock=self
 	held bool
 
 	// rank orders this lock in the global acquisition order checked by
