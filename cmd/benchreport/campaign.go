@@ -52,7 +52,12 @@ const (
 )
 
 type campaignLeg struct {
-	Workers     int     `json:"workers"`
+	Workers int `json:"workers"`
+	// NumVCPU is the virtual-CPU count of every system the leg boots —
+	// the real configured value (campaign.Config.NrCPUs), which used to
+	// be invisible here and silently reported as a single-CPU machine.
+	NumVCPU     int     `json:"num_vcpu"`
+	SchedFuzz   bool    `json:"sched_fuzz"`
 	Snapshots   bool    `json:"snapshots"`
 	Execs       int64   `json:"execs"`
 	ElapsedMS   float64 `json:"elapsed_ms"`
@@ -78,6 +83,12 @@ type campaignBenchReport struct {
 	Serial      campaignLeg `json:"serial"`
 	Parallel    campaignLeg `json:"parallel_8"`
 	SerialOff   campaignLeg `json:"serial_nosnap"`
+	// Parallel2CPU is the multi-vCPU leg: two workers, two-vCPU
+	// systems, schedule fuzzing on — every clean serial exec re-runs
+	// under a seeded deterministic schedule, so its throughput prices
+	// the scheduler (sched_preemptions, parked time) against the
+	// serial legs. Ungated: it exists to be read, not raced.
+	Parallel2CPU campaignLeg `json:"parallel_2cpu"`
 	// Speedup is parallel vs serial (both snap-on); SnapshotSpeedup is
 	// serial snap-on vs serial snap-off and is gated by SpeedupFloor.
 	Speedup         float64 `json:"speedup"`
@@ -97,7 +108,7 @@ func runCampaignBench(path string, execs int64) error {
 		SpeedupFloor: snapshotSpeedupFloor,
 	}
 
-	leg := func(workers int, noSnapshot bool) (campaignLeg, error) {
+	leg := func(workers int, noSnapshot bool, nrCPUs int, schedFuzz bool) (campaignLeg, error) {
 		rep, err := campaign.Run(campaign.Config{
 			Workers:          workers,
 			StepsPerRun:      report.StepsPerRun,
@@ -105,6 +116,8 @@ func runCampaignBench(path string, execs int64) error {
 			MaxExecs:         execs,
 			NoSnapshot:       noSnapshot,
 			ConformanceEvery: conformanceEvery,
+			NrCPUs:           nrCPUs,
+			SchedFuzz:        schedFuzz,
 		})
 		if err != nil {
 			// Includes snapshot conformance divergence — a correctness
@@ -117,6 +130,8 @@ func runCampaignBench(path string, execs int64) error {
 		}
 		l := campaignLeg{
 			Workers:             workers,
+			NumVCPU:             nrCPUs,
+			SchedFuzz:           schedFuzz,
 			Snapshots:           !noSnapshot,
 			Execs:               rep.Execs,
 			ElapsedMS:           float64(rep.Elapsed) / float64(time.Millisecond),
@@ -133,8 +148,11 @@ func runCampaignBench(path string, execs int64) error {
 		if noSnapshot {
 			mode = "fresh boots"
 		}
-		fmt.Printf("  %d worker(s), %s: %d execs in %v = %.1f execs/s (spec coverage %.1f%%)\n",
-			workers, mode, rep.Execs, rep.Elapsed.Round(time.Millisecond), rep.ExecsPerSec,
+		if schedFuzz {
+			mode += ", sched-fuzz"
+		}
+		fmt.Printf("  %d worker(s), %d vCPUs, %s: %d execs in %v = %.1f execs/s (spec coverage %.1f%%)\n",
+			workers, nrCPUs, mode, rep.Execs, rep.Elapsed.Round(time.Millisecond), rep.ExecsPerSec,
 			coverage.Percent(rep.Coverage.SpecCovered, rep.Coverage.SpecTotal))
 		if !noSnapshot {
 			fmt.Printf("    restores=%d parent-forks=%d dirty-frames=%d fallbacks=%d\n",
@@ -144,13 +162,16 @@ func runCampaignBench(path string, execs int64) error {
 	}
 
 	var err error
-	if report.Serial, err = leg(1, false); err != nil {
+	if report.Serial, err = leg(1, false, 4, false); err != nil {
 		return err
 	}
-	if report.Parallel, err = leg(8, false); err != nil {
+	if report.Parallel, err = leg(8, false, 4, false); err != nil {
 		return err
 	}
-	if report.SerialOff, err = leg(1, true); err != nil {
+	if report.SerialOff, err = leg(1, true, 4, false); err != nil {
+		return err
+	}
+	if report.Parallel2CPU, err = leg(2, false, 2, true); err != nil {
 		return err
 	}
 	if report.Serial.ExecsPerSec > 0 {

@@ -45,6 +45,8 @@ func main() {
 	skipFlag := flag.String("skip", "", "matrix skip-list: bug=reason;bug=reason")
 	noSnapshot := flag.Bool("no-snapshot", false, "disable copy-on-write snapshots (fresh boot + full replay per exec)")
 	confEvery := flag.Int("conformance-every", 0, "diff every Nth restored exec against a boot-and-replay reference (0: default cadence)")
+	cpus := flag.Int("cpus", 4, "vCPUs per fuzzed system")
+	schedFuzz := flag.Bool("sched-fuzz", false, "re-execute clean traces under seeded deterministic schedules (multi-vCPU interleaving probe)")
 	rankCheck := flag.Bool("rankcheck", false, "enable the runtime lock-rank validator")
 	quiet := flag.Bool("quiet", false, "suppress per-finding progress lines")
 	httpAddr := flag.String("http", "", "serve live introspection on this address (/metrics, /debug/pprof/, /spans, /campaign)")
@@ -78,6 +80,8 @@ func main() {
 		ShrinkReplays:    *shrink,
 		NoSnapshot:       *noSnapshot,
 		ConformanceEvery: *confEvery,
+		NrCPUs:           *cpus,
+		SchedFuzz:        *schedFuzz,
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {
@@ -192,13 +196,26 @@ func runFuzz(cfg campaign.Config, httpAddr, traceOut string) int {
 		}
 		fmt.Printf("  minimized %d ops -> %d ops (%d replays):\n%s",
 			f.Trace.Len(), f.Min.Len(), f.ShrinkReplays, indent(f.Min.String()))
+		if f.Sched != nil {
+			if f.SchedErr != "" {
+				fmt.Printf("  scheduler error: %s\n", f.SchedErr)
+			}
+			fmt.Printf("  schedule (sched-seed %d, %d -> %d steps): %s\n",
+				f.SchedSeed, f.Sched.Len(), f.MinSched.Len(), f.MinSched)
+		}
 		if len(f.Failures) > 0 && len(f.Failures[0].History) > 0 {
 			fmt.Printf("  flight recorder (%d trap events on failing CPU; newest is the failure)\n",
 				len(f.Failures[0].History))
 		}
-		if f.FromCorpus {
+		switch {
+		case f.FromCorpus && f.Sched != nil:
+			fmt.Printf("  repro: replay the minimized (trace, schedule) pair on a %d-vCPU boot\n", cfg.NrCPUs)
+		case f.FromCorpus:
 			fmt.Printf("  repro: replay the minimized trace (run extended a corpus seed)\n")
-		} else {
+		case f.Sched != nil:
+			fmt.Printf("  repro: ghost-fuzz -workers 1 -seed %d -steps %d -cpus %d -sched-fuzz%s (schedule re-derived from the seed)\n",
+				f.Seed, cfg.StepsPerRun, cfg.NrCPUs, bugArgs(cfg.Bugs))
+		default:
 			fmt.Printf("  repro: ghost-fuzz -workers 1 -seed %d -steps %d%s\n",
 				f.Seed, cfg.StepsPerRun, bugArgs(cfg.Bugs))
 		}

@@ -1,0 +1,126 @@
+package preempt
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// Reserved pseudo-point IDs. The deterministic scheduler records
+// decisions at places that are not source positions — the boundary
+// between two trace ops, and the re-grant after a vCPU blocked on a
+// contended spinlock. They get fixed small IDs far below any FNV-1a
+// hash; init-time indexing panics if a generated point ever collides.
+const (
+	// PointBoundary marks an op-boundary decision: the vCPU finished
+	// one trace op and parks before starting the next (also the
+	// stream-start park before its first op).
+	PointBoundary uint64 = 1
+	// PointLockWait marks a vCPU resuming after it blocked on a
+	// spinlock another vCPU held.
+	PointLockWait uint64 = 2
+)
+
+// Known reports whether id is a table point or a reserved
+// pseudo-point — the validity check for replayed schedules.
+func Known(id uint64) bool {
+	if id == PointBoundary || id == PointLockWait {
+		return true
+	}
+	_, ok := ByID(id)
+	return ok
+}
+
+// Armed reports whether a hook is installed. Call sites whose
+// instrumentation has a per-call setup cost (the pgtable walker wraps
+// its visitor) use it to skip that cost on unscheduled runs.
+func Armed() bool { return hook.Load() != nil }
+
+// frameKey locates a table point from a runtime call frame: frames
+// carry absolute file paths and no column, so the index is keyed by
+// base name + line + kind and each candidate is verified against the
+// frame's full path suffix.
+type frameKey struct {
+	base string
+	line int
+	kind Kind
+}
+
+var (
+	frameOnce  sync.Once
+	frameIndex map[frameKey]*Point
+)
+
+func buildFrameIndex() {
+	frameIndex = make(map[frameKey]*Point, len(generatedPoints))
+	for i := range generatedPoints {
+		p := &generatedPoints[i]
+		if p.ID == PointBoundary || p.ID == PointLockWait {
+			panic(fmt.Sprintf("preempt: generated point %s:%d collides with reserved pseudo-point ID %d",
+				p.File, p.Line, p.ID))
+		}
+		k := frameKey{base: pathBase(p.File), line: p.Line, kind: p.Kind}
+		// Two same-kind points on one line (rare — a multi-call line)
+		// resolve to the leftmost deterministically.
+		if prev, ok := frameIndex[k]; !ok || p.Col < prev.Col {
+			frameIndex[k] = p
+		}
+	}
+}
+
+// FireCaller fires the table point of the given kind found on the
+// calling stack. The instrumentation primitives (spinlock Lock/Unlock,
+// the arch TLB invalidations, the pgtable visitor dispatch) call it
+// instead of Fire with an inline ID: the event's table identity is the
+// *call site* — possibly several frames up, through the hypervisor's
+// lock helpers — and resolving it from the stack keeps the primitives'
+// own source files out of the table's content addressing.
+//
+// Of all matching frames the outermost wins: for `hv.lockHost(cpu)`
+// both the helper's internal `Lock()` line and the hypercall's call
+// line are table points, and the caller-specific one names the window
+// a schedule actually distinguishes. Disarmed (no hook, no counting)
+// this is the same two atomic loads as Fire.
+func FireCaller(kind Kind) {
+	h := hook.Load()
+	counting := hitsEnabled.Load()
+	if h == nil && !counting {
+		return
+	}
+	frameOnce.Do(buildFrameIndex)
+	var pcs [32]uintptr
+	n := runtime.Callers(2, pcs[:])
+	frames := runtime.CallersFrames(pcs[:n])
+	var match *Point
+	for {
+		f, more := frames.Next()
+		if f.Line > 0 {
+			if p, ok := frameIndex[frameKey{base: pathBase(f.File), line: f.Line, kind: kind}]; ok &&
+				strings.HasSuffix(f.File, "/"+p.File) {
+				match = p // keep the latest: outermost matching frame
+			}
+		}
+		if !more {
+			break
+		}
+	}
+	if match == nil {
+		return
+	}
+	if counting {
+		hitsMu.Lock()
+		hits[match.ID]++
+		hitsMu.Unlock()
+	}
+	if h != nil {
+		(*h)(*match)
+	}
+}
+
+func pathBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

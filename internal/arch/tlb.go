@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ghostspec/internal/analysis/preempt"
 	"ghostspec/internal/telemetry"
 	"ghostspec/internal/telemetry/trace"
 )
@@ -287,6 +288,12 @@ func (t *TLB) LookupLeaf(root PhysAddr, stage Stage, vmid VMID, ia uint64) (PTE,
 // VAE2IS by-address forms. An entry cached from a block leaf matches
 // any address the block covers, not just the page that filled it.
 func (t *TLB) InvalidateRange(vmid VMID, ia, size uint64) {
+	// The TLBI preemption point fires before the nil check: the
+	// invalidation is architecturally issued even when the software TLB
+	// is absent, and a schedule's park at "the TLBI of this mutation"
+	// must not depend on the NoTLB ablation. Fired here (not at every
+	// emitting call site) so the table point resolved is the caller's.
+	preempt.FireCaller(preempt.KindTLBI)
 	if t == nil {
 		return
 	}
@@ -312,6 +319,7 @@ func (t *TLB) InvalidateIPA(vmid VMID, ia uint64) {
 // InvalidateVMID drops every cached translation tagged vmid — Arm's
 // TLBI VMALLS12E1IS, issued when a VM's stage 2 is torn down.
 func (t *TLB) InvalidateVMID(vmid VMID) {
+	preempt.FireCaller(preempt.KindTLBI)
 	if t == nil {
 		return
 	}
@@ -323,6 +331,7 @@ func (t *TLB) InvalidateVMID(vmid VMID) {
 
 // InvalidateAll drops everything — TLBI ALLE1IS.
 func (t *TLB) InvalidateAll() {
+	preempt.FireCaller(preempt.KindTLBI)
 	if t == nil {
 		return
 	}
@@ -343,6 +352,7 @@ func (t *TLB) InvalidateAll() {
 // next execution would both translate through ghosts of the previous
 // one and trip CheckCoherence's missing-TLBI report.)
 func (t *TLB) InvalidateStale() {
+	preempt.FireCaller(preempt.KindTLBI)
 	if t == nil {
 		return
 	}

@@ -27,6 +27,7 @@ import (
 	"ghostspec/internal/hyp"
 	"ghostspec/internal/proxy"
 	"ghostspec/internal/randtest"
+	"ghostspec/internal/sched"
 	"ghostspec/internal/telemetry"
 	"ghostspec/internal/telemetry/trace"
 )
@@ -79,6 +80,18 @@ type Config struct {
 	// rewinding a long-lived one — the before leg of the snapshot
 	// benchmark, mirroring NoTLB.
 	NoSnapshot bool
+	// NrCPUs is the virtual-CPU count of every booted system (default
+	// 4, mirroring hyp.Config). It is also the vCPU count of the
+	// deterministic scheduler when SchedFuzz is on, and is reported in
+	// bench output — the real value, not a hard-coded 1.
+	NrCPUs int
+	// SchedFuzz re-executes every clean run's trace a second time
+	// split across NrCPUs vCPU streams under a seeded deterministic
+	// schedule (internal/sched), turning the serial campaign into a
+	// concurrency campaign: oracle alarms that only fire under some
+	// interleaving become findings carrying the (trace, schedule) pair
+	// that reproduces them.
+	SchedFuzz bool
 	// ConformanceEvery cross-checks every Nth restored execution per
 	// worker against a freshly-booted-and-replayed reference system
 	// (default 256; negative disables). Tests set 1 for exhaustive
@@ -125,6 +138,9 @@ func (c *Config) fill() {
 	if c.ConformanceEvery == 0 {
 		c.ConformanceEvery = 256
 	}
+	if c.NrCPUs <= 0 {
+		c.NrCPUs = 4
+	}
 }
 
 // Finding is one oracle failure the campaign turned into a
@@ -150,6 +166,17 @@ type Finding struct {
 	// failed again (shrinking only proceeds when it does).
 	ShrinkReplays int
 	Reproducible  bool
+	// Sched is non-nil for schedule-fuzzing findings: the recorded
+	// schedule of the failing scheduled replay, derived from SchedSeed.
+	// MinSched is the minimized schedule prefix that still reproduces
+	// together with Min (the rest of the replay drains
+	// deterministically); SchedErr carries a scheduler-level error
+	// (captured stream panic, deadlock abandonment) when the finding
+	// is not an oracle alarm.
+	Sched     *sched.Schedule
+	MinSched  *sched.Schedule
+	SchedSeed int64
+	SchedErr  string
 }
 
 // Report summarises a campaign.
@@ -406,6 +433,7 @@ func (e *Engine) Status() Status {
 func (e *Engine) newSystem(w int) (*proxy.Driver, *ghost.Recorder, *coverage.Tracker, error) {
 	hcfg := hyp.Config{
 		Inj: faults.NewInjector(e.cfg.Bugs...), NoTLB: e.cfg.NoTLB,
+		NrCPUs: e.cfg.NrCPUs,
 		Tracer: e.tracer, TraceLane: w,
 	}
 	if e.cfg.BigMemory {
@@ -577,6 +605,14 @@ func (e *Engine) runOne(w int, in input, ws *worksys) {
 
 	failures := rec.Failures()
 	if len(failures) == 0 {
+		// Clean serial run: optionally re-execute the same trace split
+		// across vCPU streams under a seeded deterministic schedule.
+		// This happens after coverage absorption so corpus parent
+		// snapshots always hold the *serial* end state the conformance
+		// differ and snapshot forks expect.
+		if e.cfg.SchedFuzz && tr.Len() > 0 {
+			e.schedFuzzOne(w, in, tr, ws, exec)
+		}
 		return
 	}
 	telFindings.Inc()

@@ -1,0 +1,283 @@
+package campaign
+
+import (
+	"fmt"
+	"testing"
+
+	"ghostspec/internal/core/ghost"
+	"ghostspec/internal/coverage"
+	"ghostspec/internal/faults"
+	"ghostspec/internal/hyp"
+	"ghostspec/internal/proxy"
+	"ghostspec/internal/randtest"
+	"ghostspec/internal/sched"
+)
+
+// bootScheduled boots a standalone multi-CPU system with the oracle
+// and coverage attached, outside the engine, for replay-determinism
+// checks.
+func bootScheduled(t *testing.T, cpus int, bugs ...faults.Bug) (*proxy.Driver, *ghost.Recorder, *coverage.Tracker) {
+	t.Helper()
+	hv, err := hyp.New(hyp.Config{NrCPUs: cpus, Inj: faults.NewInjector(bugs...)})
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	rec := ghost.Attach(hv)
+	cov := coverage.Wrap(hv, rec)
+	hv.SetInstrumentation(cov)
+	return proxy.New(hv), rec, cov
+}
+
+// fuzzedTrace generates one serial trace on a throwaway system — raw
+// material for the scheduled-replay determinism checks.
+func fuzzedTrace(t *testing.T, seed int64, steps int) *randtest.Trace {
+	t.Helper()
+	d, rec, _ := bootScheduled(t, 4)
+	tester := randtest.New(d, rec, seed, true)
+	tester.Trace = &randtest.Trace{}
+	tester.Run(steps)
+	return tester.Trace
+}
+
+// TestScheduledReplayIsDeterministic is the cross-system determinism
+// regression for the (trace, schedule) reproduction recipe: record a
+// fuzzed multi-CPU scheduled execution, then replay the pair on a
+// second freshly booted process-state and require byte-identical
+// coverage, identical schedules, identical preemption counts, and
+// identical flight-recorder contents (durations zeroed — wall time is
+// the one thing the recipe does not pin).
+func TestScheduledReplayIsDeterministic(t *testing.T) {
+	tr := fuzzedTrace(t, 20260808, 120)
+
+	type result struct {
+		sched       *sched.Schedule
+		preemptions uint64
+		coverage    string
+		failures    int
+		flight      string
+	}
+	exec := func(policy sched.Option) result {
+		d, rec, cov := bootScheduled(t, 2)
+		s := sched.New(2, policy)
+		if err := randtest.ReplayScheduled(d, tr, s); err != nil {
+			t.Fatalf("scheduled replay: %v", err)
+		}
+		var flight string
+		for cpu, evs := range d.HV.FlightRecorder().DumpAll() {
+			for _, ev := range evs {
+				ev.Dur = 0
+				flight += fmt.Sprintf("cpu%d %s\n", cpu, ev.String())
+			}
+		}
+		return result{
+			sched:       s.Record(),
+			preemptions: s.Preemptions(),
+			coverage:    fmt.Sprintf("%+v", cov.Snapshot()),
+			failures:    len(rec.Failures()),
+			flight:      flight,
+		}
+	}
+
+	first := exec(sched.WithSeed(99))
+	if first.failures != 0 {
+		t.Fatalf("clean hypervisor raised %d alarms under scheduling", first.failures)
+	}
+	if first.preemptions == 0 {
+		t.Fatal("scheduled replay recorded no preemptions")
+	}
+	replayed := exec(sched.WithReplay(first.sched))
+	if got, want := replayed.sched.String(), first.sched.String(); got != want {
+		t.Fatalf("replayed schedule differs:\n  want %s\n  got  %s", want, got)
+	}
+	if replayed.preemptions != first.preemptions {
+		t.Fatalf("preemption count differs: %d vs %d", replayed.preemptions, first.preemptions)
+	}
+	if replayed.coverage != first.coverage {
+		t.Fatalf("coverage differs:\n  want %s\n  got  %s", first.coverage, replayed.coverage)
+	}
+	if replayed.flight != first.flight {
+		t.Fatalf("flight-recorder contents differ:\n  want:\n%s\n  got:\n%s", first.flight, replayed.flight)
+	}
+
+	// Same seed from scratch must also reproduce (seed-only recipe).
+	seeded := exec(sched.WithSeed(99))
+	if seeded.sched.String() != first.sched.String() {
+		t.Fatalf("same seed produced a different schedule:\n  %s\n  %s", first.sched, seeded.sched)
+	}
+}
+
+// TestStaleScheduleFailsLoudly pins the PR 8 contract end to end: a
+// recorded schedule whose point IDs are not in the current table (the
+// table changed under an edit) must fail the replay loudly, not
+// silently diverge.
+func TestStaleScheduleFailsLoudly(t *testing.T) {
+	tr := fuzzedTrace(t, 7, 40)
+	d, _, _ := bootScheduled(t, 2)
+	stale := &sched.Schedule{Steps: []sched.Step{{VCPU: 0, Point: 0xfeedfacecafebeef}}}
+	s := sched.New(2, sched.WithReplay(stale))
+	err := randtest.ReplayScheduled(d, tr, s)
+	if err == nil {
+		t.Fatal("scheduled replay accepted a stale schedule")
+	}
+	if got := err.Error(); !contains(got, "not in the current table") || !contains(got, "-write-preempt") {
+		t.Fatalf("stale-schedule error is not actionable: %v", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(sub) == 0 || (len(s) >= len(sub) && index(s, sub) >= 0)
+}
+
+func index(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestSchedFuzzCampaignSmoke runs a short schedule-fuzzing campaign on
+// a clean hypervisor: no findings, and the engine must have executed
+// scheduled replays (visible through the sched_preemptions counter
+// moving — asserted indirectly via a finding-free run completing).
+func TestSchedFuzzCampaignSmoke(t *testing.T) {
+	rep, err := Run(Config{
+		Workers:     2,
+		StepsPerRun: 60,
+		Seed:        11,
+		MaxExecs:    16,
+		NrCPUs:      2,
+		SchedFuzz:   true,
+	})
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if len(rep.Findings) != 0 {
+		f := rep.Findings[0]
+		t.Fatalf("clean hypervisor produced %d findings; first: alarms=%d schedErr=%q min:\n%s",
+			len(rep.Findings), len(f.Failures), f.SchedErr, f.Min)
+	}
+	if rep.Execs == 0 {
+		t.Fatal("campaign ran no execs")
+	}
+}
+
+// TestFaultMatrixFuzzedSchedules extends the tier-1 detection matrix
+// with the concurrency leg: every planted bug must still be detected
+// with schedule fuzzing enabled on 2-vCPU systems — serial detection
+// keeps working, and schedule-dependent alarms can only add findings.
+func TestFaultMatrixFuzzedSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzed-schedule matrix is not a -short test")
+	}
+	base := Config{
+		Workers:       2,
+		StepsPerRun:   250,
+		Seed:          3,
+		MaxExecs:      400,
+		ShrinkReplays: 2000,
+		NrCPUs:        2,
+		SchedFuzz:     true,
+	}
+	matrix := FaultSweep(base, faults.All(), sweepSkip)
+	if len(matrix) != len(faults.All()) {
+		t.Fatalf("matrix has %d rows, want %d", len(matrix), len(faults.All()))
+	}
+	t.Logf("fuzzed-schedule detection matrix:\n%s", FormatMatrix(matrix))
+	for _, m := range matrix {
+		if m.Skipped {
+			continue
+		}
+		if m.Err != nil {
+			t.Errorf("%s: campaign error: %v", m.Bug, m.Err)
+			continue
+		}
+		if !m.Detected {
+			t.Errorf("%s (%s): not detected under fuzzed schedules within %d execs", m.Bug, m.Class, m.Execs)
+		}
+	}
+}
+
+// loadRaceTrace is a hand-built schedule-dependent failure under
+// BugVCPULoadRace: stream 0 creates and initialises a VM's vCPU,
+// stream 1 loads it. Serially (trace order) the load follows the init
+// and every replay is clean; scheduled, any interleaving that lands
+// the load between init-vm and init-vcpu makes the buggy hypervisor
+// return OK where the spec demands ENOENT — an oracle alarm that
+// exists only under some schedules.
+func loadRaceTrace() *randtest.Trace {
+	return &randtest.Trace{Ops: []randtest.Op{
+		{Kind: randtest.OpInitVM, CPU: 0, Nr: 1, H: 1},
+		{Kind: randtest.OpInitVCPU, CPU: 0, H: 1, VCPU: 0},
+		{Kind: randtest.OpLoad, CPU: 1, H: 1, VCPU: 0},
+	}}
+}
+
+// TestShrinkScheduledMinimizesPair exercises the joint shrinker on a
+// genuinely schedule-dependent failure and requires the minimized
+// (trace, schedule-prefix) pair to reproduce on a fresh system.
+func TestShrinkScheduledMinimizesPair(t *testing.T) {
+	tr := loadRaceTrace()
+
+	// Serial replay must be clean: the bug is invisible in trace order.
+	d, rec, _ := bootScheduled(t, 2, faults.BugVCPULoadRace)
+	randtest.Replay(d, tr)
+	if n := len(rec.Failures()); n != 0 {
+		t.Fatalf("serial replay of the load-race trace raised %d alarms; want schedule-dependence", n)
+	}
+
+	// Find a schedule seed whose interleaving exposes the race. The
+	// window needs several consecutive grants to the loading vCPU at
+	// exactly the init-vm/init-vcpu seam, so a few hundred seeds is the
+	// right order of magnitude (first hit observed at seed 119).
+	schedSeed := int64(-1)
+	for seed := int64(0); seed < 512; seed++ {
+		d, rec, _ := bootScheduled(t, 2, faults.BugVCPULoadRace)
+		s := sched.New(2, sched.WithSeed(uint64(seed)))
+		if err := randtest.ReplayScheduled(d, tr, s); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(rec.Failures()) > 0 {
+			schedSeed = seed
+			break
+		}
+	}
+	if schedSeed < 0 {
+		t.Fatal("no schedule seed in [0,64) exposes the load race")
+	}
+
+	boot := func() (*proxy.Driver, *ghost.Recorder, error) {
+		d, rec, _ := bootScheduled(t, 2, faults.BugVCPULoadRace)
+		return d, rec, nil
+	}
+	min, minSched, minFailures, replays, ok := ShrinkScheduled(boot, tr, schedSeed, 2, 400)
+	if !ok {
+		t.Fatal("shrinker could not reproduce the scheduled failure")
+	}
+	if len(minFailures) == 0 {
+		t.Fatal("minimized pair carries no alarms")
+	}
+	if min.Len() > tr.Len() {
+		t.Fatalf("shrunk trace grew: %d ops from %d", min.Len(), tr.Len())
+	}
+	if minSched == nil {
+		t.Fatal("no minimized schedule recorded")
+	}
+	if minSched.Len() > 10 {
+		t.Errorf("minimized schedule has %d steps, want <= 10:\n%s", minSched.Len(), minSched)
+	}
+	t.Logf("minimized to %d ops, %d schedule steps in %d replays:\n%sschedule: %s",
+		min.Len(), minSched.Len(), replays, min, minSched)
+
+	// The pair is the complete repro recipe: replay it on a fresh
+	// system and the oracle must alarm again.
+	d2, rec2, _ := bootScheduled(t, 2, faults.BugVCPULoadRace)
+	s2 := sched.New(2, sched.WithReplay(minSched))
+	if err := randtest.ReplayScheduled(d2, min, s2); err != nil {
+		t.Fatalf("pair replay: %v", err)
+	}
+	if len(rec2.Failures()) == 0 {
+		t.Fatalf("minimized (trace, schedule) pair does not reproduce:\ntrace:\n%s\nschedule: %s", min, minSched)
+	}
+}

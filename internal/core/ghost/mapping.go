@@ -117,8 +117,16 @@ type Mapping struct {
 // refresh at every lock release clones mappings that are almost never
 // mutated afterwards, so sharing until proven otherwise removes an
 // allocation proportional to the live maplet count from that hot path.
+//
+// An already-flagged receiver is left untouched, which makes Clone
+// read-only on mappings that were themselves produced by Clone. That
+// is what lets concurrent restores share one Checkpoint: the capture
+// flagged every mapping in it, so the restore-side clones never write
+// into the shared snapshot.
 func (m *Mapping) Clone() Mapping {
-	m.cow = true
+	if !m.cow {
+		m.cow = true
+	}
 	return Mapping{maplets: m.maplets, cow: true}
 }
 

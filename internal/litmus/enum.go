@@ -1,0 +1,144 @@
+package litmus
+
+import (
+	"strings"
+
+	"ghostspec/internal/core/ghost"
+	"ghostspec/internal/sched"
+)
+
+// Budget bounds one enumeration: MaxDepth caps how many scheduling
+// decisions the DFS branches on (decisions past the cap drain
+// deterministically lowest-vCPU-first), MaxRuns caps complete
+// executions. Either zero means the default.
+type Budget struct {
+	MaxDepth int
+	MaxRuns  int
+}
+
+// DefaultBudget covers every current litmus exhaustively well inside
+// a second; the depth cap exists so a future long scenario degrades
+// into bounded-prefix enumeration instead of exponential blowup.
+var DefaultBudget = Budget{MaxDepth: 14, MaxRuns: 600}
+
+func (b Budget) fill() Budget {
+	if b.MaxDepth == 0 {
+		b.MaxDepth = DefaultBudget.MaxDepth
+	}
+	if b.MaxRuns == 0 {
+		b.MaxRuns = DefaultBudget.MaxRuns
+	}
+	return b
+}
+
+// Outcome reports one litmus enumeration. When a failing schedule was
+// found, Failing/Failures/RunErr describe the first one (enumeration
+// order is deterministic, so "first" is stable).
+type Outcome struct {
+	// Runs is how many complete schedules executed.
+	Runs int
+	// Truncated reports the run budget gave out before the DFS
+	// exhausted the bounded choice space.
+	Truncated bool
+	// Failing is the recorded schedule of the first failing run, nil
+	// if every enumerated schedule passed.
+	Failing *sched.Schedule
+	// Failures holds the oracle alarms of the failing run.
+	Failures []ghost.Failure
+	// RunErr holds the scheduler error of the failing run (captured
+	// stream panic, deadlock abandonment), if any.
+	RunErr error
+}
+
+// failed says whether a completed run counts as the forbidden outcome:
+// any oracle alarm, or a scheduler error matching the litmus's
+// expectation (WantErr when set, any error otherwise).
+func failed(l *Litmus, failures []ghost.Failure, runErr error) bool {
+	if len(failures) > 0 {
+		return true
+	}
+	if runErr == nil {
+		return false
+	}
+	if l.WantErr != "" {
+		return strings.Contains(runErr.Error(), l.WantErr)
+	}
+	return true
+}
+
+// Enumerate runs l under every schedule in the bounded choice space:
+// depth-first over the scheduler's forced-choice prefixes, advancing
+// the deepest incrementable decision each iteration, exactly the
+// schedule tree the deterministic scheduler exposes through
+// WithForcedChoices and Choices. Each run boots a fresh Env via boot.
+// With stopOnFail it returns at the first forbidden outcome (the
+// seeded-bug leg); without, it keeps going and reports the first
+// failure it saw anyway (the clean leg asserts Failing == nil).
+func Enumerate(boot func() (*Env, error), l *Litmus, seeded bool, b Budget, stopOnFail bool) (*Outcome, error) {
+	b = b.fill()
+	out := &Outcome{}
+	var chosen []int
+	for {
+		if out.Runs >= b.MaxRuns {
+			out.Truncated = true
+			return out, nil
+		}
+		e, err := boot()
+		if err != nil {
+			return nil, err
+		}
+		s := sched.New(NCPUs, sched.WithForcedChoices(append([]int(nil), chosen...)))
+		runErr := l.Run(e, s, seeded)
+		out.Runs++
+		if out.Failing == nil && failed(l, e.Rec.Failures(), runErr) {
+			out.Failing = s.Record()
+			out.Failures = e.Rec.Failures()
+			out.RunErr = runErr
+			if stopOnFail {
+				return out, nil
+			}
+		}
+		// Advance to the lexicographically next choice prefix within
+		// the depth cap; exhaustion means the bounded space is done.
+		counts := s.Choices()
+		depth := min(len(counts), b.MaxDepth)
+		if depth > len(chosen) {
+			chosen = append(chosen, make([]int, depth-len(chosen))...)
+		}
+		i := depth - 1
+		for ; i >= 0; i-- {
+			if chosen[i]+1 < counts[i] {
+				chosen[i]++
+				chosen = chosen[:i+1]
+				break
+			}
+		}
+		if i < 0 {
+			return out, nil
+		}
+	}
+}
+
+// MinimizeSchedule finds the shortest prefix of failing that still
+// produces the forbidden outcome when the remainder of the run drains
+// deterministically — the replayable repro the litmus tests print.
+// k = len(failing) replays the recorded schedule exactly, so the loop
+// always terminates with a reproducing prefix (budget permitting; on
+// exhaustion the full schedule comes back).
+func MinimizeSchedule(boot func() (*Env, error), l *Litmus, seeded bool, failing *sched.Schedule, maxRuns int) (*sched.Schedule, int, error) {
+	runs := 0
+	for k := 0; k <= failing.Len() && runs < maxRuns; k++ {
+		e, err := boot()
+		if err != nil {
+			return nil, runs, err
+		}
+		prefix := (&sched.Schedule{Steps: failing.Steps[:k]}).Clone()
+		s := sched.New(NCPUs, sched.WithReplay(prefix))
+		runErr := l.Run(e, s, seeded)
+		runs++
+		if failed(l, e.Rec.Failures(), runErr) {
+			return prefix, runs, nil
+		}
+	}
+	return failing.Clone(), runs, nil
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ghostspec/internal/analysis/preempt"
 	"ghostspec/internal/arch"
 	"ghostspec/internal/telemetry"
 	"ghostspec/internal/telemetry/trace"
@@ -260,6 +261,20 @@ func (t *Table) Walk(ia, size uint64, v *Visitor) error {
 	}
 	if !telemetry.Disabled() {
 		telWalks.Inc()
+	}
+	if preempt.Armed() && v.Fn != nil {
+		// A scheduler is installed: interpose the visitor-step
+		// preemption point in front of every callback, on a copy so the
+		// caller's Visitor is untouched. The point resolves to the
+		// walker's own v.Fn dispatch line — the per-entry granularity
+		// the preemption-point table records.
+		inner := v.Fn
+		wrapped := *v
+		wrapped.Fn = func(ctx *VisitCtx) error {
+			preempt.FireCaller(preempt.KindVisitorStep)
+			return inner(ctx)
+		}
+		v = &wrapped
 	}
 	return t.walkLevel(t.root, arch.StartLevel, ia, ia+size, v)
 }

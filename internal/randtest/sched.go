@@ -1,0 +1,60 @@
+package randtest
+
+import (
+	"ghostspec/internal/proxy"
+	"ghostspec/internal/sched"
+	"ghostspec/internal/telemetry/trace"
+)
+
+var spanSchedReplay = trace.NewName("randtest.replay-sched")
+
+// SplitByCPU partitions a trace into n per-vCPU streams by the CPU
+// each op was recorded against (modulo n, so a trace recorded with
+// more CPUs than the scheduler has still lands every op somewhere).
+// Each op's CPU is rewritten to its stream index — the stream *is* the
+// vCPU issuing it. Relative order within a stream is preserved; order
+// *across* streams is exactly what a schedule decides.
+func SplitByCPU(tr *Trace, n int) [][]Op {
+	streams := make([][]Op, n)
+	for _, op := range tr.Ops {
+		c := op.CPU % n
+		if c < 0 {
+			c = 0
+		}
+		op.CPU = c
+		streams[c] = append(streams[c], op)
+	}
+	return streams
+}
+
+// ReplayScheduled replays a trace with each vCPU's ops on its own
+// goroutine under the deterministic scheduler: every op is preceded by
+// an op-boundary park, and every instrumented preemption point inside
+// an op (lock acquire/release, TLBI, page-table visitor step) is a
+// further opportunity for the schedule to interleave another vCPU
+// mid-operation. The frame/handle translation env is shared across
+// streams — one-token scheduling serialises it (see replayEnv).
+//
+// The returned error is the scheduler's: replay divergence, schedule
+// deadlock, or a captured stream panic. Oracle verdicts, as always,
+// live in the recorder attached to d's hypervisor.
+func ReplayScheduled(d *proxy.Driver, tr *Trace, s *sched.Scheduler) error {
+	trc, lane := d.HV.Tracer()
+	sp := trc.Begin(lane, spanSchedReplay)
+	defer sp.End()
+	streams := SplitByCPU(tr, s.NCPUs())
+	env := newReplayEnv()
+	fns := make([]func(int), len(streams))
+	for i := range streams {
+		ops := streams[i]
+		fns[i] = func(vcpu int) {
+			for _, op := range ops {
+				if !s.Boundary(vcpu) {
+					return
+				}
+				env.apply(d, op)
+			}
+		}
+	}
+	return s.Run(fns...)
+}

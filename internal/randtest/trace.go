@@ -228,69 +228,92 @@ func Replay(d *proxy.Driver, tr *Trace) {
 	trc, lane := d.HV.Tracer()
 	sp := trc.Begin(lane, spanReplay)
 	defer sp.End()
-	pfns := make(map[arch.PFN]arch.PFN)
-	handles := make(map[hyp.Handle]hyp.Handle)
-	xp := func(p arch.PFN) arch.PFN {
-		if a, ok := pfns[p]; ok {
-			return a
-		}
-		return p
-	}
-	xh := func(h hyp.Handle) hyp.Handle {
-		if a, ok := handles[h]; ok {
-			return a
-		}
-		return h
-	}
+	env := newReplayEnv()
 	for _, op := range tr.Ops {
-		switch op.Kind {
-		case OpAlloc:
-			if pfn, err := d.AllocPage(); err == nil {
-				pfns[op.PFN] = pfn
-			}
-		case OpFree:
-			d.FreePage(xp(op.PFN))
-		case OpTouch:
-			d.Access(op.CPU, arch.IPA(xp(op.PFN).Phys()), op.Write)
-		case OpShare:
-			d.ShareHyp(op.CPU, xp(op.PFN))
-		case OpUnshare:
-			d.UnshareHyp(op.CPU, xp(op.PFN))
-		case OpDonate:
-			d.DonateHyp(op.CPU, xp(op.PFN), op.Nr)
-		case OpReclaim:
-			d.ReclaimPage(op.CPU, xp(op.PFN))
-		case OpShareRange:
-			d.ShareHypRange(op.CPU, xp(op.PFN), op.Nr)
-		case OpInitVM:
-			if h, _, err := d.InitVM(op.CPU, int(op.Nr)); err == nil {
-				handles[op.H] = h
-			}
-		case OpInitVCPU:
-			d.InitVCPU(op.CPU, xh(op.H), op.VCPU)
-		case OpTeardown:
-			d.TeardownVM(op.CPU, xh(op.H))
-		case OpTopup:
-			d.Topup(op.CPU, xh(op.H), op.VCPU, op.Nr)
-		case OpTopupRaw:
-			head := uint64(xp(op.PFN).Phys()) + op.Off
-			d.HVC(op.CPU, hyp.HCTopupVCPUMemcache, uint64(xh(op.H)), uint64(op.VCPU), head, op.Nr)
-		case OpLoad:
-			d.VCPULoad(op.CPU, xh(op.H), op.VCPU)
-		case OpPut:
-			d.VCPUPut(op.CPU)
-		case OpRun:
-			d.VCPURun(op.CPU)
-		case OpQueueGuest:
-			d.QueueGuestOp(xh(op.H), op.VCPU, op.Guest)
-		case OpLoadProgram:
-			d.HV.LoadGuestProgram(xh(op.H), op.VCPU, op.Prog)
-		case OpMapGuest:
-			d.MapGuest(op.CPU, xp(op.PFN), op.GFN)
-		case OpHVCRaw:
-			d.HVC(op.CPU, op.HC, op.Args[0], op.Args[1], op.Args[2], op.Args[3])
-		case OpFaultAgain:
-			d.FaultAgain(op.CPU, arch.IPA(xp(op.PFN).Phys()), op.Write)
+		env.apply(d, op)
+	}
+}
+
+// replayEnv is the frame/handle translation state one replay threads
+// through its ops. Scheduled replays (ReplayScheduled) share one env
+// across all vCPU streams — safe only under one-token scheduling,
+// which serialises every apply with a happens-before edge.
+type replayEnv struct {
+	pfns    map[arch.PFN]arch.PFN
+	handles map[hyp.Handle]hyp.Handle
+}
+
+func newReplayEnv() *replayEnv {
+	return &replayEnv{
+		pfns:    make(map[arch.PFN]arch.PFN),
+		handles: make(map[hyp.Handle]hyp.Handle),
+	}
+}
+
+func (e *replayEnv) xp(p arch.PFN) arch.PFN {
+	if a, ok := e.pfns[p]; ok {
+		return a
+	}
+	return p
+}
+
+func (e *replayEnv) xh(h hyp.Handle) hyp.Handle {
+	if a, ok := e.handles[h]; ok {
+		return a
+	}
+	return h
+}
+
+// apply executes one op against the driver, updating the translation
+// bindings.
+func (e *replayEnv) apply(d *proxy.Driver, op Op) {
+	switch op.Kind {
+	case OpAlloc:
+		if pfn, err := d.AllocPage(); err == nil {
+			e.pfns[op.PFN] = pfn
 		}
+	case OpFree:
+		d.FreePage(e.xp(op.PFN))
+	case OpTouch:
+		d.Access(op.CPU, arch.IPA(e.xp(op.PFN).Phys()), op.Write)
+	case OpShare:
+		d.ShareHyp(op.CPU, e.xp(op.PFN))
+	case OpUnshare:
+		d.UnshareHyp(op.CPU, e.xp(op.PFN))
+	case OpDonate:
+		d.DonateHyp(op.CPU, e.xp(op.PFN), op.Nr)
+	case OpReclaim:
+		d.ReclaimPage(op.CPU, e.xp(op.PFN))
+	case OpShareRange:
+		d.ShareHypRange(op.CPU, e.xp(op.PFN), op.Nr)
+	case OpInitVM:
+		if h, _, err := d.InitVM(op.CPU, int(op.Nr)); err == nil {
+			e.handles[op.H] = h
+		}
+	case OpInitVCPU:
+		d.InitVCPU(op.CPU, e.xh(op.H), op.VCPU)
+	case OpTeardown:
+		d.TeardownVM(op.CPU, e.xh(op.H))
+	case OpTopup:
+		d.Topup(op.CPU, e.xh(op.H), op.VCPU, op.Nr)
+	case OpTopupRaw:
+		head := uint64(e.xp(op.PFN).Phys()) + op.Off
+		d.HVC(op.CPU, hyp.HCTopupVCPUMemcache, uint64(e.xh(op.H)), uint64(op.VCPU), head, op.Nr)
+	case OpLoad:
+		d.VCPULoad(op.CPU, e.xh(op.H), op.VCPU)
+	case OpPut:
+		d.VCPUPut(op.CPU)
+	case OpRun:
+		d.VCPURun(op.CPU)
+	case OpQueueGuest:
+		d.QueueGuestOp(e.xh(op.H), op.VCPU, op.Guest)
+	case OpLoadProgram:
+		d.HV.LoadGuestProgram(e.xh(op.H), op.VCPU, op.Prog)
+	case OpMapGuest:
+		d.MapGuest(op.CPU, e.xp(op.PFN), op.GFN)
+	case OpHVCRaw:
+		d.HVC(op.CPU, op.HC, op.Args[0], op.Args[1], op.Args[2], op.Args[3])
+	case OpFaultAgain:
+		d.FaultAgain(op.CPU, arch.IPA(e.xp(op.PFN).Phys()), op.Write)
 	}
 }

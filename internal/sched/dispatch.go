@@ -1,0 +1,188 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ghostspec/internal/analysis/preempt"
+	"ghostspec/internal/spinlock"
+)
+
+// The preempt hook and the spinlock cooperative-scheduler slot are
+// process-global singletons, but campaign workers run schedulers
+// concurrently (one per worker's system). This dispatcher multiplexes
+// them: one hook installation, routed per goroutine ID. Goroutines no
+// scheduler registered — other workers' serial phases, test mains —
+// pass straight through, exactly as if no hook were installed.
+//
+// The routing table is copy-on-write behind an atomic pointer:
+// readers (every instrumented point crossing) take no lock; writers
+// (scheduler start/stop, vCPU goroutine registration) serialise on
+// dispatchMu and publish a fresh snapshot.
+
+// route sends one goroutine's point crossings to its scheduler cell.
+type route struct {
+	s  *Scheduler
+	id int
+}
+
+// routing is one immutable snapshot of the dispatch state.
+type routing struct {
+	routes map[uint64]route
+	scheds []*Scheduler
+}
+
+var (
+	dispatchMu sync.Mutex
+	current    atomic.Pointer[routing]
+)
+
+// acquireHooks registers a starting scheduler, installing the global
+// hooks when it is the first one active.
+func acquireHooks(s *Scheduler) {
+	dispatchMu.Lock()
+	defer dispatchMu.Unlock()
+	old := current.Load()
+	nr := &routing{routes: map[uint64]route{}}
+	if old != nil {
+		for k, v := range old.routes {
+			nr.routes[k] = v
+		}
+		nr.scheds = append(nr.scheds, old.scheds...)
+	}
+	nr.scheds = append(nr.scheds, s)
+	current.Store(nr)
+	if old == nil {
+		preempt.SetHook(dispatchHook)
+		spinlock.SetScheduler(dispatcher{})
+	}
+}
+
+// releaseHooks removes a finished scheduler (and any routes it left
+// behind), uninstalling the global hooks with the last one.
+func releaseHooks(s *Scheduler) {
+	dispatchMu.Lock()
+	defer dispatchMu.Unlock()
+	old := current.Load()
+	if old == nil {
+		return
+	}
+	nr := &routing{routes: map[uint64]route{}}
+	for k, v := range old.routes {
+		if v.s != s {
+			nr.routes[k] = v
+		}
+	}
+	for _, x := range old.scheds {
+		if x != s {
+			nr.scheds = append(nr.scheds, x)
+		}
+	}
+	if len(nr.scheds) == 0 {
+		// Uninstall before dropping the snapshot so a crossing that
+		// races the teardown sees either hook+routes or neither.
+		spinlock.SetScheduler(nil)
+		preempt.SetHook(nil)
+		current.Store(nil)
+		return
+	}
+	current.Store(nr)
+}
+
+// registerGoroutine routes the calling goroutine's point crossings to
+// cell id of scheduler s, returning the goroutine ID for unregister.
+func registerGoroutine(s *Scheduler, id int) uint64 {
+	gid := goid()
+	dispatchMu.Lock()
+	defer dispatchMu.Unlock()
+	old := current.Load()
+	nr := &routing{routes: make(map[uint64]route, 8)}
+	if old != nil {
+		for k, v := range old.routes {
+			nr.routes[k] = v
+		}
+		nr.scheds = old.scheds
+	}
+	nr.routes[gid] = route{s: s, id: id}
+	current.Store(nr)
+	return gid
+}
+
+func unregisterGoroutine(gid uint64) {
+	dispatchMu.Lock()
+	defer dispatchMu.Unlock()
+	old := current.Load()
+	if old == nil {
+		return
+	}
+	nr := &routing{routes: make(map[uint64]route, len(old.routes)), scheds: old.scheds}
+	for k, v := range old.routes {
+		if k != gid {
+			nr.routes[k] = v
+		}
+	}
+	current.Store(nr)
+}
+
+// dispatchHook is the preempt.Hook: park the crossing goroutine's cell
+// if it belongs to a scheduler, otherwise fall through.
+func dispatchHook(p preempt.Point) {
+	r := current.Load()
+	if r == nil {
+		return
+	}
+	rt, ok := r.routes[goid()]
+	if !ok {
+		return
+	}
+	rt.s.park(rt.id, p.ID)
+}
+
+// dispatcher implements spinlock.Scheduler over the routing table.
+type dispatcher struct{}
+
+func (dispatcher) LockContended(l *spinlock.Lock) bool {
+	r := current.Load()
+	if r == nil {
+		return false
+	}
+	rt, ok := r.routes[goid()]
+	if !ok {
+		return false
+	}
+	return rt.s.lockContended(rt.id, l)
+}
+
+func (dispatcher) LockReleased(l *spinlock.Lock) {
+	r := current.Load()
+	if r == nil {
+		return
+	}
+	// Broadcast: lock instances are per-system, so at most one
+	// scheduler has cells blocked on l, and the others scan and move
+	// on.
+	for _, s := range r.scheds {
+		s.lockReleased(l)
+	}
+}
+
+// goid parses the calling goroutine's ID from the runtime stack header
+// ("goroutine N [running]:") — the same unsupported-but-standard trick
+// the spinlock rank validator uses, acceptable for the same reason:
+// scheduling is a checking-build facility, not the production path.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	const prefix = "goroutine "
+	if len(s) < len(prefix) {
+		return 0
+	}
+	s = s[len(prefix):]
+	var id uint64
+	for i := 0; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+		id = id*10 + uint64(s[i]-'0')
+	}
+	return id
+}

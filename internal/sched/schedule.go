@@ -1,0 +1,113 @@
+// Package sched is the deterministic cooperative multi-vCPU scheduler
+// ROADMAP item 1 calls for: each virtual CPU's hypercall stream runs on
+// its own goroutine, but exactly one holds the run token at a time, and
+// the token changes hands only at preemption points — the statically
+// extracted table in internal/analysis/preempt plus two pseudo-points
+// (op boundaries and lock-wait re-grants). Every handoff is recorded as
+// a (vCPU, point) step; the resulting Schedule replays bit-identically
+// on unchanged source, and fails loudly — not by silent divergence —
+// when the table no longer knows a recorded point ID.
+//
+// The protocol is token passing, not a central dispatcher: the parking
+// vCPU itself picks the successor (under the scheduler mutex) and sends
+// on the successor's buffered grant channel before waiting on its own.
+// That gives the race detector a happens-before edge across every
+// handoff, so shared single-owner state (the replay translation maps,
+// the hypervisor model) is provably serialised.
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"ghostspec/internal/analysis/preempt"
+)
+
+// Step is one scheduling decision: at preemption point Point, the run
+// token was granted to vCPU VCPU. Point is either a stable table ID
+// from internal/analysis/preempt or one of the reserved pseudo-points
+// (PointBoundary between trace ops, PointLockWait after a contended
+// spinlock was released to the granted vCPU).
+type Step struct {
+	VCPU  int
+	Point uint64
+}
+
+// String renders the step compactly: "v0@op" for an op boundary,
+// "v1@lock" for a lock-wait re-grant, "v1@file.go:42" for a table
+// point, and the raw hex ID for a point the current table does not
+// know (a stale schedule).
+func (st Step) String() string {
+	switch st.Point {
+	case preempt.PointBoundary:
+		return fmt.Sprintf("v%d@op", st.VCPU)
+	case preempt.PointLockWait:
+		return fmt.Sprintf("v%d@lock", st.VCPU)
+	}
+	if p, ok := preempt.ByID(st.Point); ok {
+		return fmt.Sprintf("v%d@%s:%d", st.VCPU, p.File, p.Line)
+	}
+	return fmt.Sprintf("v%d@%#x", st.VCPU, st.Point)
+}
+
+// Schedule is a replayable sequence of scheduling decisions. It is
+// meaningful only together with the trace it was recorded against and
+// an unchanged preemption-point table.
+type Schedule struct {
+	Steps []Step
+}
+
+// Len returns the number of decisions.
+func (s *Schedule) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Steps)
+}
+
+// String renders the schedule as space-separated steps.
+func (s *Schedule) String() string {
+	if s == nil || len(s.Steps) == 0 {
+		return "(empty)"
+	}
+	parts := make([]string, len(s.Steps))
+	for i, st := range s.Steps {
+		parts[i] = st.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Validate checks every step against the current preemption-point
+// table. A schedule recorded against different source must fail here,
+// loudly, rather than replay as something else: point IDs are
+// content-addressed (hash of kind and source position), so any edit to
+// an instrumented file invalidates the recorded IDs.
+func (s *Schedule) Validate(ncpus int) error {
+	if s == nil {
+		return nil
+	}
+	for i, st := range s.Steps {
+		if st.VCPU < 0 || st.VCPU >= ncpus {
+			return fmt.Errorf("sched: schedule step %d grants vCPU %d but the scheduler has %d vCPUs",
+				i, st.VCPU, ncpus)
+		}
+		if !preempt.Known(st.Point) {
+			return fmt.Errorf("sched: schedule step %d references preemption point %#x, which is not in "+
+				"the current table: the source changed since this schedule was recorded "+
+				"(regenerate with `go run ./cmd/ghostlint -write-preempt` and re-record the schedule)",
+				i, st.Point)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy, so recorded schedules can outlive the
+// scheduler that produced them.
+func (s *Schedule) Clone() *Schedule {
+	if s == nil {
+		return nil
+	}
+	c := &Schedule{Steps: make([]Step, len(s.Steps))}
+	copy(c.Steps, s.Steps)
+	return c
+}

@@ -1,0 +1,18 @@
+package sched
+
+import (
+	"ghostspec/internal/telemetry"
+	"ghostspec/internal/telemetry/trace"
+)
+
+// Process-global scheduling telemetry, alongside the per-Scheduler
+// deterministic counts (Scheduler.Preemptions): how often vCPUs parked
+// and how long they spent parked, across all concurrent schedulers.
+var (
+	telPreemptions = telemetry.NewCounter("sched_preemptions")
+	telParkedNS    = telemetry.NewCounter("sched_parked_ns")
+)
+
+// spanPreempt covers one parked interval on the scheduler's trace
+// lane (WithTracer).
+var spanPreempt = trace.NewName("sched.preempt")

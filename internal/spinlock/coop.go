@@ -1,0 +1,59 @@
+package spinlock
+
+import "sync/atomic"
+
+// Scheduler is the cooperative-scheduling protocol a deterministic
+// multi-vCPU scheduler (internal/sched) installs process-wide. Under
+// one-token scheduling exactly one vCPU runs at a time, so a vCPU that
+// blocked on sync.Mutex while the holder sat parked would deadlock;
+// instead a contended acquisition asks the scheduler to park the vCPU
+// and hand the token elsewhere, then retries TryLock when re-granted.
+type Scheduler interface {
+	// LockContended is called when an acquisition of l failed its
+	// TryLock. Returning true means the caller is a scheduled vCPU
+	// that has been parked and re-granted — retry TryLock. Returning
+	// false means the caller is not under this scheduler's control and
+	// should fall back to a blocking acquisition.
+	LockContended(l *Lock) bool
+	// LockReleased is called after every Unlock of l while a scheduler
+	// is installed, so vCPUs blocked on l can be made runnable again.
+	LockReleased(l *Lock)
+}
+
+// coopSched is the installed scheduler; nil outside scheduled
+// sessions, so the plain-blocking fast path costs one atomic load.
+var coopSched atomic.Pointer[Scheduler]
+
+// SetScheduler installs the cooperative scheduler (nil uninstalls).
+// Like SetHooks it must not race with itself; internal/sched's
+// dispatcher refcounts concurrent sessions behind one installation.
+func SetScheduler(s Scheduler) {
+	if s == nil {
+		coopSched.Store(nil)
+		return
+	}
+	coopSched.Store(&s)
+}
+
+func loadScheduler() Scheduler {
+	if p := coopSched.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// lockContended acquires a lock whose TryLock just failed. Scheduled
+// vCPUs park-and-retry through the cooperative protocol; everyone else
+// blocks on the mutex exactly as before.
+func (l *Lock) lockContended() {
+	for {
+		if s := loadScheduler(); s != nil && s.LockContended(l) {
+			if l.mu.TryLock() {
+				return
+			}
+			continue
+		}
+		l.mu.Lock()
+		return
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"ghostspec/internal/analysis/preempt"
 	"ghostspec/internal/telemetry"
 	"ghostspec/internal/telemetry/trace"
 )
@@ -131,6 +132,9 @@ func (l *Lock) SetTracer(t *trace.Tracer, lane int) {
 func (l *Lock) Component() string { return l.component }
 
 // Lock acquires the lock and runs the Acquired hook while holding it.
+// Before acquiring it fires the acquire preemption point (resolved to
+// the caller's table entry), so a deterministic scheduler can park the
+// vCPU on the threshold of the critical section.
 func (l *Lock) Lock() {
 	if rankCheckOn.Load() {
 		// Validate before blocking on mu: a rank inversion must panic
@@ -138,14 +142,17 @@ func (l *Lock) Lock() {
 		// holding the locks in the other order.
 		noteAcquire(l)
 	}
+	preempt.FireCaller(preempt.KindLockAcquire)
 	if l.acquires == nil || telemetry.Disabled() {
-		l.mu.Lock()
+		if !l.mu.TryLock() {
+			l.lockContended()
+		}
 	} else {
 		l.acquires.Inc()
 		if !l.mu.TryLock() {
 			l.contended.Inc()
 			start := time.Now()
-			l.mu.Lock()
+			l.lockContended()
 			wait := time.Since(start)
 			waitHist(l.rank).ObserveDuration(wait)
 			if wait >= SlowAcquireThreshold {
@@ -161,6 +168,12 @@ func (l *Lock) Lock() {
 
 // Unlock runs the Releasing hook and drops the lock. Unlocking a lock
 // that is not held (double unlock) panics with the component name.
+// The release preemption point fires while the lock is still held and
+// before the Releasing hook: a scheduler parking the vCPU there holds
+// the whole system in the release window — other vCPUs observe the
+// component locked with its mutation complete but the oracle's
+// release-time checks not yet run — which is exactly the interleaving
+// the lock-window litmuses probe.
 func (l *Lock) Unlock() {
 	if !l.held {
 		panic("spinlock: unlock of unheld lock " + l.name())
@@ -168,11 +181,15 @@ func (l *Lock) Unlock() {
 	if rankCheckOn.Load() {
 		noteRelease(l)
 	}
+	preempt.FireCaller(preempt.KindLockRelease)
 	if l.hooks != nil && l.hooks.Releasing != nil {
 		l.hooks.Releasing(l.component)
 	}
 	l.held = false
 	l.mu.Unlock()
+	if s := loadScheduler(); s != nil {
+		s.LockReleased(l)
+	}
 }
 
 // Held reports whether the lock is currently held. It is advisory
