@@ -53,6 +53,10 @@ const (
 
 type campaignLeg struct {
 	Workers int `json:"workers"`
+	// Gomaxprocs is recorded per leg, not just once per report: the
+	// parallel legs are only meaningful relative to the scheduler
+	// parallelism they actually ran under.
+	Gomaxprocs int `json:"gomaxprocs"`
 	// NumVCPU is the virtual-CPU count of every system the leg boots —
 	// the real configured value (campaign.Config.NrCPUs), which used to
 	// be invisible here and silently reported as a single-CPU machine.
@@ -89,12 +93,20 @@ type campaignBenchReport struct {
 	// the scheduler (sched_preemptions, parked time) against the
 	// serial legs. Ungated: it exists to be read, not raced.
 	Parallel2CPU campaignLeg `json:"parallel_2cpu"`
-	// Speedup is parallel vs serial (both snap-on); SnapshotSpeedup is
-	// serial snap-on vs serial snap-off and is gated by SpeedupFloor.
-	Speedup         float64 `json:"speedup"`
-	SnapshotSpeedup float64 `json:"snapshot_speedup"`
-	SpeedupFloor    float64 `json:"snapshot_speedup_floor"`
-	Pass            bool    `json:"pass"`
+	// Speedup is parallel vs serial (both snap-on) — only computed when
+	// the runtime can actually schedule the legs in parallel. On a
+	// GOMAXPROCS=1 box the ratio would measure goroutine-switch
+	// contention, not scaling, so it is omitted and
+	// SpeedupSkippedReason says why. SnapshotSpeedup is serial snap-on
+	// vs serial snap-off and is gated by SpeedupFloor.
+	Speedup              float64 `json:"speedup,omitempty"`
+	SpeedupSkippedReason string  `json:"speedup_skipped_reason,omitempty"`
+	SnapshotSpeedup      float64 `json:"snapshot_speedup"`
+	SpeedupFloor         float64 `json:"snapshot_speedup_floor"`
+	// Fleet is the distributed-campaign leg: coordinator + N workers
+	// over loopback HTTP, gated on coordination overhead.
+	Fleet *fleetBench `json:"fleet,omitempty"`
+	Pass  bool        `json:"pass"`
 }
 
 func runCampaignBench(path string, execs int64) error {
@@ -130,6 +142,7 @@ func runCampaignBench(path string, execs int64) error {
 		}
 		l := campaignLeg{
 			Workers:             workers,
+			Gomaxprocs:          runtime.GOMAXPROCS(0),
 			NumVCPU:             nrCPUs,
 			SchedFuzz:           schedFuzz,
 			Snapshots:           !noSnapshot,
@@ -174,17 +187,28 @@ func runCampaignBench(path string, execs int64) error {
 	if report.Parallel2CPU, err = leg(2, false, 2, true); err != nil {
 		return err
 	}
-	if report.Serial.ExecsPerSec > 0 {
+	if report.GOMAXPROCS <= 1 {
+		report.SpeedupSkippedReason = "gomaxprocs=1: parallel and serial legs share one OS " +
+			"thread, so parallel-vs-serial would measure scheduler contention, not scaling"
+		fmt.Printf("  speedup 8w/1w: skipped (%s)\n", report.SpeedupSkippedReason)
+	} else if report.Serial.ExecsPerSec > 0 {
 		report.Speedup = report.Parallel.ExecsPerSec / report.Serial.ExecsPerSec
+		fmt.Printf("  speedup 8w/1w: %.2fx on %d CPUs (GOMAXPROCS %d)\n",
+			report.Speedup, report.NumCPU, report.GOMAXPROCS)
 	}
 	if report.SerialOff.ExecsPerSec > 0 {
 		report.SnapshotSpeedup = report.Serial.ExecsPerSec / report.SerialOff.ExecsPerSec
 	}
 	report.Pass = report.SnapshotSpeedup >= snapshotSpeedupFloor
-	fmt.Printf("  speedup 8w/1w: %.2fx on %d CPUs (GOMAXPROCS %d)\n",
-		report.Speedup, report.NumCPU, report.GOMAXPROCS)
 	fmt.Printf("  snapshot speedup (serial on/off): %.2fx (floor %.2fx)\n",
 		report.SnapshotSpeedup, snapshotSpeedupFloor)
+
+	fleetRep, err := runFleetBench(execs)
+	if err != nil {
+		return err
+	}
+	report.Fleet = fleetRep
+	report.Pass = report.Pass && fleetRep.Pass
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -195,9 +219,12 @@ func runCampaignBench(path string, execs int64) error {
 		return err
 	}
 	fmt.Printf("  wrote %s\n", path)
-	if !report.Pass {
+	if report.SnapshotSpeedup < snapshotSpeedupFloor {
 		return fmt.Errorf("snapshot speedup %.2fx below floor %.2fx",
 			report.SnapshotSpeedup, snapshotSpeedupFloor)
+	}
+	if !report.Pass {
+		return fmt.Errorf("fleet leg failed its gates (see %s)", path)
 	}
 	return nil
 }

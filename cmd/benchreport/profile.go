@@ -25,9 +25,11 @@ import (
 //     / run / corpus / shrink) must account for at least
 //     attributionFloorPct of the exec spans' wall time — if they
 //     don't, someone added an expensive un-instrumented stage and the
-//     profile went blind. (Boot spans now fire once per worker, when
-//     its long-lived snapshot system comes up, rather than once per
-//     exec; they still count toward the attributed total.)
+//     profile went blind. (Boot spans fire once per worker, when its
+//     long-lived snapshot system comes up, rather than once per exec;
+//     they count on both sides of the ratio — boot phase and
+//     attribution base — so the percentage is bounded by 100, and a
+//     >100% check catches one-sided accounting creeping back in.)
 //   - overhead: with a tracer attached but tracing disabled, the
 //     share/unshare hypercall pair must stay within overheadLimitPct
 //     (plus a fixed per-call epsilon for timer noise) of the
@@ -75,8 +77,13 @@ type profileReport struct {
 	StepsPerRun int    `json:"steps_per_run"`
 
 	ExecWallMS float64 `json:"exec_wall_ms"`
-	// Phases are the disjoint direct children of the exec span; their
-	// sum is the attributed time.
+	// RootBootMS is wall time in once-per-worker system boots, which
+	// are root spans outside any exec; percentages are taken against
+	// ExecWallMS+RootBootMS so numerator and denominator cover the
+	// same spans.
+	RootBootMS float64 `json:"root_boot_ms"`
+	// Phases are the disjoint direct children of the exec span plus the
+	// root boots; their sum is the attributed time.
 	Phases []profilePhase `json:"phases"`
 	// Nested phases live inside the top-level ones (hypercalls inside
 	// run/replay, pgtable/tlb/oracle inside hypercalls) and therefore
@@ -125,8 +132,16 @@ func runProfile(path, traceOut string) error {
 
 	spans := tr.Spans()
 	totals := map[string]*profilePhase{}
+	// Worker-system boots are root spans (they happen once per worker,
+	// outside any exec); they belong in the attribution base as well as
+	// the boot phase, or the ratio overflows 100% — the numerator would
+	// include time the denominator never saw.
+	var rootBootMS float64
 	for _, s := range spans {
 		name := s.NameString()
+		if name == "exec.boot" && s.Parent < 0 {
+			rootBootMS += float64(s.Dur) / float64(time.Millisecond)
+		}
 		p, ok := totals[name]
 		if !ok {
 			p = &profilePhase{Phase: name}
@@ -154,6 +169,11 @@ func runProfile(path, traceOut string) error {
 
 	exec := sum("exec", "exec")
 	rep.ExecWallMS = exec.TotalMS
+	rep.RootBootMS = rootBootMS
+	// The attribution base: per-exec wall time plus the once-per-worker
+	// root boots. Every phase in the numerator is a slice of this base,
+	// so the ratio is bounded by 100% by construction.
+	base := exec.TotalMS + rootBootMS
 	rep.Phases = []profilePhase{
 		// boot happens once per worker now (the long-lived snapshot
 		// system), not once per exec; restore is its per-exec successor.
@@ -175,23 +195,24 @@ func runProfile(path, traceOut string) error {
 	var attributed float64
 	for i := range rep.Phases {
 		attributed += rep.Phases[i].TotalMS
-		if exec.TotalMS > 0 {
-			rep.Phases[i].PctOfExec = 100 * rep.Phases[i].TotalMS / exec.TotalMS
+		if base > 0 {
+			rep.Phases[i].PctOfExec = 100 * rep.Phases[i].TotalMS / base
 		}
 	}
 	for i := range rep.Nested {
-		if exec.TotalMS > 0 {
-			rep.Nested[i].PctOfExec = 100 * rep.Nested[i].TotalMS / exec.TotalMS
+		if base > 0 {
+			rep.Nested[i].PctOfExec = 100 * rep.Nested[i].TotalMS / base
 		}
 	}
-	if exec.TotalMS > 0 {
-		rep.AttributedPct = 100 * attributed / exec.TotalMS
+	if base > 0 {
+		rep.AttributedPct = 100 * attributed / base
 	}
 	rep.AttributionFloorPct = attributionFloorPct
 
 	fmt.Printf("campaign: %d execs in %v (%.1f execs/s), %d spans retained, %d dropped\n",
 		crep.Execs, crep.Elapsed.Round(time.Millisecond), crep.ExecsPerSec, len(spans), rep.DroppedSpans)
-	fmt.Printf("exec wall time %.1fms; phase breakdown:\n", rep.ExecWallMS)
+	fmt.Printf("exec wall time %.1fms (+%.1fms root boots); phase breakdown:\n",
+		rep.ExecWallMS, rep.RootBootMS)
 	for _, p := range rep.Phases {
 		fmt.Printf("  %-10s %6d spans  %8.1fms  %5.1f%%\n", p.Phase, p.Count, p.TotalMS, p.PctOfExec)
 	}
@@ -214,6 +235,13 @@ func runProfile(path, traceOut string) error {
 	if rep.AttributedPct < attributionFloorPct {
 		violations = append(violations, fmt.Sprintf(
 			"attribution %.1f%% below floor %.0f%%", rep.AttributedPct, attributionFloorPct))
+	}
+	if rep.AttributedPct > 100 {
+		// Physically impossible: disjoint slices of the base exceeding
+		// it means a phase is double-counted or counted against a base
+		// that never saw it (the root-boot bug this check pins down).
+		violations = append(violations, fmt.Sprintf(
+			"attribution %.2f%% exceeds 100%% (phase accounting double-counts)", rep.AttributedPct))
 	}
 	if rep.DroppedSpans > 0 {
 		violations = append(violations, fmt.Sprintf(

@@ -1,0 +1,150 @@
+// Fleet modes: -serve runs the coordinator service, -worker joins a
+// running coordinator as one fleet member. The campaign shape flags
+// (-steps, -cpus, -sched-fuzz, -big-memory, -bug, -seed) configure the
+// coordinator, which hands them to every worker through shard
+// assignments — workers only say where the coordinator is and how much
+// local parallelism they bring.
+//
+//	ghost-fuzz -serve :7070 -shards 8 -duration 10m   # coordinator
+//	ghost-fuzz -worker http://host:7070 -workers 4    # fleet member
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"ghostspec/internal/campaign"
+	"ghostspec/internal/coverage"
+	"ghostspec/internal/faults"
+	"ghostspec/internal/fleet"
+	"ghostspec/internal/telemetry/trace"
+)
+
+// runServe runs the coordinator: the fleet API mounted next to the
+// usual introspection endpoints, a periodic status line, and — when a
+// duration is set — a final fleet summary with the fuzzing exit
+// convention (non-zero when the fleet produced findings).
+func runServe(addr string, cfg campaign.Config, shards int, roundExecs int64, lease time.Duration, duration time.Duration) int {
+	ccfg := fleet.CoordinatorConfig{
+		Shards:      shards,
+		BaseSeed:    cfg.Seed,
+		StepsPerRun: cfg.StepsPerRun,
+		NrCPUs:      cfg.NrCPUs,
+		SchedFuzz:   cfg.SchedFuzz,
+		BigMemory:   cfg.BigMemory,
+		Bugs:        bugNames(cfg.Bugs),
+		RoundExecs:  roundExecs,
+		Lease:       lease,
+		Logf:        cfg.Logf,
+	}
+	coord := fleet.NewCoordinator(ccfg)
+
+	mux := newIntrospectionMux(func() *campaign.Engine { return nil }, nil)
+	mux.Handle("/fleet/v1/", coord.Mux())
+	srv := &http.Server{Addr: addr, Handler: mux}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "ghost-fuzz: -serve %s: %v\n", addr, err)
+			os.Exit(2)
+		}
+	}()
+	fmt.Printf("ghost-fuzz: coordinator on %s (/fleet/v1/register /fleet/v1/report /fleet/v1/status /metrics)\n", addr)
+	fmt.Printf("ghost-fuzz: %d shards, seed %d, %d execs/round, lease %v\n",
+		shards, cfg.Seed, roundExecs, lease)
+
+	var stop <-chan time.Time
+	if duration > 0 {
+		stop = time.After(duration)
+	}
+	tick := time.NewTicker(5 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			st := coord.Status()
+			fmt.Printf("fleet: %d workers live, %d execs (%.1f/s), merged impl %d/%d, corpus %d, findings %d (+%d dup), reassigns %d\n",
+				st.WorkersLive, st.Execs, st.ExecsPerSec,
+				st.MergedImplCovered, st.MergedImplTotal,
+				st.CorpusEntries, len(st.Findings), st.FindingsDuplicate, st.Reassigns)
+		case <-stop:
+			return printFleetSummary(coord.Status())
+		}
+	}
+}
+
+func printFleetSummary(st fleet.StatusResponse) int {
+	fmt.Printf("\nfleet summary after %v:\n", st.Elapsed.Round(time.Second))
+	fmt.Printf("  %d execs across %d workers; merged coverage impl %d/%d (%.1f%%), %d keys\n",
+		st.Execs, len(st.Workers),
+		st.MergedImplCovered, st.MergedImplTotal,
+		coverage.Percent(st.MergedImplCovered, st.MergedImplTotal), st.MergedKeys)
+	fmt.Printf("  corpus: %d entries (%d synced in, %d fanned out)\n",
+		st.CorpusEntries, st.CorpusSynced, st.CorpusFanout)
+	fmt.Printf("  findings: %d unique of %d reported (%d duplicates collapsed); %d shard reassigns\n",
+		len(st.Findings), st.FindingsReported, st.FindingsDuplicate, st.Reassigns)
+	for _, f := range st.Findings {
+		fmt.Printf("  finding %s x%d from %v: %s (%d min ops, sched=%v)\n",
+			f.Hash, f.Count, f.Workers, f.Alarm, f.MinOps, f.Sched)
+	}
+	if len(st.Findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runWorker joins a coordinator as one fleet member. The worker's
+// campaign shape arrives with each shard assignment; locally it only
+// decides thread count and budget.
+func runWorker(coordURL string, cfg campaign.Config, httpAddr, traceOut string) int {
+	threads := cfg.Workers
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	host, _ := os.Hostname()
+	wcfg := fleet.WorkerConfig{
+		Coordinator: coordURL,
+		Name:        fmt.Sprintf("%s:%d", host, os.Getpid()),
+		Threads:     threads,
+		Duration:    cfg.Duration,
+		MaxExecs:    cfg.MaxExecs,
+		Logf:        cfg.Logf,
+	}
+
+	var tr *trace.Tracer
+	if httpAddr != "" || traceOut != "" {
+		tr = trace.NewTracer(threads, 1<<14)
+		trace.SetEnabled(true)
+		wcfg.Tracer = tr
+	}
+
+	w := fleet.NewWorker(wcfg)
+	if httpAddr != "" {
+		serveIntrospection(httpAddr, w.Engine, tr)
+		fmt.Printf("ghost-fuzz: worker introspection on %s\n", httpAddr)
+	}
+	fmt.Printf("ghost-fuzz: fleet worker %q -> %s (%d threads)\n", wcfg.Name, coordURL, threads)
+
+	err := w.Run()
+	if traceOut != "" && tr != nil {
+		if werr := writeChromeTrace(tr, traceOut); werr != nil {
+			fmt.Fprintln(os.Stderr, "trace-out:", werr)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleet worker:", err)
+		return 2
+	}
+	fmt.Printf("fleet worker done: %d execs\n", w.Execs())
+	return 0
+}
+
+func bugNames(bugs []faults.Bug) []string {
+	var names []string
+	for _, b := range bugs {
+		names = append(names, string(b))
+	}
+	return names
+}

@@ -7,6 +7,8 @@
 //	ghost-fuzz -bug unshare-leave-mapping    # fuzz a buggy build, get a minimized repro
 //	ghost-fuzz -matrix                       # full faults.All() detection matrix
 //	ghost-fuzz -workers 1 -seed 7 -execs 50  # deterministic single-shard run
+//	ghost-fuzz -serve :7070                  # fleet coordinator (see fleet.go)
+//	ghost-fuzz -worker http://host:7070      # fleet worker
 //
 // Exit status is non-zero when a fuzz run produces findings or a
 // matrix run leaves a non-skip-listed bug undetected — on a fixed
@@ -51,6 +53,11 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-finding progress lines")
 	httpAddr := flag.String("http", "", "serve live introspection on this address (/metrics, /debug/pprof/, /spans, /campaign)")
 	traceOut := flag.String("trace-out", "", "write the campaign's span dump as Chrome trace-event JSON to this file")
+	serveAddr := flag.String("serve", "", "fleet coordinator mode: serve the fleet API on this address")
+	workerAddr := flag.String("worker", "", "fleet worker mode: join the coordinator at this base URL")
+	shards := flag.Int("shards", 0, "fleet: seed-stream shard count (default 4)")
+	roundExecs := flag.Int64("round-execs", 0, "fleet: executions per shard round (default 512)")
+	lease := flag.Duration("lease", 0, "fleet: worker heartbeat lease before shard reassignment (default 10s)")
 	flag.Parse()
 
 	if *rankCheck {
@@ -87,6 +94,17 @@ func main() {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		}
+	}
+
+	if *serveAddr != "" && *workerAddr != "" {
+		fmt.Fprintln(os.Stderr, "-serve and -worker are mutually exclusive")
+		os.Exit(2)
+	}
+	if *serveAddr != "" {
+		os.Exit(runServe(*serveAddr, cfg, *shards, *roundExecs, *lease, cfg.Duration))
+	}
+	if *workerAddr != "" {
+		os.Exit(runWorker(*workerAddr, cfg, *httpAddr, *traceOut))
 	}
 
 	if *matrix {

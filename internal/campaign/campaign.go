@@ -111,6 +111,16 @@ type Config struct {
 	CorpusCap int
 	// Logf, when set, receives progress lines (findings, stop cause).
 	Logf func(format string, args ...any)
+	// OnFinding, when set, is called once per recorded finding, after
+	// minimization, from the finding worker's goroutine. The fleet
+	// worker uses it to stream findings to the coordinator; keep it
+	// cheap (enqueue, don't block) — it runs on the exec path.
+	OnFinding func(Finding)
+	// OnCorpus, when set, is called when a run's trace enters the
+	// corpus through local novelty (not for entries injected with
+	// InjectSeed, so fleet corpus sync cannot echo). Same cheapness
+	// contract as OnFinding.
+	OnCorpus func(tr *randtest.Trace, score float64)
 	// Tracer, when set, receives execution spans: worker w records on
 	// lane w, so the tracer must have at least Workers lanes. Each
 	// worker's system (hypervisor, locks, TLB, oracle) is wired to the
@@ -387,6 +397,46 @@ func (e *Engine) Wait() (*Report, error) {
 	return rep, nil
 }
 
+// Stop requests an early campaign stop: workers finish their current
+// execution and exit their loops. Wait still collects the report. The
+// fleet worker calls this on shard reassignment and shutdown.
+func (e *Engine) Stop() {
+	e.stop.Store(true)
+}
+
+// CoverageDelta exports the campaign's merged coverage aggregate in
+// wire form — the cumulative per-worker payload of fleet reports.
+func (e *Engine) CoverageDelta() coverage.Delta {
+	return e.agg.Export()
+}
+
+// InjectSeed adds a foreign trace (a peer worker's novel corpus entry,
+// arrived via fleet corpus sync) to the corpus. It carries no end-state
+// snapshot, so the first local extension replays it and captures one;
+// OnCorpus deliberately does not fire for injected entries.
+func (e *Engine) InjectSeed(tr *randtest.Trace, score float64) {
+	if tr.Len() == 0 || score <= 0 {
+		return
+	}
+	e.corpus.add(tr, score, nil)
+}
+
+// recordFinding appends a finding (both the serial and the
+// schedule-fuzz paths land here), honours MaxFindings, and notifies
+// the OnFinding hook outside the engine lock.
+func (e *Engine) recordFinding(f Finding) {
+	e.mu.Lock()
+	e.findings = append(e.findings, f)
+	hitCap := e.cfg.MaxFindings > 0 && len(e.findings) >= e.cfg.MaxFindings
+	e.mu.Unlock()
+	if hitCap {
+		e.stop.Store(true)
+	}
+	if e.cfg.OnFinding != nil {
+		e.cfg.OnFinding(f)
+	}
+}
+
 // Status snapshots the running campaign. Counters are atomics and the
 // coverage aggregate locks internally, so the snapshot is cheap enough
 // to serve on every poll.
@@ -579,17 +629,24 @@ func (e *Engine) runOne(w int, in input, ws *worksys) {
 			if ws != nil {
 				e.workers[w].snapFallbacks.Add(1)
 				telSnapFallback.Inc()
+				// The state just rebuilt is exactly the parent's end
+				// state — capture it once so later forks of this entry
+				// (fleet-injected seeds arrive snapshot-less) restore
+				// instead of replaying.
+				e.corpus.backfill(in.parent, e.captureParent(w, ws))
 			}
 		}
 	}
 
 	// Probabilistic ground-truth check of the fork machinery: diff the
 	// restored state against a fresh boot with the same prefix
-	// replayed.
+	// replayed. The prefix covers the snapshot-less fallback too — the
+	// parent was just replayed above, so the reference must replay it
+	// as well.
 	if ws != nil && e.cfg.ConformanceEvery > 0 &&
 		e.workers[w].execs.Load()%int64(e.cfg.ConformanceEvery) == 0 {
 		var prefix []randtest.Op
-		if forked {
+		if in.parent != nil {
 			prefix = in.parent.Ops
 		}
 		e.checkConformance(w, ws, prefix)
@@ -626,13 +683,7 @@ func (e *Engine) runOne(w int, in input, ws *worksys) {
 	}
 	e.logf("finding: worker=%d exec=%d seed=%d alarms=%d trace=%d ops -> min=%d ops (%d replays)",
 		w, exec, in.seed, len(failures), tr.Len(), min.Len(), replays)
-	e.mu.Lock()
-	e.findings = append(e.findings, f)
-	hitCap := e.cfg.MaxFindings > 0 && len(e.findings) >= e.cfg.MaxFindings
-	e.mu.Unlock()
-	if hitCap {
-		e.stop.Store(true)
-	}
+	e.recordFinding(f)
 }
 
 // replayParent re-executes the corpus parent's trace (the extend
@@ -670,7 +721,11 @@ func (e *Engine) absorbCoverage(w int, cov *coverage.Tracker, tr *randtest.Trace
 		if ws != nil {
 			snap = e.captureParent(w, ws)
 		}
-		e.corpus.add(tr, float64(novelty)+e.agg.Rarity(cov), snap)
+		score := float64(novelty) + e.agg.Rarity(cov)
+		e.corpus.add(tr, score, snap)
+		if e.cfg.OnCorpus != nil && tr.Len() > 0 {
+			e.cfg.OnCorpus(tr, score)
+		}
 	}
 }
 

@@ -78,13 +78,7 @@ func (e *Engine) schedFuzzOne(w int, in input, tr *randtest.Trace, ws *worksys, 
 	e.logf("sched finding: worker=%d exec=%d seed=%d sched-seed=%d cpus=%d alarms=%d trace=%d ops -> min=%d ops, sched=%d -> %d steps (%d replays)",
 		w, exec, in.seed, schedSeed, e.cfg.NrCPUs, len(failures), tr.Len(), min.Len(),
 		f.Sched.Len(), minSched.Len(), replays)
-	e.mu.Lock()
-	e.findings = append(e.findings, f)
-	hitCap := e.cfg.MaxFindings > 0 && len(e.findings) >= e.cfg.MaxFindings
-	e.mu.Unlock()
-	if hitCap {
-		e.stop.Store(true)
-	}
+	e.recordFinding(f)
 }
 
 // shrinkSchedOne minimizes a failing (trace, schedule) pair under the

@@ -1,0 +1,176 @@
+package fleet
+
+import (
+	"time"
+
+	"ghostspec/internal/coverage"
+)
+
+// The coordinator's HTTP/JSON API, rooted at /fleet/v1/. Corpus
+// entries and findings travel as their binary wire encodings inside
+// JSON byte-slice fields (base64 on the wire), so the deterministic
+// codec — not JSON struct evolution — defines their identity.
+//
+//	POST /fleet/v1/register  RegisterRequest  -> RegisterResponse
+//	POST /fleet/v1/report    ReportRequest    -> ReportResponse
+//	GET  /fleet/v1/status                     -> StatusResponse
+
+// RegisterRequest announces a worker to the coordinator.
+type RegisterRequest struct {
+	Name string `json:"name"`
+	// WireVersion is the worker's fleet.WireVersion; the coordinator
+	// rejects a mismatch outright rather than letting a skewed binary
+	// exchange undecodable corpus blobs.
+	WireVersion int `json:"wire_version"`
+	// Threads is the worker's local campaign shard count (Config.
+	// Workers), reported for the status page.
+	Threads int `json:"threads"`
+}
+
+// RegisterResponse hands the worker its identity and the fleet-wide
+// campaign shape. The worker then asks for shards via reports.
+type RegisterResponse struct {
+	WorkerID string `json:"worker_id"`
+	// LeaseMS is the heartbeat lease: a worker silent for longer is
+	// declared dead and its shard reassigned.
+	LeaseMS int64 `json:"lease_ms"`
+	// ReportMS is the cadence the coordinator wants reports at
+	// (comfortably inside the lease).
+	ReportMS int64  `json:"report_ms"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Assignment is one shard lease: a seed stream plus the campaign
+// parameters every fleet member must agree on for traces to replay.
+type Assignment struct {
+	Shard       int      `json:"shard"`
+	Seed        int64    `json:"seed"`
+	StepsPerRun int      `json:"steps_per_run"`
+	NrCPUs      int      `json:"nr_cpus"`
+	SchedFuzz   bool     `json:"sched_fuzz"`
+	BigMemory   bool     `json:"big_memory"`
+	Bugs        []string `json:"bugs,omitempty"`
+	// RoundExecs bounds one engine round on this shard; the worker
+	// reports back at the boundary so starved shards can migrate.
+	RoundExecs int64 `json:"round_execs"`
+}
+
+// ReportRequest is the worker's batched heartbeat: everything that
+// accumulated since the last accepted report, in one POST.
+type ReportRequest struct {
+	WorkerID string `json:"worker_id"`
+	// Execs and ExecsPerSec are cumulative across the worker's rounds.
+	Execs       int64   `json:"execs"`
+	ExecsPerSec float64 `json:"execs_per_sec"`
+	// Coverage is the worker's *cumulative* delta — idempotent under
+	// retries, and the superset assertion's per-worker term.
+	Coverage coverage.Delta `json:"coverage"`
+	// Corpus and Findings are new wire blobs since the last accepted
+	// report (retried verbatim until acked).
+	Corpus   [][]byte `json:"corpus,omitempty"`
+	Findings [][]byte `json:"findings,omitempty"`
+	// CorpusCursor is the worker's position in the coordinator's
+	// corpus log; the response streams entries past it.
+	CorpusCursor int `json:"corpus_cursor"`
+	// NeedShard asks for (re)assignment: set on the first report and
+	// at every round boundary.
+	NeedShard bool `json:"need_shard,omitempty"`
+	// Leaving announces a clean shutdown: the shard frees without an
+	// expiry (not counted as a reassignment-by-death).
+	Leaving bool `json:"leaving,omitempty"`
+	// Error reports a fatal worker-side campaign error (boot failure,
+	// conformance divergence).
+	Error string `json:"error,omitempty"`
+}
+
+// ReportResponse acknowledges a report and streams back peer state.
+type ReportResponse struct {
+	OK bool `json:"ok"`
+	// Reregister tells a worker the coordinator does not know it
+	// (restart, lease expired and identity dropped): re-register and
+	// start a fresh round.
+	Reregister bool `json:"reregister,omitempty"`
+	// Assignment is the (new) shard lease when the worker asked for
+	// one; nil with RetryMS set when every shard is taken.
+	Assignment *Assignment `json:"assignment,omitempty"`
+	RetryMS    int64       `json:"retry_ms,omitempty"`
+	// Corpus carries peer entries from the coordinator's log starting
+	// at the worker's cursor (own entries excluded), and CorpusCursor
+	// the new cursor.
+	Corpus       [][]byte `json:"corpus,omitempty"`
+	CorpusCursor int      `json:"corpus_cursor"`
+	Error        string   `json:"error,omitempty"`
+}
+
+// WorkerStatus is one worker's row in the fleet status.
+type WorkerStatus struct {
+	ID          string    `json:"id"`
+	Name        string    `json:"name"`
+	Shard       int       `json:"shard"` // -1 when unassigned
+	Live        bool      `json:"live"`
+	Execs       int64     `json:"execs"`
+	ExecsPerSec float64   `json:"execs_per_sec"`
+	LastReport  time.Time `json:"last_report"`
+	// Coverage is the worker's latest cumulative delta;  CoverageKeys
+	// its distinct-key count (the cheap summary).
+	Coverage     coverage.Delta `json:"coverage"`
+	CoverageKeys int            `json:"coverage_keys"`
+	Error        string         `json:"error,omitempty"`
+}
+
+// ShardStatus is one seed stream's row in the fleet status.
+type ShardStatus struct {
+	Shard  int    `json:"shard"`
+	Seed   int64  `json:"seed"`
+	Worker string `json:"worker,omitempty"` // current assignee
+	Execs  int64  `json:"execs"`
+	Rounds int64  `json:"rounds"`
+	// Reassigns counts times this shard moved to a new worker after
+	// its holder's lease expired — the dead-worker recovery the
+	// fleet-smoke job asserts.
+	Reassigns int64 `json:"reassigns"`
+}
+
+// FindingStatus is one deduplicated finding.
+type FindingStatus struct {
+	Hash string `json:"hash"` // canonical minimized-trace hash, hex
+	// Count is how many times workers reported this identity; Workers
+	// lists the distinct reporters.
+	Count   int      `json:"count"`
+	Workers []string `json:"workers"`
+	Alarm   string   `json:"alarm,omitempty"`
+	MinOps  int      `json:"min_ops"`
+	Sched   bool     `json:"sched"`
+}
+
+// StatusResponse is the fleet-wide snapshot served at /fleet/v1/status.
+type StatusResponse struct {
+	WireVersion int            `json:"wire_version"`
+	Elapsed     time.Duration  `json:"elapsed_ns"`
+	WorkersLive int            `json:"workers_live"`
+	Workers     []WorkerStatus `json:"workers"`
+	Shards      []ShardStatus  `json:"shards"`
+	// Execs and ExecsPerSec aggregate the live fleet.
+	Execs       int64   `json:"execs"`
+	ExecsPerSec float64 `json:"execs_per_sec"`
+	// Merged is the union coverage of every worker ever reported;
+	// MergedImplCovered/Total summarise it against the outcome
+	// universe.
+	Merged            coverage.Delta `json:"merged_coverage"`
+	MergedKeys        int            `json:"merged_coverage_keys"`
+	MergedImplCovered int            `json:"merged_impl_covered"`
+	MergedImplTotal   int            `json:"merged_impl_total"`
+	// CorpusEntries is the deduplicated global corpus log size;
+	// CorpusSynced counts entries accepted from workers,
+	// CorpusFanout entries streamed out to peers.
+	CorpusEntries int   `json:"corpus_entries"`
+	CorpusSynced  int64 `json:"corpus_synced"`
+	CorpusFanout  int64 `json:"corpus_fanout"`
+	// FindingsReported counts every finding received;
+	// FindingsDuplicate the ones dedup collapsed; Findings the
+	// surviving unique entries.
+	FindingsReported  int64           `json:"findings_reported"`
+	FindingsDuplicate int64           `json:"findings_duplicate"`
+	Findings          []FindingStatus `json:"findings"`
+	Reassigns         int64           `json:"shard_reassigns"`
+}

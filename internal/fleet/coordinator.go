@@ -1,0 +1,518 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"ghostspec/internal/coverage"
+	"ghostspec/internal/randtest"
+)
+
+// CoordinatorConfig parameterises a fleet coordinator.
+type CoordinatorConfig struct {
+	// Shards is the number of seed streams work is sharded into;
+	// workers lease one at a time, a round per lease. More shards than
+	// workers keeps everyone busy through joins and deaths. Default 4.
+	Shards int
+	// BaseSeed roots every shard's seed stream (shard s, round r runs
+	// randtest.WorkerSeed-derived seeds — fully re-derivable from this
+	// one number). Default 1.
+	BaseSeed int64
+	// Campaign shape every fleet member runs with — it must be
+	// fleet-wide uniform or traces would not replay across workers.
+	StepsPerRun int // default 300
+	NrCPUs      int // default 4
+	SchedFuzz   bool
+	BigMemory   bool
+	Bugs        []string
+	// RoundExecs bounds one engine round on a shard (default 512):
+	// the granularity at which shards can migrate between workers.
+	RoundExecs int64
+	// Lease is the heartbeat window: a worker silent for longer is
+	// dead and its shard frees for reassignment. Default 10s.
+	Lease time.Duration
+	// ReportEvery is the cadence workers are told to report at
+	// (default 500ms — comfortably inside the lease, and the batching
+	// interval that keeps coordination off the per-exec path).
+	ReportEvery time.Duration
+	// CorpusBatch caps corpus entries streamed per report response
+	// (default 64), bounding response sizes on fresh joins.
+	CorpusBatch int
+	// Logf, when set, receives coordinator progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *CoordinatorConfig) fill() {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.BaseSeed == 0 {
+		c.BaseSeed = 1
+	}
+	if c.StepsPerRun <= 0 {
+		c.StepsPerRun = 300
+	}
+	if c.NrCPUs <= 0 {
+		c.NrCPUs = 4
+	}
+	if c.RoundExecs <= 0 {
+		c.RoundExecs = 512
+	}
+	if c.Lease <= 0 {
+		c.Lease = 10 * time.Second
+	}
+	if c.ReportEvery <= 0 {
+		c.ReportEvery = 500 * time.Millisecond
+	}
+	if c.CorpusBatch <= 0 {
+		c.CorpusBatch = 64
+	}
+}
+
+// Coordinator is the fleet's control plane: registration, shard
+// leases, coverage merge, corpus fan-out, and finding dedup, all under
+// one mutex — every operation is map/slice bookkeeping on batched
+// payloads, far off any worker's per-exec path.
+type Coordinator struct {
+	cfg   CoordinatorConfig
+	start time.Time
+
+	mu         sync.Mutex
+	nextWorker int
+	workers    map[string]*workerRec
+	shards     []*shardRec
+	// corpus is the append-only deduplicated global log workers page
+	// through with their cursors; corpusSeen the canonical-hash set.
+	corpus     []corpusRec
+	corpusSeen map[uint64]bool
+	// findings is keyed by canonical minimized-trace hash.
+	findings     map[uint64]*findingRec
+	findingOrder []uint64
+
+	execs             int64
+	findingsReported  int64
+	findingsDuplicate int64
+	corpusSynced      int64
+	corpusFanout      int64
+	reassigns         int64
+}
+
+type workerRec struct {
+	id, name    string
+	threads     int
+	shard       int // -1 when unassigned
+	execs       int64
+	execsPerSec float64
+	lastReport  time.Time
+	cov         coverage.Delta
+	dead        bool
+	err         string
+}
+
+type shardRec struct {
+	seed       int64
+	worker     string // "" when free
+	lastWorker string
+	execs      int64
+	rounds     int64
+	reassigns  int64
+	// expired marks a shard freed by lease expiry: its next
+	// assignment to a different worker counts as a reassignment (the
+	// dead-worker recovery the smoke test asserts).
+	expired bool
+}
+
+type corpusRec struct {
+	blob   []byte
+	origin string
+}
+
+type findingRec struct {
+	f       Finding
+	count   int
+	workers map[string]bool
+}
+
+// NewCoordinator builds a coordinator with its shard table.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	cfg.fill()
+	c := &Coordinator{
+		cfg:        cfg,
+		start:      time.Now(),
+		workers:    make(map[string]*workerRec),
+		corpusSeen: make(map[uint64]bool),
+		findings:   make(map[uint64]*findingRec),
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		c.shards = append(c.shards, &shardRec{seed: randtest.WorkerSeed(cfg.BaseSeed, s)})
+	}
+	return c
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Mux returns the coordinator's HTTP handlers, mountable next to the
+// usual introspection endpoints.
+func (c *Coordinator) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet/v1/register", c.handleRegister)
+	mux.HandleFunc("/fleet/v1/report", c.handleReport)
+	mux.HandleFunc("/fleet/v1/status", c.handleStatus)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, RegisterResponse{Error: err.Error()})
+		return
+	}
+	resp, err := c.Register(req)
+	if err != nil {
+		writeJSON(w, http.StatusConflict, RegisterResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
+	var req ReportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ReportResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Report(req))
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+// Register admits a worker after the wire-version handshake.
+func (c *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
+	if req.WireVersion != WireVersion {
+		return RegisterResponse{}, fmt.Errorf(
+			"%w: worker %q speaks wire version %d, coordinator %d — refusing (mixed-commit fleet)",
+			ErrWireVersion, req.Name, req.WireVersion, WireVersion)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked(time.Now())
+	c.nextWorker++
+	wr := &workerRec{
+		id:         fmt.Sprintf("w%d", c.nextWorker),
+		name:       req.Name,
+		threads:    req.Threads,
+		shard:      -1,
+		lastReport: time.Now(),
+	}
+	c.workers[wr.id] = wr
+	c.setWorkersLiveLocked()
+	c.logf("fleet: worker %s (%q, %d threads) registered", wr.id, wr.name, wr.threads)
+	return RegisterResponse{
+		WorkerID: wr.id,
+		LeaseMS:  c.cfg.Lease.Milliseconds(),
+		ReportMS: c.cfg.ReportEvery.Milliseconds(),
+	}, nil
+}
+
+// Report processes one batched worker report: heartbeat, exec/coverage
+// accounting, corpus absorb + fan-out, finding dedup, and shard
+// (re)assignment at round boundaries.
+func (c *Coordinator) Report(req ReportRequest) ReportResponse {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked(now)
+
+	wr, ok := c.workers[req.WorkerID]
+	if !ok || wr.dead {
+		// Unknown or expired identity: the worker restarts its
+		// session. Its shard (if any) was already freed by the sweep.
+		return ReportResponse{Reregister: true}
+	}
+	wr.lastReport = now
+	wr.execsPerSec = req.ExecsPerSec
+	if req.Error != "" {
+		wr.err = req.Error
+		c.logf("fleet: worker %s reports fatal error: %s", wr.id, req.Error)
+	}
+
+	// Exec accounting: cumulative worker count, diffed onto the shard
+	// it is currently running and the fleet total.
+	if d := req.Execs - wr.execs; d > 0 {
+		wr.execs = req.Execs
+		c.execs += d
+		telExecs.Add(uint64(d))
+		if wr.shard >= 0 {
+			c.shards[wr.shard].execs += d
+		}
+	}
+	if req.Coverage.Keys() > 0 {
+		wr.cov = req.Coverage
+	}
+
+	for _, blob := range req.Corpus {
+		c.absorbCorpusLocked(wr.id, blob)
+	}
+	for _, blob := range req.Findings {
+		c.absorbFindingLocked(wr.id, blob)
+	}
+
+	resp := ReportResponse{OK: true}
+	resp.Corpus, resp.CorpusCursor = c.corpusSliceLocked(wr.id, req.CorpusCursor)
+
+	if req.Leaving {
+		c.releaseShardLocked(wr, false)
+		wr.dead = true
+		c.setWorkersLiveLocked()
+		c.logf("fleet: worker %s left cleanly after %d execs", wr.id, wr.execs)
+		return resp
+	}
+	if req.NeedShard {
+		c.releaseShardLocked(wr, false)
+		if a := c.assignShardLocked(wr); a != nil {
+			resp.Assignment = a
+		} else {
+			resp.RetryMS = c.cfg.ReportEvery.Milliseconds() * 4
+		}
+	}
+	return resp
+}
+
+// sweepLocked expires leases: workers silent past the lease window are
+// declared dead and their shards freed for reassignment.
+func (c *Coordinator) sweepLocked(now time.Time) {
+	for _, wr := range c.workers {
+		if !wr.dead && now.Sub(wr.lastReport) > c.cfg.Lease {
+			c.logf("fleet: worker %s lease expired (silent %v), freeing shard %d",
+				wr.id, now.Sub(wr.lastReport).Round(time.Millisecond), wr.shard)
+			c.releaseShardLocked(wr, true)
+			wr.dead = true
+		}
+	}
+	c.setWorkersLiveLocked()
+}
+
+func (c *Coordinator) setWorkersLiveLocked() {
+	live := 0
+	for _, wr := range c.workers {
+		if !wr.dead {
+			live++
+		}
+	}
+	telWorkersLive.Set(int64(live))
+}
+
+// releaseShardLocked frees the worker's shard; expired marks a
+// lease-death release, which arms the reassignment counter.
+func (c *Coordinator) releaseShardLocked(wr *workerRec, expired bool) {
+	if wr.shard < 0 {
+		return
+	}
+	sh := c.shards[wr.shard]
+	sh.lastWorker = wr.id
+	sh.worker = ""
+	sh.expired = expired
+	if !expired {
+		sh.rounds++
+	}
+	wr.shard = -1
+}
+
+// assignShardLocked leases the least-executed free shard — starved
+// shards (a dead worker's included) migrate to whoever asks next.
+func (c *Coordinator) assignShardLocked(wr *workerRec) *Assignment {
+	best := -1
+	for i, sh := range c.shards {
+		if sh.worker != "" {
+			continue
+		}
+		if best < 0 || sh.execs < c.shards[best].execs {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	sh := c.shards[best]
+	if sh.expired && sh.lastWorker != wr.id {
+		sh.reassigns++
+		c.reassigns++
+		telReassigns.Inc()
+		c.logf("fleet: shard %d reassigned %s -> %s", best, sh.lastWorker, wr.id)
+	}
+	sh.expired = false
+	sh.worker = wr.id
+	wr.shard = best
+	return &Assignment{
+		Shard:       best,
+		Seed:        randtest.WorkerSeed(sh.seed, int(sh.rounds)),
+		StepsPerRun: c.cfg.StepsPerRun,
+		NrCPUs:      c.cfg.NrCPUs,
+		SchedFuzz:   c.cfg.SchedFuzz,
+		BigMemory:   c.cfg.BigMemory,
+		Bugs:        c.cfg.Bugs,
+		RoundExecs:  c.cfg.RoundExecs,
+	}
+}
+
+// absorbCorpusLocked admits one corpus blob into the global log,
+// deduplicated by canonical trace hash.
+func (c *Coordinator) absorbCorpusLocked(origin string, blob []byte) {
+	entry, err := DecodeCorpusEntry(blob)
+	if err != nil {
+		c.logf("fleet: dropping undecodable corpus entry from %s: %v", origin, err)
+		return
+	}
+	h := TraceHash(entry.Trace)
+	if c.corpusSeen[h] {
+		telCorpusDup.Inc()
+		return
+	}
+	c.corpusSeen[h] = true
+	c.corpus = append(c.corpus, corpusRec{blob: blob, origin: origin})
+	c.corpusSynced++
+	telCorpusSynced.Inc()
+}
+
+// corpusSliceLocked pages the global log for a worker: entries past
+// its cursor, its own excluded, capped at CorpusBatch.
+func (c *Coordinator) corpusSliceLocked(worker string, cursor int) ([][]byte, int) {
+	if cursor < 0 {
+		cursor = 0
+	}
+	var out [][]byte
+	for cursor < len(c.corpus) && len(out) < c.cfg.CorpusBatch {
+		rec := c.corpus[cursor]
+		cursor++
+		if rec.origin == worker {
+			continue
+		}
+		out = append(out, rec.blob)
+	}
+	c.corpusFanout += int64(len(out))
+	telCorpusFanout.Add(uint64(len(out)))
+	return out, cursor
+}
+
+// absorbFindingLocked dedups one reported finding by its canonical
+// minimized-trace hash.
+func (c *Coordinator) absorbFindingLocked(worker string, blob []byte) {
+	f, err := DecodeFinding(blob)
+	if err != nil {
+		c.logf("fleet: dropping undecodable finding from %s: %v", worker, err)
+		return
+	}
+	c.findingsReported++
+	telFindings.Inc()
+	key := f.DedupKey()
+	if rec, ok := c.findings[key]; ok {
+		rec.count++
+		rec.workers[worker] = true
+		c.findingsDuplicate++
+		telFindingsDup.Inc()
+		return
+	}
+	c.findings[key] = &findingRec{f: f, count: 1, workers: map[string]bool{worker: true}}
+	c.findingOrder = append(c.findingOrder, key)
+	telFindingsUnique.Set(int64(len(c.findings)))
+	alarm := ""
+	if len(f.Failures) > 0 {
+		alarm = f.Failures[0]
+	} else if f.SchedErr != "" {
+		alarm = "sched: " + f.SchedErr
+	}
+	c.logf("fleet: NEW finding %016x from %s (%d min ops): %s", key, worker, f.Min.Len(), alarm)
+}
+
+// Status snapshots the fleet (the /fleet/v1/status payload).
+func (c *Coordinator) Status() StatusResponse {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked(now)
+
+	resp := StatusResponse{
+		WireVersion:       WireVersion,
+		Elapsed:           now.Sub(c.start),
+		Execs:             c.execs,
+		CorpusEntries:     len(c.corpus),
+		CorpusSynced:      c.corpusSynced,
+		CorpusFanout:      c.corpusFanout,
+		FindingsReported:  c.findingsReported,
+		FindingsDuplicate: c.findingsDuplicate,
+		Reassigns:         c.reassigns,
+	}
+
+	merged := coverage.NewAggregator()
+	var ids []string
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		wr := c.workers[id]
+		ws := WorkerStatus{
+			ID: wr.id, Name: wr.name, Shard: wr.shard,
+			Live: !wr.dead, Execs: wr.execs, ExecsPerSec: wr.execsPerSec,
+			LastReport: wr.lastReport, Coverage: wr.cov,
+			CoverageKeys: wr.cov.Keys(), Error: wr.err,
+		}
+		resp.Workers = append(resp.Workers, ws)
+		if !wr.dead {
+			resp.WorkersLive++
+			resp.ExecsPerSec += wr.execsPerSec
+		}
+		merged.AbsorbDelta(wr.cov)
+	}
+	resp.Merged = merged.Export()
+	resp.MergedKeys = resp.Merged.Keys()
+	mr := merged.Report()
+	resp.MergedImplCovered, resp.MergedImplTotal = mr.ImplCovered, mr.ImplTotal
+
+	for i, sh := range c.shards {
+		resp.Shards = append(resp.Shards, ShardStatus{
+			Shard: i, Seed: sh.seed, Worker: sh.worker,
+			Execs: sh.execs, Rounds: sh.rounds, Reassigns: sh.reassigns,
+		})
+	}
+	for _, key := range c.findingOrder {
+		rec := c.findings[key]
+		var workers []string
+		for w := range rec.workers {
+			workers = append(workers, w)
+		}
+		sort.Strings(workers)
+		fs := FindingStatus{
+			Hash:    fmt.Sprintf("%016x", key),
+			Count:   rec.count,
+			Workers: workers,
+			MinOps:  rec.f.Min.Len(),
+			Sched:   rec.f.Sched != nil,
+		}
+		if len(rec.f.Failures) > 0 {
+			fs.Alarm = rec.f.Failures[0]
+		} else if rec.f.SchedErr != "" {
+			fs.Alarm = "sched: " + rec.f.SchedErr
+		}
+		resp.Findings = append(resp.Findings, fs)
+	}
+	return resp
+}

@@ -1,0 +1,250 @@
+package fleet
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFleetSmoke is the in-process twin of CI's fleet-smoke job: a
+// coordinator and two real workers over HTTP, each running engine
+// rounds on leased shards. Asserts the tentpole invariants: execs are
+// accounted, the merged coverage is a superset of every worker's, and
+// corpus entries synced through the coordinator to the peer.
+func TestFleetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet smoke boots real engines")
+	}
+	coord := NewCoordinator(CoordinatorConfig{
+		Shards:      3,
+		StepsPerRun: 120,
+		RoundExecs:  24,
+		Lease:       10 * time.Second,
+		ReportEvery: 50 * time.Millisecond,
+		Logf:        t.Logf,
+	})
+	srv := httptest.NewServer(coord.Mux())
+	defer srv.Close()
+
+	const perWorker = 72
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		w := NewWorker(WorkerConfig{
+			Coordinator: srv.URL,
+			Name:        "smoke",
+			Threads:     1,
+			MaxExecs:    perWorker,
+			Duration:    2 * time.Minute, // backstop, MaxExecs is the real bound
+			Logf:        t.Logf,
+		})
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.Run()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	st := coord.Status()
+	if st.WorkersLive != 0 {
+		t.Errorf("workers_live = %d after clean departures, want 0", st.WorkersLive)
+	}
+	if len(st.Workers) != 2 {
+		t.Fatalf("coordinator saw %d workers, want 2", len(st.Workers))
+	}
+	if st.Execs < 2*perWorker {
+		t.Errorf("fleet execs = %d, want >= %d", st.Execs, 2*perWorker)
+	}
+	for _, w := range st.Workers {
+		if w.CoverageKeys == 0 {
+			t.Errorf("worker %s reported no coverage", w.ID)
+		}
+		if !st.Merged.SupersetOf(w.Coverage) {
+			t.Errorf("merged coverage is not a superset of worker %s's", w.ID)
+		}
+		if w.Execs < perWorker {
+			t.Errorf("worker %s execs = %d, want >= %d", w.ID, w.Execs, perWorker)
+		}
+	}
+	if st.MergedKeys == 0 || st.MergedImplCovered == 0 {
+		t.Errorf("merged coverage empty: keys=%d impl=%d", st.MergedKeys, st.MergedImplCovered)
+	}
+	if st.CorpusEntries == 0 {
+		t.Error("no corpus entries synced to the coordinator")
+	}
+	if st.CorpusFanout == 0 {
+		t.Error("no corpus entries fanned out to peers")
+	}
+	if st.FindingsReported != 0 {
+		t.Errorf("clean build produced %d findings", st.FindingsReported)
+	}
+	var rounds int64
+	for _, sh := range st.Shards {
+		rounds += sh.Rounds
+	}
+	if rounds < 4 {
+		t.Errorf("fleet completed %d rounds, want >= 4 (2 workers x >= 2 rounds)", rounds)
+	}
+}
+
+// TestFleetFindingDedup pins cross-worker finding dedup: the same bug
+// minimized by two workers — same op structure, different concrete
+// frames and handles — collapses to one entry with both reporters.
+func TestFleetFindingDedup(t *testing.T) {
+	coord := NewCoordinator(CoordinatorConfig{})
+	w1, err := coord.Register(RegisterRequest{Name: "a", WireVersion: WireVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := coord.Register(RegisterRequest{Name: "b", WireVersion: WireVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f1 := sampleFinding()
+	f2 := sampleFinding()
+	f2.Min = sampleTrace(0xaaa00, 0x77) // same structure, different concretes
+	f2.Seed = 999                       // discovery metadata may differ freely
+	f2.Exec = 1
+
+	coord.Report(ReportRequest{WorkerID: w1.WorkerID, Findings: [][]byte{f1.Encode()}})
+	coord.Report(ReportRequest{WorkerID: w2.WorkerID, Findings: [][]byte{f2.Encode(), f1.Encode()}})
+
+	st := coord.Status()
+	if st.FindingsReported != 3 || st.FindingsDuplicate != 2 {
+		t.Errorf("reported=%d duplicate=%d, want 3/2", st.FindingsReported, st.FindingsDuplicate)
+	}
+	if len(st.Findings) != 1 {
+		t.Fatalf("dedup left %d findings, want 1", len(st.Findings))
+	}
+	got := st.Findings[0]
+	if got.Count != 3 || len(got.Workers) != 2 {
+		t.Errorf("finding count=%d workers=%v, want count 3 from both workers", got.Count, got.Workers)
+	}
+	if got.Alarm == "" || !got.Sched {
+		t.Errorf("finding lost its headline: %+v", got)
+	}
+
+	// A structurally different finding stays separate.
+	f3 := sampleFinding()
+	f3.Min.Ops = f3.Min.Ops[:3]
+	coord.Report(ReportRequest{WorkerID: w1.WorkerID, Findings: [][]byte{f3.Encode()}})
+	if st := coord.Status(); len(st.Findings) != 2 {
+		t.Errorf("distinct finding was merged: %d entries", len(st.Findings))
+	}
+}
+
+// TestFleetReassign pins dead-worker recovery: a worker that stops
+// heartbeating loses its shard after the lease, and the surviving
+// worker picks it up at its next round boundary.
+func TestFleetReassign(t *testing.T) {
+	coord := NewCoordinator(CoordinatorConfig{
+		Shards: 2,
+		Lease:  120 * time.Millisecond,
+	})
+	a, _ := coord.Register(RegisterRequest{Name: "doomed", WireVersion: WireVersion})
+	b, _ := coord.Register(RegisterRequest{Name: "survivor", WireVersion: WireVersion})
+
+	ra := coord.Report(ReportRequest{WorkerID: a.WorkerID, NeedShard: true})
+	rb := coord.Report(ReportRequest{WorkerID: b.WorkerID, NeedShard: true})
+	if ra.Assignment == nil || rb.Assignment == nil {
+		t.Fatalf("initial assignment failed: %+v / %+v", ra, rb)
+	}
+	if ra.Assignment.Shard == rb.Assignment.Shard {
+		t.Fatalf("both workers leased shard %d", ra.Assignment.Shard)
+	}
+
+	// Worker a goes silent; b keeps heartbeating through the lease
+	// window, then hits a round boundary.
+	deadline := time.Now().Add(3 * coord.cfg.Lease / 2)
+	for time.Now().Before(deadline) {
+		coord.Report(ReportRequest{WorkerID: b.WorkerID})
+		time.Sleep(coord.cfg.Lease / 4)
+	}
+	rb2 := coord.Report(ReportRequest{WorkerID: b.WorkerID, NeedShard: true})
+	if rb2.Assignment == nil {
+		t.Fatal("survivor got no assignment after the lease expiry")
+	}
+	if rb2.Assignment.Shard != ra.Assignment.Shard {
+		t.Errorf("survivor leased shard %d, want the dead worker's %d",
+			rb2.Assignment.Shard, ra.Assignment.Shard)
+	}
+	st := coord.Status()
+	if st.Reassigns < 1 {
+		t.Errorf("shard_reassigns = %d, want >= 1", st.Reassigns)
+	}
+	if st.WorkersLive != 1 {
+		t.Errorf("workers_live = %d, want 1", st.WorkersLive)
+	}
+	// The dead worker's next report bounces into re-registration.
+	if r := coord.Report(ReportRequest{WorkerID: a.WorkerID}); !r.Reregister {
+		t.Error("dead worker's report was not bounced to re-register")
+	}
+	// The dead worker completed no round, so the reassigned lease
+	// replays its exact seed — none of that shard's stream is lost —
+	// and is distinct from the survivor's own finished stream.
+	if rb2.Assignment.Seed != ra.Assignment.Seed {
+		t.Errorf("reassigned lease seed %d, want the dead worker's %d (no round completed)",
+			rb2.Assignment.Seed, ra.Assignment.Seed)
+	}
+	if rb2.Assignment.Seed == rb.Assignment.Seed {
+		t.Errorf("reassigned shard reused the survivor's old seed %d", rb.Assignment.Seed)
+	}
+}
+
+// TestFleetVersionHandshake pins that a coordinator refuses a worker
+// speaking a different wire version.
+func TestFleetVersionHandshake(t *testing.T) {
+	coord := NewCoordinator(CoordinatorConfig{})
+	_, err := coord.Register(RegisterRequest{Name: "skewed", WireVersion: WireVersion + 1})
+	if err == nil || !strings.Contains(err.Error(), "wire version") {
+		t.Fatalf("skewed registration err = %v, want wire-version refusal", err)
+	}
+}
+
+// TestFleetCorpusFanout pins the corpus log semantics: entries dedup
+// by canonical hash, fan out to peers but never back to their origin,
+// and the cursor pages through the log.
+func TestFleetCorpusFanout(t *testing.T) {
+	coord := NewCoordinator(CoordinatorConfig{CorpusBatch: 8})
+	w1, _ := coord.Register(RegisterRequest{Name: "a", WireVersion: WireVersion})
+	w2, _ := coord.Register(RegisterRequest{Name: "b", WireVersion: WireVersion})
+
+	e1 := CorpusEntry{Score: 2, Trace: sampleTrace(0x81000, 0x11)}
+	dup := CorpusEntry{Score: 5, Trace: sampleTrace(0xcc000, 0xff)} // canonically e1
+	e2 := CorpusEntry{Score: 1, Trace: sampleTrace(0x81000, 0x11)}
+	e2.Trace.Ops = e2.Trace.Ops[:2]
+
+	coord.Report(ReportRequest{WorkerID: w1.WorkerID, Corpus: [][]byte{e1.Encode(), dup.Encode(), e2.Encode()}})
+	st := coord.Status()
+	if st.CorpusEntries != 2 || st.CorpusSynced != 2 {
+		t.Errorf("corpus entries=%d synced=%d, want 2/2 (dup rejected)", st.CorpusEntries, st.CorpusSynced)
+	}
+
+	// The origin pages past its own entries without receiving them.
+	r1 := coord.Report(ReportRequest{WorkerID: w1.WorkerID, CorpusCursor: 0})
+	if len(r1.Corpus) != 0 || r1.CorpusCursor != 2 {
+		t.Errorf("origin got %d entries back (cursor %d), want 0 (cursor 2)", len(r1.Corpus), r1.CorpusCursor)
+	}
+	// The peer receives both.
+	r2 := coord.Report(ReportRequest{WorkerID: w2.WorkerID, CorpusCursor: 0})
+	if len(r2.Corpus) != 2 || r2.CorpusCursor != 2 {
+		t.Fatalf("peer got %d entries (cursor %d), want 2 (cursor 2)", len(r2.Corpus), r2.CorpusCursor)
+	}
+	if _, err := DecodeCorpusEntry(r2.Corpus[0]); err != nil {
+		t.Errorf("fanned-out entry does not decode: %v", err)
+	}
+	// And nothing more on the next page.
+	r3 := coord.Report(ReportRequest{WorkerID: w2.WorkerID, CorpusCursor: r2.CorpusCursor})
+	if len(r3.Corpus) != 0 {
+		t.Errorf("peer re-received %d entries", len(r3.Corpus))
+	}
+}

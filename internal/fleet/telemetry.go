@@ -1,0 +1,40 @@
+package fleet
+
+import "ghostspec/internal/telemetry"
+
+// Fleet telemetry, registered at package init (telemetrycheck scope).
+// Coordinator-side counters live on the coordinator process's /metrics
+// endpoint; the worker-side counters on each worker's. The names are
+// the ones OBSERVABILITY.md documents for fleet dashboards.
+var (
+	// telWorkersLive is the coordinator's count of workers inside
+	// their heartbeat lease.
+	telWorkersLive = telemetry.NewGauge("fleet_workers_live")
+
+	// telExecs accumulates fleet-wide executions as workers report
+	// them (monotonic: the coordinator adds per-report diffs).
+	telExecs = telemetry.NewCounter("fleet_execs_total")
+
+	// telCorpusSynced counts corpus entries accepted into the global
+	// log; telCorpusFanout entries streamed back out to peers;
+	// telCorpusDup entries rejected as already known.
+	telCorpusSynced = telemetry.NewCounter("fleet_corpus_synced_total")
+	telCorpusFanout = telemetry.NewCounter("fleet_corpus_fanout_total")
+	telCorpusDup    = telemetry.NewCounter("fleet_corpus_duplicate_total")
+
+	// Finding dedup: every reported finding counts in telFindings;
+	// the ones whose minimized-trace hash was already known count in
+	// telFindingsDup; telFindingsUnique gauges the surviving set.
+	telFindings       = telemetry.NewCounter("fleet_findings_reported_total")
+	telFindingsDup    = telemetry.NewCounter("fleet_findings_duplicate_total")
+	telFindingsUnique = telemetry.NewGauge("fleet_findings_unique")
+
+	// telReassigns counts shards recovered from dead workers.
+	telReassigns = telemetry.NewCounter("fleet_shard_reassigns_total")
+
+	// Worker-side: reports sent, reports that failed and entered
+	// backoff, and corpus entries pulled from peers.
+	telReports      = telemetry.NewCounter("fleet_reports_total")
+	telReportRetry  = telemetry.NewCounter("fleet_report_retries_total")
+	telCorpusPulled = telemetry.NewCounter("fleet_corpus_pulled_total")
+)

@@ -1,0 +1,501 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ghostspec/internal/campaign"
+	"ghostspec/internal/coverage"
+	"ghostspec/internal/faults"
+	"ghostspec/internal/randtest"
+	"ghostspec/internal/telemetry/trace"
+)
+
+// WorkerConfig parameterises a fleet worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// Name labels the worker on the status page (hostname:pid style).
+	Name string
+	// Threads is the local campaign shard count (campaign.Config.
+	// Workers). Default 1.
+	Threads int
+	// Duration bounds the worker's total wall time; zero runs until
+	// Stop. MaxExecs bounds total executions across rounds.
+	Duration time.Duration
+	MaxExecs int64
+	// SeedCap bounds the seeds replayed into each round's fresh engine
+	// (own novel entries plus pulled peer entries). Default 256.
+	SeedCap int
+	// Tracer, when set, is handed to every round's engine (needs at
+	// least Threads lanes).
+	Tracer *trace.Tracer
+	// Logf, when set, receives worker progress lines.
+	Logf func(format string, args ...any)
+	// Client overrides the HTTP client (tests inject a short-timeout
+	// one); default is a 10s-timeout client.
+	Client *http.Client
+}
+
+// Worker runs campaign engine rounds against leased shards, streaming
+// batched exec/coverage/corpus/finding deltas to the coordinator. The
+// per-exec hot path only ever appends to in-memory outboxes (the
+// OnFinding/OnCorpus hooks); encoding and HTTP happen on the reporter
+// tick.
+type Worker struct {
+	cfg         WorkerConfig
+	client      *http.Client
+	id          string
+	reportEvery time.Duration
+
+	stop atomic.Bool
+
+	// Round-crossing state, guarded by mu: the outboxes the hooks fill,
+	// the canonical-hash set of traces this worker already knows, the
+	// seeds replayed into each fresh round engine, and the worker's
+	// cursor into the coordinator's corpus log.
+	mu          sync.Mutex
+	outCorpus   []CorpusEntry
+	outFindings []campaign.Finding
+	seen        map[uint64]bool
+	seeds       []CorpusEntry
+	cursor      int
+	eng         *campaign.Engine
+	execsDone   int64 // execs of finished rounds
+	doneCov     coverage.Delta
+
+	execs atomic.Int64 // cumulative, for observers
+}
+
+// NewWorker builds a worker; Run drives it.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.SeedCap <= 0 {
+		cfg.SeedCap = 256
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Worker{
+		cfg:    cfg,
+		client: client,
+		seen:   make(map[uint64]bool),
+	}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// Stop asks the worker to finish its current round and leave cleanly.
+func (w *Worker) Stop() { w.stop.Store(true) }
+
+// Execs reports the worker's cumulative execution count.
+func (w *Worker) Execs() int64 { return w.execs.Load() }
+
+// Engine returns the round engine currently running, or nil between
+// rounds — the /campaign introspection hook for worker processes.
+func (w *Worker) Engine() *campaign.Engine {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.eng
+}
+
+// Run registers with the coordinator and executes rounds until the
+// duration/exec budget runs out or Stop is called, then reports a
+// clean departure. It returns the first fatal error (unreachable
+// coordinator after registration backoff gives up, wire-version
+// rejection, engine boot failure).
+func (w *Worker) Run() error {
+	var deadline time.Time
+	if w.cfg.Duration > 0 {
+		deadline = time.Now().Add(w.cfg.Duration)
+	}
+	if err := w.register(deadline); err != nil {
+		return err
+	}
+
+	for !w.done(deadline) {
+		a, err := w.acquireShard(deadline)
+		if err != nil {
+			return err
+		}
+		if a == nil {
+			break // stopped or deadline while waiting
+		}
+		if err := w.runRound(a, deadline); err != nil {
+			w.report(ReportFlags{Error: err.Error(), Leaving: true})
+			return err
+		}
+	}
+	w.report(ReportFlags{Leaving: true})
+	w.logf("fleet worker %s: leaving after %d execs", w.id, w.execs.Load())
+	return nil
+}
+
+func (w *Worker) done(deadline time.Time) bool {
+	if w.stop.Load() {
+		return true
+	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		return true
+	}
+	if w.cfg.MaxExecs > 0 && w.execs.Load() >= w.cfg.MaxExecs {
+		return true
+	}
+	return false
+}
+
+// register performs the handshake with exponential backoff; a
+// wire-version rejection is fatal immediately (retrying cannot fix a
+// binary mismatch).
+func (w *Worker) register(deadline time.Time) error {
+	backoff := 100 * time.Millisecond
+	for {
+		var resp RegisterResponse
+		err := w.post("/fleet/v1/register", RegisterRequest{
+			Name:        w.cfg.Name,
+			WireVersion: WireVersion,
+			Threads:     w.cfg.Threads,
+		}, &resp)
+		if err == nil && resp.Error != "" {
+			return fmt.Errorf("fleet: coordinator refused registration: %s", resp.Error)
+		}
+		if err == nil {
+			w.id = resp.WorkerID
+			w.reportEvery = time.Duration(resp.ReportMS) * time.Millisecond
+			if w.reportEvery <= 0 {
+				w.reportEvery = 500 * time.Millisecond
+			}
+			w.logf("fleet worker %s: registered at %s (report every %v, lease %vms)",
+				w.id, w.cfg.Coordinator, w.reportEvery, resp.LeaseMS)
+			return nil
+		}
+		telReportRetry.Inc()
+		w.logf("fleet worker: register failed (%v), retrying in %v", err, backoff)
+		if !w.sleep(backoff, deadline) {
+			return fmt.Errorf("fleet: could not register with %s: %w", w.cfg.Coordinator, err)
+		}
+		backoff = nextBackoff(backoff)
+	}
+}
+
+// acquireShard reports NeedShard until the coordinator hands out a
+// lease, backing off on network errors and RetryMS full-fleet waits.
+func (w *Worker) acquireShard(deadline time.Time) (*Assignment, error) {
+	backoff := 100 * time.Millisecond
+	for !w.done(deadline) {
+		resp, err := w.report(ReportFlags{NeedShard: true})
+		if err != nil {
+			if !w.sleep(backoff, deadline) {
+				return nil, nil
+			}
+			backoff = nextBackoff(backoff)
+			continue
+		}
+		backoff = 100 * time.Millisecond
+		if resp.Reregister {
+			if err := w.register(deadline); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if resp.Assignment != nil {
+			return resp.Assignment, nil
+		}
+		wait := time.Duration(resp.RetryMS) * time.Millisecond
+		if wait <= 0 {
+			wait = w.reportEvery
+		}
+		if !w.sleep(wait, deadline) {
+			return nil, nil
+		}
+	}
+	return nil, nil
+}
+
+// runRound executes one engine round against the leased shard,
+// heartbeating on the report cadence while it runs.
+func (w *Worker) runRound(a *Assignment, deadline time.Time) error {
+	bugs, err := parseBugs(a.Bugs)
+	if err != nil {
+		return err
+	}
+	cfg := campaign.Config{
+		Workers:     w.cfg.Threads,
+		StepsPerRun: a.StepsPerRun,
+		Seed:        a.Seed,
+		NrCPUs:      a.NrCPUs,
+		SchedFuzz:   a.SchedFuzz,
+		BigMemory:   a.BigMemory,
+		Bugs:        bugs,
+		MaxExecs:    a.RoundExecs,
+		Logf:        w.cfg.Logf,
+		Tracer:      w.cfg.Tracer,
+		OnFinding:   w.enqueueFinding,
+		OnCorpus:    w.enqueueCorpus,
+	}
+	if w.cfg.MaxExecs > 0 {
+		if left := w.cfg.MaxExecs - w.execs.Load(); left < cfg.MaxExecs {
+			cfg.MaxExecs = left
+		}
+	}
+	if !deadline.IsZero() {
+		cfg.Duration = time.Until(deadline)
+		if cfg.Duration <= 0 {
+			return nil
+		}
+	}
+
+	eng, err := campaign.Start(cfg)
+	if err != nil {
+		return fmt.Errorf("fleet: round on shard %d failed to start: %w", a.Shard, err)
+	}
+	w.mu.Lock()
+	w.eng = eng
+	seeds := append([]CorpusEntry(nil), w.seeds...)
+	w.mu.Unlock()
+	// Replay everything this worker knows — its own novel traces from
+	// earlier rounds and pulled peer entries — into the fresh corpus.
+	for _, s := range seeds {
+		eng.InjectSeed(s.Trace, s.Score)
+	}
+
+	resCh := make(chan error, 1)
+	go func() {
+		_, err := eng.Wait()
+		resCh <- err
+	}()
+	tick := time.NewTicker(w.reportEvery)
+	defer tick.Stop()
+	var roundErr error
+	for running := true; running; {
+		select {
+		case roundErr = <-resCh:
+			running = false
+		case <-tick.C:
+			if w.stop.Load() {
+				eng.Stop()
+			}
+			w.report(ReportFlags{})
+		}
+	}
+
+	// Fold the round into the worker's cumulative state before the
+	// engine goes away.
+	st := eng.Status()
+	agg := coverage.NewAggregator()
+	w.mu.Lock()
+	agg.AbsorbDelta(w.doneCov)
+	agg.AbsorbDelta(eng.CoverageDelta())
+	w.doneCov = agg.Export()
+	w.execsDone += st.Execs
+	w.eng = nil
+	w.mu.Unlock()
+	w.execs.Store(w.execsDone)
+	if roundErr != nil {
+		return fmt.Errorf("fleet: round on shard %d: %w", a.Shard, roundErr)
+	}
+	return nil
+}
+
+// enqueueCorpus is the engine's OnCorpus hook: dedup against the local
+// seen-set, remember the seed for future rounds, and queue it for the
+// coordinator. Append-only — encoding happens on the reporter tick.
+func (w *Worker) enqueueCorpus(tr *randtest.Trace, score float64) {
+	h := TraceHash(tr)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.seen[h] {
+		return
+	}
+	w.seen[h] = true
+	entry := CorpusEntry{Score: score, Trace: tr}
+	w.keepSeedLocked(entry)
+	w.outCorpus = append(w.outCorpus, entry)
+}
+
+// enqueueFinding is the engine's OnFinding hook.
+func (w *Worker) enqueueFinding(f campaign.Finding) {
+	w.mu.Lock()
+	w.outFindings = append(w.outFindings, f)
+	w.mu.Unlock()
+}
+
+// keepSeedLocked remembers a seed for future round engines, evicting
+// the lowest-scored entry once the cap is hit.
+func (w *Worker) keepSeedLocked(entry CorpusEntry) {
+	if len(w.seeds) < w.cfg.SeedCap {
+		w.seeds = append(w.seeds, entry)
+		return
+	}
+	low := 0
+	for i, s := range w.seeds {
+		if s.Score < w.seeds[low].Score {
+			low = i
+		}
+	}
+	if w.seeds[low].Score < entry.Score {
+		w.seeds[low] = entry
+	}
+}
+
+// ReportFlags select the non-periodic parts of a report.
+type ReportFlags struct {
+	NeedShard bool
+	Leaving   bool
+	Error     string
+}
+
+// report sends one batched report: cumulative execs and coverage plus
+// the drained outboxes. On failure the drained blobs are requeued for
+// the next attempt, so nothing is lost and the coordinator-side dedup
+// absorbs the rare double-delivery.
+func (w *Worker) report(flags ReportFlags) (*ReportResponse, error) {
+	w.mu.Lock()
+	corpus := w.outCorpus
+	findings := w.outFindings
+	w.outCorpus = nil
+	w.outFindings = nil
+	execs := w.execsDone
+	var eps float64
+	agg := coverage.NewAggregator()
+	agg.AbsorbDelta(w.doneCov)
+	if w.eng != nil {
+		st := w.eng.Status()
+		execs += st.Execs
+		eps = st.ExecsPerSec
+		agg.AbsorbDelta(w.eng.CoverageDelta())
+	}
+	cursor := w.cursor
+	w.mu.Unlock()
+	w.execs.Store(execs)
+
+	req := ReportRequest{
+		WorkerID:     w.id,
+		Execs:        execs,
+		ExecsPerSec:  eps,
+		Coverage:     agg.Export(),
+		CorpusCursor: cursor,
+		NeedShard:    flags.NeedShard,
+		Leaving:      flags.Leaving,
+		Error:        flags.Error,
+	}
+	for _, e := range corpus {
+		req.Corpus = append(req.Corpus, e.Encode())
+	}
+	for _, f := range findings {
+		req.Findings = append(req.Findings, FromFinding(f).Encode())
+	}
+
+	var resp ReportResponse
+	if err := w.post("/fleet/v1/report", req, &resp); err != nil {
+		telReportRetry.Inc()
+		w.mu.Lock()
+		w.outCorpus = append(corpus, w.outCorpus...)
+		w.outFindings = append(findings, w.outFindings...)
+		w.mu.Unlock()
+		return nil, err
+	}
+	telReports.Inc()
+	w.absorbPeers(resp.Corpus, resp.CorpusCursor)
+	return &resp, nil
+}
+
+// absorbPeers takes the coordinator's corpus page: novel entries join
+// the seen-set and seed list and are injected into the running engine.
+func (w *Worker) absorbPeers(blobs [][]byte, cursor int) {
+	if len(blobs) == 0 && cursor == 0 {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if cursor > w.cursor {
+		w.cursor = cursor
+	}
+	for _, blob := range blobs {
+		entry, err := DecodeCorpusEntry(blob)
+		if err != nil {
+			w.logf("fleet worker %s: dropping undecodable peer entry: %v", w.id, err)
+			continue
+		}
+		h := TraceHash(entry.Trace)
+		if w.seen[h] {
+			continue
+		}
+		w.seen[h] = true
+		w.keepSeedLocked(entry)
+		if w.eng != nil {
+			w.eng.InjectSeed(entry.Trace, entry.Score)
+		}
+		telCorpusPulled.Inc()
+	}
+}
+
+func (w *Worker) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := w.client.Post(w.cfg.Coordinator+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("fleet: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// sleep waits for d unless the worker is stopped or past its deadline
+// first; it reports whether the worker should keep going.
+func (w *Worker) sleep(d time.Duration, deadline time.Time) bool {
+	step := 50 * time.Millisecond
+	for waited := time.Duration(0); waited < d; waited += step {
+		if w.done(deadline) {
+			return false
+		}
+		time.Sleep(step)
+	}
+	return !w.done(deadline)
+}
+
+func nextBackoff(d time.Duration) time.Duration {
+	d *= 2
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+// parseBugs maps assignment bug names onto faults.Bug values,
+// rejecting unknown names (a skewed fleet config, better loud).
+func parseBugs(names []string) ([]faults.Bug, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	known := map[faults.Bug]bool{}
+	for _, b := range faults.All() {
+		known[b] = true
+	}
+	var bugs []faults.Bug
+	for _, n := range names {
+		b := faults.Bug(n)
+		if !known[b] {
+			return nil, fmt.Errorf("fleet: assignment names unknown bug %q", n)
+		}
+		bugs = append(bugs, b)
+	}
+	return bugs, nil
+}
